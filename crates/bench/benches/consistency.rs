@@ -1,0 +1,76 @@
+//! Consistency maintenance and filtering costs (the O(n⁴)-per-pass phase
+//! of §1.4), plus precedence-graph extraction.
+
+use cdg_core::network::Network;
+use cdg_parallel::pram::PramStats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A network after full propagation, ready for maintenance passes.
+fn propagated<'g>(g: &'g cdg_grammar::Grammar, s: &cdg_grammar::Sentence) -> Network<'g> {
+    let mut net = Network::build(g, s);
+    cdg_core::propagate::apply_all_unary(&mut net);
+    net.init_arcs();
+    cdg_core::propagate::apply_all_binary(&mut net);
+    net
+}
+
+fn maintain_pass(c: &mut Criterion) {
+    let (g, lex) = corpus::standard_setup();
+    let mut group = c.benchmark_group("consistency/maintain-pass");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let s = corpus::english_sentence(&g, &lex, n, 5);
+        group.bench_with_input(BenchmarkId::new("serial", n), &s, |b, s| {
+            b.iter_batched(
+                || propagated(&g, s),
+                |mut net| black_box(cdg_core::consistency::maintain(&mut net)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pram", n), &s, |b, s| {
+            b.iter_batched(
+                || (propagated(&g, s), PramStats::default()),
+                |(mut net, mut stats)| {
+                    black_box(cdg_parallel::pram::maintain_par(&mut net, &mut stats))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn filter_to_fixpoint(c: &mut Criterion) {
+    let (g, lex) = corpus::standard_setup();
+    let mut group = c.benchmark_group("consistency/filter-fixpoint");
+    group.sample_size(10);
+    for n in [6usize, 10] {
+        let s = corpus::english_sentence(&g, &lex, n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter_batched(
+                || propagated(&g, s),
+                |mut net| black_box(cdg_core::consistency::filter(&mut net, usize::MAX)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn extraction(c: &mut Criterion) {
+    let (g, lex) = corpus::standard_setup();
+    let mut group = c.benchmark_group("consistency/extract");
+    group.sample_size(10);
+    for n in [6usize, 10] {
+        let s = corpus::english_sentence(&g, &lex, n, 5);
+        let outcome = cdg_core::parse(&g, &s, Default::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &outcome, |b, outcome| {
+            b.iter(|| black_box(outcome.parses(32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, maintain_pass, filter_to_fixpoint, extraction);
+criterion_main!(benches);

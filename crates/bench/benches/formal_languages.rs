@@ -1,0 +1,54 @@
+//! Wall-clock scaling on the formal languages — the §1.5 expressivity
+//! workloads. CDG pays its O(k·n⁴) on aⁿbⁿ while CKY runs O(|R|·n³) on
+//! the same strings; for ww and www no CFG baseline exists at any price,
+//! which is the claim.
+
+use cdg_core::parser::{parse, ParseOptions};
+use cdg_grammar::grammars::formal;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn anbn_cdg_vs_cky(c: &mut Criterion) {
+    let cdg = formal::anbn_grammar();
+    let cfg = cfg_baseline::gen::anbn_cfg();
+    let mut group = c.benchmark_group("formal/anbn");
+    group.sample_size(10);
+    for half in [4usize, 8, 12] {
+        let s = corpus::formal::anbn(half);
+        let sentence = formal::anbn_sentence(&cdg, &s);
+        group.bench_with_input(BenchmarkId::new("cdg", half * 2), &sentence, |b, s| {
+            b.iter(|| black_box(parse(&cdg, s, ParseOptions::default())))
+        });
+        let spaced: Vec<String> = s.chars().map(|c| c.to_string()).collect();
+        let tokens = cfg.tokenize(&spaced.join(" ")).unwrap();
+        group.bench_with_input(BenchmarkId::new("cky", half * 2), &tokens, |b, t| {
+            b.iter(|| black_box(cfg_baseline::cky_recognize(&cfg, t)))
+        });
+    }
+    group.finish();
+}
+
+fn copy_languages(c: &mut Criterion) {
+    let ww = formal::ww_grammar();
+    let www = formal::www_grammar();
+    let mut group = c.benchmark_group("formal/copy");
+    group.sample_size(10);
+    for half in [4usize, 6, 8] {
+        let s = corpus::formal::ww(half, 42);
+        let sentence = formal::ww_sentence(&ww, &s);
+        group.bench_with_input(BenchmarkId::new("ww", half * 2), &sentence, |b, s| {
+            b.iter(|| black_box(parse(&ww, s, ParseOptions::default())))
+        });
+        // www over the same alphabet, length 3·half.
+        let w = &s[..half];
+        let triple = format!("{w}{w}{w}");
+        let sentence = formal::ww_sentence(&www, &triple);
+        group.bench_with_input(BenchmarkId::new("www", half * 3), &sentence, |b, s| {
+            b.iter(|| black_box(parse(&www, s, ParseOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, anbn_cdg_vs_cky, copy_languages);
+criterion_main!(benches);

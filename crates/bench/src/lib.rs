@@ -1,0 +1,62 @@
+//! Shared measurement harness for the table/figure regeneration.
+//!
+//! Every experiment in EXPERIMENTS.md is driven either by the Criterion
+//! benches in `benches/` (wall-clock) or by the `tables` binary (operation
+//! counts, step counts, estimated MP-1 times, and fitted scaling
+//! exponents). This library holds the pieces they share: engine runners
+//! that return comparable measurements, a log–log exponent fit, and a
+//! plain-text table renderer.
+
+pub mod run;
+pub mod table;
+
+pub use run::Measurement;
+pub use table::TextTable;
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent of y ~ x^e. Points with y = 0 are skipped.
+pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|&(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .collect();
+    assert!(pts.len() >= 2, "need at least two positive points to fit");
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_known_exponents() {
+        let xs: Vec<f64> = (2..10).map(|n| n as f64).collect();
+        for e in [1.0f64, 2.0, 3.0, 4.0] {
+            let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x.powf(e)).collect();
+            let fitted = fit_exponent(&xs, &ys);
+            assert!((fitted - e).abs() < 1e-9, "e={e}, fitted={fitted}");
+        }
+    }
+
+    #[test]
+    fn skips_zero_points() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys = [0.0, 4.0, 16.0, 64.0];
+        let fitted = fit_exponent(&xs, &ys);
+        assert!((fitted - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two positive points")]
+    fn too_few_points_panics() {
+        fit_exponent(&[1.0], &[1.0]);
+    }
+}

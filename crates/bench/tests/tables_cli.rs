@@ -1,0 +1,66 @@
+//! The `tables` binary runs and emits every table with the expected
+//! anchors — a regression net over the whole regeneration pipeline.
+
+use std::process::Command;
+
+fn run(arg: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg(arg)
+        .output()
+        .expect("tables binary runs");
+    assert!(out.status.success(), "tables {arg} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn walkthrough_prints_all_figures() {
+    let text = run("walkthrough");
+    for anchor in [
+        "Figure 1",
+        "Figure 2",
+        "Figure 3",
+        "Figure 4",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "{DET-2, DET-3}",
+        "{SUBJ-3}",
+        "G = ROOT-nil",
+    ] {
+        assert!(text.contains(anchor), "missing `{anchor}`");
+    }
+}
+
+#[test]
+fn timing_table_shows_the_staircase() {
+    let text = run("timing");
+    assert!(text.contains("virt factor"));
+    // The paper's anchors appear on their rows.
+    assert!(text.contains("~0.15 s"));
+    assert!(text.contains("0.45 s"));
+    // The n = 10 row reports factor 3.
+    let ten = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("10 "))
+        .expect("row for n = 10");
+    assert!(ten.contains("40000"), "{ten}");
+    assert!(ten.split_whitespace().nth(2) == Some("3"), "{ten}");
+}
+
+#[test]
+fn ablation_table_runs() {
+    let text = run("ablation");
+    assert!(text.contains("design decision 5"));
+    assert!(text.contains("fixpoint"));
+    assert!(text.contains("design decision 1"));
+    assert!(text.contains("design decision 6"));
+}
+
+#[test]
+fn unknown_table_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .arg("bogus")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}

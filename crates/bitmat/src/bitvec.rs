@@ -1,0 +1,235 @@
+//! Fixed-length packed bitset.
+
+use crate::{tail_mask, words_for};
+
+/// A fixed-length bitset packed into `u64` words.
+///
+/// Used for the per-role "alive" sets of the constraint network: bit `i` is
+/// set while role value `i` is still a candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// All-zero bitset of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// All-one bitset of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![!0u64; words_for(len)],
+        };
+        v.clamp_tail();
+        v
+    }
+
+    fn clamp_tail(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.len);
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if any bit is set.
+    pub fn any(&self) -> bool {
+        !self.none()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// In-place intersection. Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union. Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// True if `self` and `other` share any set bit.
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Raw words (read-only), little-endian bit order within each word.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(70);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.none());
+        let o = BitVec::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.any());
+        // Tail bits beyond len must not be set.
+        assert_eq!(o.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut v = BitVec::zeros(200);
+        let idx = [3usize, 64, 65, 140, 199];
+        for &i in &idx {
+            v.set(i, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        a.set(5, true);
+        a.set(70, true);
+        b.set(70, true);
+        b.set(99, true);
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        u.or_assign(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![5, 70, 99]);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![70]);
+        let c = BitVec::zeros(100);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert!(v.none());
+        assert_eq!(v.iter_ones().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_reference(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let mut v = BitVec::zeros(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                v.set(i, b);
+            }
+            let expected = bits.iter().filter(|&&b| b).count();
+            prop_assert_eq!(v.count_ones(), expected);
+            let ones: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            prop_assert_eq!(v.iter_ones().collect::<Vec<_>>(), ones);
+        }
+
+        #[test]
+        fn and_or_match_reference(
+            a in proptest::collection::vec(any::<bool>(), 150),
+            b in proptest::collection::vec(any::<bool>(), 150),
+        ) {
+            let mut va = BitVec::zeros(150);
+            let mut vb = BitVec::zeros(150);
+            for i in 0..150 {
+                va.set(i, a[i]);
+                vb.set(i, b[i]);
+            }
+            let mut and = va.clone();
+            and.and_assign(&vb);
+            let mut or = va.clone();
+            or.or_assign(&vb);
+            for i in 0..150 {
+                prop_assert_eq!(and.get(i), a[i] && b[i]);
+                prop_assert_eq!(or.get(i), a[i] || b[i]);
+            }
+            prop_assert_eq!(va.intersects(&vb), (0..150).any(|i| a[i] && b[i]));
+        }
+    }
+}

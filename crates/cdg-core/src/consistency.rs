@@ -1,0 +1,209 @@
+//! Consistency maintenance and filtering.
+//!
+//! After binary propagation, a role value may index an all-zero row or
+//! column in some incident arc matrix; such a value cannot coexist with any
+//! candidate of the other role and must be removed, along with its rows and
+//! columns everywhere — *consistency maintenance*. One removal can strand
+//! another value, so consistency maintenance is iterated; running it to a
+//! fixpoint is *filtering*. The paper notes filtering is worst-case O(n⁴)
+//! sequential (and NC-hard in general, by their reduction from the Monotone
+//! Circuit Value Problem), but that in practice fewer than ~10 passes
+//! suffice — the justification for bounding it by a constant on the MasPar.
+
+use crate::network::Network;
+
+/// One simultaneous pass of consistency maintenance: test the support of
+/// every alive role value against the current matrices, then remove every
+/// unsupported one. Returns the number removed.
+///
+/// The pass is *simultaneous* (all support tests read the pre-pass state)
+/// to match the P-RAM and MasPar formulations; cascades are handled by
+/// iterating the pass (see [`filter`]).
+pub fn maintain(net: &mut Network<'_>) -> usize {
+    assert!(net.arcs_ready(), "consistency maintenance needs arc matrices");
+    let mut doomed: Vec<(usize, usize)> = Vec::new();
+    let mut support_checks = 0usize;
+    let num = net.num_slots();
+    for i in 0..num {
+        let si = net.slot(i);
+        'value: for a in si.alive.iter_ones() {
+            for j in 0..num {
+                if j == i {
+                    continue;
+                }
+                support_checks += 1;
+                let (m, _) = net.arc(i.min(j), i.max(j));
+                let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
+                if !supported {
+                    doomed.push((i, a));
+                    continue 'value;
+                }
+            }
+        }
+    }
+    net.stats.support_checks += support_checks;
+    net.stats.maintain_passes += 1;
+    let removed = doomed.len();
+    for (slot, idx) in doomed {
+        net.remove_value(slot, idx);
+    }
+    removed
+}
+
+/// Iterate [`maintain`] until no value is removed or `max_passes` is
+/// reached. Returns (total removed, passes run, reached_fixpoint).
+///
+/// `max_passes = usize::MAX` gives the paper's sequential *filtering*;
+/// a small constant gives the MasPar design decision 5.
+pub fn filter(net: &mut Network<'_>, max_passes: usize) -> (usize, usize, bool) {
+    let mut total = 0;
+    let mut passes = 0;
+    while passes < max_passes {
+        passes += 1;
+        let removed = maintain(net);
+        total += removed;
+        if removed == 0 {
+            return (total, passes, true);
+        }
+    }
+    // One extra check: fixpoint reached iff a further pass would remove 0.
+    (total, passes, false)
+}
+
+/// True if the network is *locally consistent*: no alive role value has an
+/// all-zero row/column in any incident arc matrix. This is the filtering
+/// fixpoint condition.
+pub fn is_locally_consistent(net: &Network<'_>) -> bool {
+    let num = net.num_slots();
+    for i in 0..num {
+        let si = net.slot(i);
+        for a in si.alive.iter_ones() {
+            for j in 0..num {
+                if j == i {
+                    continue;
+                }
+                let (m, _) = net.arc(i.min(j), i.max(j));
+                let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
+                if !supported {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{apply_all_binary, apply_all_unary, apply_binary};
+    use cdg_grammar::grammars::paper;
+
+    fn alive_strs(net: &Network<'_>, word: u16, role: &str) -> Vec<String> {
+        let g = net.grammar();
+        let slot = net.slot(net.slot_id(word, g.role_id(role).unwrap()));
+        slot.alive
+            .iter_ones()
+            .map(|i| {
+                let rv = slot.domain[i];
+                format!("{}-{}", g.label_name(rv.label), rv.modifiee)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure5_first_binary_plus_maintenance() {
+        // After the first binary constraint and one consistency-maintenance
+        // step, SUBJ-1 disappears from program/governor (Figure 5).
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_binary(&mut net, &g.binary_constraints()[0]);
+        assert_eq!(alive_strs(&net, 1, "governor"), vec!["SUBJ-1", "SUBJ-3"]);
+        let removed = maintain(&mut net);
+        assert_eq!(removed, 1);
+        assert_eq!(alive_strs(&net, 1, "governor"), vec!["SUBJ-3"]);
+        // The rest of Figure 5's state.
+        assert_eq!(alive_strs(&net, 0, "governor"), vec!["DET-2", "DET-3"]);
+        assert_eq!(alive_strs(&net, 1, "needs"), vec!["NP-1", "NP-3"]);
+        assert_eq!(alive_strs(&net, 2, "needs"), vec!["S-1", "S-2"]);
+    }
+
+    #[test]
+    fn figure6_full_propagation_and_filtering() {
+        // After all binary constraints and filtering, the network is
+        // unambiguous (Figure 6).
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        let (_, passes, fixpoint) = filter(&mut net, usize::MAX);
+        assert!(fixpoint);
+        assert!(passes <= 10, "paper: typically fewer than 10 passes, got {passes}");
+        assert_eq!(alive_strs(&net, 0, "governor"), vec!["DET-2"]);
+        assert_eq!(alive_strs(&net, 0, "needs"), vec!["BLANK-nil"]);
+        assert_eq!(alive_strs(&net, 1, "governor"), vec!["SUBJ-3"]);
+        assert_eq!(alive_strs(&net, 1, "needs"), vec!["NP-1"]);
+        assert_eq!(alive_strs(&net, 2, "governor"), vec!["ROOT-nil"]);
+        assert_eq!(alive_strs(&net, 2, "needs"), vec!["S-2"]);
+        assert!(net.all_roles_nonempty());
+        assert!(is_locally_consistent(&net));
+    }
+
+    #[test]
+    fn maintain_never_removes_supported_values() {
+        // On a freshly built all-ones network, nothing is unsupported.
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        net.init_arcs();
+        assert_eq!(maintain(&mut net), 0);
+        assert!(is_locally_consistent(&net));
+    }
+
+    #[test]
+    fn filter_pass_cap_is_respected() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        let (_, passes, _) = filter(&mut net, 1);
+        assert_eq!(passes, 1);
+    }
+
+    #[test]
+    fn fixpoint_flag_is_accurate() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        let (_, _, fixpoint) = filter(&mut net, usize::MAX);
+        assert!(fixpoint);
+        // After a fixpoint, further passes remove nothing.
+        assert_eq!(maintain(&mut net), 0);
+    }
+
+    #[test]
+    fn rejection_empties_a_role() {
+        // "program the runs": the determiner has no noun to its right, so
+        // every pair of the determiner's governor values with the noun's
+        // role values is zeroed and the slot empties.
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        let s = lex.sentence("program the runs").unwrap();
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        filter(&mut net, usize::MAX);
+        assert!(!net.all_roles_nonempty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Graphviz (DOT) export of precedence graphs and constraint networks.
+//!
+//! The paper draws precedence graphs as boxes with governor/needs arrows
+//! (Figure 7); this module renders the same structure for `dot -Tsvg`.
+
+use crate::extract::PrecedenceGraph;
+use crate::network::Network;
+use cdg_grammar::{Grammar, Modifiee, RoleId, Sentence};
+use std::fmt::Write as _;
+
+/// Escape a label for a double-quoted DOT string.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render one precedence graph as a DOT digraph: a node per word, an edge
+/// per non-nil role value, labelled `role:LABEL`.
+pub fn precedence_graph_dot(
+    graph: &PrecedenceGraph,
+    grammar: &Grammar,
+    sentence: &Sentence,
+) -> String {
+    let mut out = String::from("digraph precedence {\n  rankdir=LR;\n  node [shape=box];\n");
+    for (i, word) in sentence.words().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  w{} [label=\"{}\\n({})\"];",
+            i + 1,
+            esc(&word.text),
+            i + 1
+        );
+    }
+    // Keep words in sentence order.
+    let order: Vec<String> = (1..=sentence.len()).map(|i| format!("w{i}")).collect();
+    let _ = writeln!(out, "  {{ rank=same; {} }}", order.join("; "));
+    for edge in graph.edges(grammar) {
+        if let Modifiee::Word(target) = edge.modifiee {
+            let _ = writeln!(
+                out,
+                "  w{} -> w{} [label=\"{}:{}\"];",
+                edge.word,
+                target,
+                esc(grammar.role_name(edge.role)),
+                esc(grammar.label_name(edge.label)),
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the network's surviving role values as a DOT digraph: one box
+/// per word listing each role's candidates; dashed edges for every
+/// candidate modifiee (the compact parse forest of an ambiguous network).
+pub fn network_dot(net: &Network<'_>) -> String {
+    let g = net.grammar();
+    let mut out = String::from("digraph network {\n  rankdir=LR;\n  node [shape=record];\n");
+    for (w, word) in net.sentence().words().iter().enumerate() {
+        let mut fields = vec![format!("{} ({})", esc(&word.text), w + 1)];
+        for r in 0..g.num_roles() {
+            let role = RoleId(r as u16);
+            let values = crate::snapshot::alive_values(net, w as u16, role);
+            fields.push(format!(
+                "{}: {}",
+                esc(g.role_name(role)),
+                esc(&values.join(", "))
+            ));
+        }
+        let _ = writeln!(out, "  w{} [label=\"{}\"];", w + 1, fields.join(" | "));
+    }
+    // One dashed edge per distinct (word, target) pair among alive values.
+    let mut seen = std::collections::BTreeSet::new();
+    for slot in net.slots() {
+        for idx in slot.alive.iter_ones() {
+            if let Modifiee::Word(t) = slot.domain[idx].modifiee {
+                if seen.insert((slot.word, t)) {
+                    let _ = writeln!(
+                        out,
+                        "  w{} -> w{} [style=dashed];",
+                        slot.word + 1,
+                        t
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, ParseOptions};
+    use cdg_grammar::grammars::paper;
+
+    fn example() -> (Grammar, Sentence) {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn precedence_dot_structure() {
+        let (g, s) = example();
+        let outcome = parse(&g, &s, ParseOptions::default());
+        let dot = precedence_graph_dot(&outcome.parses(1)[0], &g, &s);
+        assert!(dot.starts_with("digraph precedence {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Figure 7's edges: The -DET-> program, program -SUBJ-> runs,
+        // program -NP-> The, runs -S-> program; ROOT-nil and BLANK-nil
+        // produce no edge.
+        assert!(dot.contains("w1 -> w2 [label=\"governor:DET\"]"));
+        assert!(dot.contains("w2 -> w3 [label=\"governor:SUBJ\"]"));
+        assert!(dot.contains("w2 -> w1 [label=\"needs:NP\"]"));
+        assert!(dot.contains("w3 -> w2 [label=\"needs:S\"]"));
+        assert_eq!(dot.matches("->").count() - 0, 4 + 0);
+        // Balanced braces/quotes keep dot happy.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert_eq!(dot.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn network_dot_lists_candidates() {
+        let (g, s) = example();
+        let mut net = Network::build(&g, &s);
+        crate::propagate::apply_all_unary(&mut net);
+        let dot = network_dot(&net);
+        assert!(dot.contains("DET-2, DET-3"));
+        assert!(dot.contains("SUBJ-1, SUBJ-3"));
+        assert!(dot.contains("style=dashed"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

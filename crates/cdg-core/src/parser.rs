@@ -1,0 +1,270 @@
+//! The high-level sequential parse driver.
+
+use crate::consistency::{filter, is_locally_consistent};
+use crate::extract::{has_parse, precedence_graphs, PrecedenceGraph};
+use crate::network::Network;
+use crate::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
+use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
+
+/// How much filtering to run after propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterMode {
+    /// No consistency maintenance at all (propagation only).
+    None,
+    /// At most this many passes — the MasPar design decision 5.
+    Bounded(usize),
+    /// Iterate to the fixpoint — the paper's sequential filtering.
+    Fixpoint,
+}
+
+/// Options controlling the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Build arc matrices before unary propagation (the MasPar order,
+    /// design decision 1) instead of after (the paper's sequential order).
+    /// The final network is the same; the work differs.
+    pub arcs_before_unary: bool,
+    pub filter: FilterMode,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            arcs_before_unary: false,
+            filter: FilterMode::Fixpoint,
+        }
+    }
+}
+
+/// The result of running the pipeline.
+#[derive(Debug)]
+pub struct ParseOutcome<'g> {
+    /// The settled network (inspect alive sets, arc matrices, stats).
+    pub network: Network<'g>,
+    /// The paper's acceptance condition: every role kept ≥ 1 value.
+    pub roles_nonempty: bool,
+    /// Whether the network reached the filtering fixpoint.
+    pub locally_consistent: bool,
+    /// Filtering passes actually run.
+    pub filter_passes: usize,
+}
+
+impl<'g> ParseOutcome<'g> {
+    /// Constructive acceptance: at least one complete parse exists.
+    pub fn accepted(&self) -> bool {
+        self.roles_nonempty && has_parse(&self.network)
+    }
+
+    /// Is the settled network still ambiguous (some role with > 1 value)?
+    pub fn ambiguous(&self) -> bool {
+        self.network.slots().iter().any(|s| s.alive_count() > 1)
+    }
+
+    /// Enumerate up to `limit` parses.
+    pub fn parses(&self, limit: usize) -> Vec<PrecedenceGraph> {
+        precedence_graphs(&self.network, limit)
+    }
+
+    /// Propagate additional constraints (the paper §1.5: apply
+    /// contextually-determined constraint sets to refine an ambiguous
+    /// network), then re-filter.
+    pub fn propagate_extra(&mut self, constraints: &[Constraint]) {
+        for c in constraints {
+            match c.arity {
+                Arity::Unary => {
+                    apply_unary(&mut self.network, c);
+                }
+                Arity::Binary => {
+                    apply_binary(&mut self.network, c);
+                }
+            }
+        }
+        let (_, passes, fixpoint) = filter(&mut self.network, usize::MAX);
+        self.filter_passes += passes;
+        self.locally_consistent = fixpoint;
+        self.roles_nonempty = self.network.all_roles_nonempty();
+    }
+}
+
+/// Run the full sequential pipeline: build, unary propagation, arcs, binary
+/// propagation, filtering per `options`.
+///
+/// ```
+/// use cdg_core::parser::{parse, ParseOptions};
+/// use cdg_grammar::grammars::paper;
+///
+/// let grammar = paper::grammar();
+/// let sentence = paper::example_sentence(&grammar); // "The program runs"
+/// let outcome = parse(&grammar, &sentence, ParseOptions::default());
+/// assert!(outcome.accepted());
+/// assert!(!outcome.ambiguous());
+/// let graphs = outcome.parses(10);
+/// assert_eq!(graphs.len(), 1);
+/// assert!(graphs[0].render(&grammar, &sentence).contains("G = SUBJ-3"));
+/// ```
+pub fn parse<'g>(
+    grammar: &'g Grammar,
+    sentence: &Sentence,
+    options: ParseOptions,
+) -> ParseOutcome<'g> {
+    let mut net = Network::build(grammar, sentence);
+    if options.arcs_before_unary {
+        net.init_arcs();
+        apply_all_unary(&mut net);
+    } else {
+        apply_all_unary(&mut net);
+        net.init_arcs();
+    }
+    apply_all_binary(&mut net);
+    let (passes, fixpoint) = match options.filter {
+        FilterMode::None => (0, false),
+        FilterMode::Bounded(max) => {
+            let (_, p, fx) = filter(&mut net, max);
+            (p, fx)
+        }
+        FilterMode::Fixpoint => {
+            let (_, p, fx) = filter(&mut net, usize::MAX);
+            (p, fx)
+        }
+    };
+    let locally_consistent = if fixpoint {
+        true
+    } else {
+        is_locally_consistent(&net)
+    };
+    ParseOutcome {
+        roles_nonempty: net.all_roles_nonempty(),
+        locally_consistent,
+        filter_passes: passes,
+        network: net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_grammar::grammars::{english, paper};
+
+    #[test]
+    fn example_sentence_parses_uniquely() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let outcome = parse(&g, &s, ParseOptions::default());
+        assert!(outcome.roles_nonempty);
+        assert!(outcome.accepted());
+        assert!(!outcome.ambiguous());
+        assert!(outcome.locally_consistent);
+        assert_eq!(outcome.parses(10).len(), 1);
+    }
+
+    #[test]
+    fn both_pipeline_orders_agree() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let a = parse(&g, &s, ParseOptions::default());
+        let b = parse(
+            &g,
+            &s,
+            ParseOptions {
+                arcs_before_unary: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.parses(100), b.parses(100));
+        assert_eq!(
+            a.network.total_alive(),
+            b.network.total_alive()
+        );
+    }
+
+    #[test]
+    fn filter_modes() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the big dog sees a cat in the park").unwrap();
+        let none = parse(&g, &s, ParseOptions { filter: FilterMode::None, ..Default::default() });
+        let bounded = parse(&g, &s, ParseOptions { filter: FilterMode::Bounded(2), ..Default::default() });
+        let full = parse(&g, &s, ParseOptions::default());
+        // Filtering only ever shrinks alive sets, never changes the parses.
+        assert!(none.network.total_alive() >= bounded.network.total_alive());
+        assert!(bounded.network.total_alive() >= full.network.total_alive());
+        assert_eq!(none.parses(100), full.parses(100));
+        assert!(full.locally_consistent);
+        assert!(full.accepted());
+    }
+
+    #[test]
+    fn ambiguity_detected_and_refined_by_extra_constraints() {
+        // PP attachment: "the dog runs in the park" has two parses. A
+        // contextual constraint pinning PP to the verb resolves it — the
+    // paper's §1.5 workflow.
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the dog runs in the park").unwrap();
+        let mut outcome = parse(&g, &s, ParseOptions::default());
+        assert!(outcome.ambiguous());
+        assert_eq!(outcome.parses(10).len(), 2);
+
+        let pin = g
+            .compile_extra_constraint(
+                "pp-attaches-to-verb",
+                "(if (eq (lab x) PP) (eq (cat (word (mod x))) verb))",
+            )
+            .unwrap();
+        outcome.propagate_extra(&[pin]);
+        assert!(!outcome.ambiguous());
+        assert_eq!(outcome.parses(10).len(), 1);
+        assert!(outcome.accepted());
+    }
+
+    #[test]
+    fn lexically_ambiguous_word_resolved_by_context() {
+        // "the watch runs": `watch` is noun-or-verb; `unique-root` and the
+        // subject requirements force the noun reading.
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the watch runs").unwrap();
+        let outcome = parse(&g, &s, ParseOptions::default());
+        assert!(outcome.accepted());
+        let parses = outcome.parses(10);
+        assert_eq!(parses.len(), 1);
+        let nouns = g.cat_id("nouns").unwrap();
+        assert_eq!(parses[0].assignment[2].cat, nouns); // watch/governor
+    }
+
+    #[test]
+    fn rejection() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        for bad in ["dog the runs", "the dog the", "runs sees"] {
+            let s = lex.sentence(bad).unwrap();
+            let outcome = parse(&g, &s, ParseOptions::default());
+            assert!(!outcome.accepted(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn english_acceptance_suite() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        for good in [
+            "the dog runs",
+            "dogs run",
+            "she sleeps",
+            "the big red dog sees a small cat",
+            "john likes mary",
+            "the dog sees the cat in the park",
+            "they often watch dogs near the table",
+            "every child runs quickly",
+        ] {
+            // Skip words missing from the lexicon gracefully: the suite
+            // only uses lexicon words.
+            let s = match lex.sentence(good) {
+                Ok(s) => s,
+                Err(e) => panic!("lexicon gap for `{good}`: {e}"),
+            };
+            let outcome = parse(&g, &s, ParseOptions::default());
+            assert!(outcome.accepted(), "`{good}` should be accepted");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Human-readable renderings of network state, mirroring the paper's
+//! figures — used by the quickstart example and the golden walkthrough
+//! tests.
+
+use crate::network::Network;
+use cdg_grammar::{RoleId, RoleValue};
+
+/// Render one role value in the figures' `LABEL-modifiee` notation. When
+/// the word is lexically ambiguous the category hypothesis is prefixed
+/// (`noun:SUBJ-3`).
+pub fn role_value_str(net: &Network<'_>, word_idx: usize, rv: RoleValue) -> String {
+    let g = net.grammar();
+    let base = format!("{}-{}", g.label_name(rv.label), rv.modifiee);
+    if net.sentence().word(word_idx).cats.len() > 1 {
+        format!("{}:{}", g.cat_name(rv.cat), base)
+    } else {
+        base
+    }
+}
+
+/// The alive role values of one role slot, rendered.
+pub fn alive_values(net: &Network<'_>, word: u16, role: RoleId) -> Vec<String> {
+    let slot = net.slot(net.slot_id(word, role));
+    slot.alive
+        .iter_ones()
+        .map(|i| role_value_str(net, word as usize, slot.domain[i]))
+        .collect()
+}
+
+/// Render the whole network like the paper's Figures 1–6: one block per
+/// word, listing each role's surviving role values.
+pub fn render_network(net: &Network<'_>) -> String {
+    let g = net.grammar();
+    let mut out = String::new();
+    for (w, word) in net.sentence().words().iter().enumerate() {
+        out.push_str(&format!("[{}] {}\n", w + 1, word.text));
+        for r in 0..g.num_roles() {
+            let role = RoleId(r as u16);
+            let values = alive_values(net, w as u16, role);
+            out.push_str(&format!(
+                "    {:<10} {{{}}}\n",
+                g.role_name(role),
+                values.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+/// Render one arc matrix like Figure 4/9: row/column headers are role
+/// values, entries are 0/1, with dead rows and columns dropped.
+pub fn render_arc(net: &Network<'_>, i: usize, j: usize) -> String {
+    let (si, sj) = (net.slot(i), net.slot(j));
+    let g = net.grammar();
+    let rows: Vec<usize> = si.alive.iter_ones().collect();
+    let cols: Vec<usize> = sj.alive.iter_ones().collect();
+    let row_names: Vec<String> = rows
+        .iter()
+        .map(|&a| role_value_str(net, si.word as usize, si.domain[a]))
+        .collect();
+    let col_names: Vec<String> = cols
+        .iter()
+        .map(|&b| role_value_str(net, sj.word as usize, sj.domain[b]))
+        .collect();
+    let w = row_names
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = format!(
+        "arc: word {} {} × word {} {}\n",
+        si.word + 1,
+        g.role_name(si.role),
+        sj.word + 1,
+        g.role_name(sj.role)
+    );
+    out.push_str(&format!("{:w$} ", "", w = w));
+    for name in &col_names {
+        out.push_str(&format!("{name} "));
+    }
+    out.push('\n');
+    for (ri, &a) in rows.iter().enumerate() {
+        out.push_str(&format!("{:<w$} ", row_names[ri], w = w));
+        for (ci, &b) in cols.iter().enumerate() {
+            let bit = if net.arc_entry(i, a, j, b) { '1' } else { '0' };
+            out.push_str(&format!("{:^width$} ", bit, width = col_names[ci].len()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, ParseOptions};
+    use crate::propagate::apply_all_unary;
+    use cdg_grammar::grammars::paper;
+
+    #[test]
+    fn render_network_matches_figure3_content() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        let text = render_network(&net);
+        assert!(text.contains("[1] The"));
+        assert!(text.contains("{DET-2, DET-3}"));
+        assert!(text.contains("{SUBJ-1, SUBJ-3}"));
+        assert!(text.contains("{ROOT-nil}"));
+        assert!(text.contains("{BLANK-nil}"));
+    }
+
+    #[test]
+    fn render_arc_shows_bits() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let outcome = parse(&g, &s, ParseOptions::default());
+        let net = &outcome.network;
+        let governor = g.role_id("governor").unwrap();
+        let i = net.slot_id(1, governor);
+        let j = net.slot_id(2, governor);
+        let text = render_arc(net, i, j);
+        assert!(text.contains("SUBJ-3"));
+        assert!(text.contains("ROOT-nil"));
+        assert!(text.contains('1'));
+    }
+
+    #[test]
+    fn ambiguous_words_show_cat_prefix() {
+        let g = cdg_grammar::grammars::english::grammar();
+        let lex = cdg_grammar::grammars::english::lexicon(&g);
+        let s = lex.sentence("the watch runs").unwrap();
+        let net = Network::build(&g, &s);
+        let text = render_network(&net);
+        assert!(text.contains("nouns:"), "{text}");
+        assert!(text.contains("verb:"), "{text}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Operation counters for the sequential parser.
+//!
+//! Wall-clock comparisons against the simulated MasPar need a
+//! machine-independent yardstick; these counters record exactly the abstract
+//! operations the paper's complexity analysis counts, so the benchmark
+//! harness can fit growth exponents (n⁴ for binary propagation, n² for
+//! unary) without timing noise.
+
+/// Counts of the abstract operations performed on a network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Role values generated during network construction (O(n²)).
+    pub role_values_generated: usize,
+    /// Arc-matrix entries initialized (O(n⁴)).
+    pub arc_entries_initialized: usize,
+    /// Unary constraint evaluations.
+    pub unary_checks: usize,
+    /// Binary constraint evaluations (each unordered pair may cost two).
+    pub binary_checks: usize,
+    /// Matrix entries zeroed by binary propagation.
+    pub entries_zeroed: usize,
+    /// Support tests performed during consistency maintenance.
+    pub support_checks: usize,
+    /// Role values removed (by unary propagation or consistency).
+    pub removals: usize,
+    /// Full consistency-maintenance passes executed.
+    pub maintain_passes: usize,
+}
+
+impl NetStats {
+    /// Total abstract work — the quantity whose growth should be Θ(k·n⁴).
+    pub fn total_ops(&self) -> usize {
+        self.role_values_generated
+            + self.arc_entries_initialized
+            + self.unary_checks
+            + self.binary_checks
+            + self.entries_zeroed
+            + self.support_checks
+    }
+
+    /// Merge another counter into this one.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.role_values_generated += other.role_values_generated;
+        self.arc_entries_initialized += other.arc_entries_initialized;
+        self.unary_checks += other.unary_checks;
+        self.binary_checks += other.binary_checks;
+        self.entries_zeroed += other.entries_zeroed;
+        self.support_checks += other.support_checks;
+        self.removals += other.removals;
+        self.maintain_passes += other.maintain_passes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ops_sums_work_fields() {
+        let s = NetStats {
+            role_values_generated: 1,
+            arc_entries_initialized: 2,
+            unary_checks: 4,
+            binary_checks: 8,
+            entries_zeroed: 16,
+            support_checks: 32,
+            removals: 100,      // not work
+            maintain_passes: 5, // not work
+        };
+        assert_eq!(s.total_ops(), 63);
+    }
+
+    #[test]
+    fn absorb_adds_fieldwise() {
+        let mut a = NetStats {
+            unary_checks: 3,
+            removals: 1,
+            ..Default::default()
+        };
+        let b = NetStats {
+            unary_checks: 4,
+            maintain_passes: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.unary_checks, 7);
+        assert_eq!(a.removals, 1);
+        assert_eq!(a.maintain_passes, 2);
+    }
+}

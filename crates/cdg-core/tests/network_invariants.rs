@@ -1,0 +1,120 @@
+//! Property tests on the constraint-network invariants DESIGN.md lists.
+
+use cdg_core::consistency::{filter, is_locally_consistent, maintain};
+use cdg_core::network::Network;
+use cdg_core::propagate::{apply_all_binary, apply_all_unary};
+use cdg_grammar::grammars::{english, paper};
+use cdg_grammar::Modifiee;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn domain_sizes_match_the_formula(n in 1usize..12) {
+        // Each role holds (allowed labels) × n role values: nil plus n−1
+        // modifiees, never the word itself — the paper's p·n count.
+        let g = paper::grammar();
+        let s = paper::cost_sweep_sentence(&g, n);
+        let net = Network::build(&g, &s);
+        for slot in net.slots() {
+            let allowed = g.allowed_labels(slot.role).len();
+            prop_assert_eq!(slot.domain.len(), allowed * n);
+            for rv in &slot.domain {
+                prop_assert_ne!(rv.modifiee, Modifiee::Word(slot.pos()));
+                if let Modifiee::Word(p) = rv.modifiee {
+                    prop_assert!(p >= 1 && p as usize <= n);
+                }
+            }
+        }
+        prop_assert_eq!(net.stats.role_values_generated, net.total_alive());
+    }
+
+    #[test]
+    fn unary_order_does_not_matter(seed in 0u64..500, n in 3usize..8) {
+        // Apply unary constraints forward and backward: same survivors.
+        let (g, lex) = corpus_setup();
+        let s = corpus::english_sentence(&g, &lex, n, seed);
+        let mut forward = Network::build(&g, &s);
+        for c in g.unary_constraints() {
+            cdg_core::propagate::apply_unary(&mut forward, c);
+        }
+        let mut backward = Network::build(&g, &s);
+        for c in g.unary_constraints().iter().rev() {
+            cdg_core::propagate::apply_unary(&mut backward, c);
+        }
+        for (a, b) in forward.slots().iter().zip(backward.slots()) {
+            prop_assert_eq!(&a.alive, &b.alive);
+        }
+    }
+
+    #[test]
+    fn filtering_reaches_a_true_fixpoint(seed in 0u64..500, n in 3usize..9) {
+        let (g, lex) = corpus_setup();
+        let s = corpus::english_sentence(&g, &lex, n, seed);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        let (_, passes, fixpoint) = filter(&mut net, usize::MAX);
+        prop_assert!(fixpoint);
+        prop_assert!(passes <= 12, "paper: typically fewer than 10 passes; got {}", passes);
+        prop_assert!(is_locally_consistent(&net));
+        prop_assert_eq!(maintain(&mut net), 0);
+    }
+
+    #[test]
+    fn maintain_only_removes_unsupported_values(seed in 0u64..500, n in 3usize..8) {
+        // After one maintain pass, every removed value really had an
+        // all-zero row in some pre-pass arc, and every survivor had
+        // support everywhere.
+        let (g, lex) = corpus_setup();
+        let s = corpus::english_sentence(&g, &lex, n, seed);
+        let mut net = Network::build(&g, &s);
+        apply_all_unary(&mut net);
+        net.init_arcs();
+        apply_all_binary(&mut net);
+        let before: Vec<Vec<usize>> = net.slots().iter().map(|sl| sl.alive_indices()).collect();
+        let pre = net.clone();
+        maintain(&mut net);
+        for (slot_id, pre_alive) in before.iter().enumerate() {
+            for &idx in pre_alive {
+                let survived = net.slot(slot_id).alive.get(idx);
+                let supported = (0..net.num_slots()).all(|other| {
+                    if other == slot_id {
+                        return true;
+                    }
+                    pre.slot(other)
+                        .alive
+                        .iter_ones()
+                        .any(|b| pre.arc_entry(slot_id, idx, other, b))
+                });
+                prop_assert_eq!(survived, supported, "slot {} idx {}", slot_id, idx);
+            }
+        }
+    }
+
+    #[test]
+    fn arc_storage_is_a_bijection(n in 2usize..7) {
+        let g = paper::grammar();
+        let s = paper::cost_sweep_sentence(&g, n);
+        let mut net = Network::build(&g, &s);
+        net.init_arcs();
+        let pairs = net.arc_pairs();
+        // Indices are unique and cover 0..C(slots, 2).
+        let mut indices: Vec<usize> = pairs.iter().map(|&(_, _, k)| k).collect();
+        indices.sort();
+        let expected: Vec<usize> = (0..pairs.len()).collect();
+        prop_assert_eq!(indices, expected);
+        // Orientation: writes through (i, j) are visible through (j, i).
+        let (i, j, _) = pairs[pairs.len() / 2];
+        net.zero_arc_entry(j, 1, i, 0);
+        prop_assert!(!net.arc_entry(i, 0, j, 1));
+    }
+}
+
+fn corpus_setup() -> (cdg_grammar::Grammar, cdg_grammar::Lexicon) {
+    let g = english::grammar();
+    let lex = english::lexicon(&g);
+    (g, lex)
+}

@@ -1,0 +1,357 @@
+//! Compiler from S-expression source to compiled constraint expressions.
+//!
+//! The compiler resolves bare symbols against the grammar's namespaces
+//! (labels, categories, roles — which [`crate::grammar::GrammarBuilder`]
+//! keeps disjoint), checks well-formedness of every special form, and
+//! determines the constraint's arity from which variables it mentions.
+
+use crate::constraint::Arity;
+use crate::expr::{CExpr, Var};
+use crate::ids::{CatId, LabelId, RoleId};
+use sexpr::{ParseError, Sexpr, Span};
+use std::fmt;
+
+/// Upper bound on access-function/predicate nodes per constraint — a static
+/// guarantee that each constraint check is constant-time, generous enough
+/// for any realistic grammar rule.
+pub const MAX_OPS: usize = 256;
+
+/// An error produced while compiling a constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The S-expression itself failed to parse.
+    Parse(ParseError),
+    /// A structurally invalid form, e.g. `(eq a)` with one argument.
+    BadForm { message: String, span: Span },
+    /// A bare symbol that is not a label, category, role, variable, or nil.
+    UnknownSymbol { name: String, span: Span },
+    /// The constraint never mentions `x` (constraints quantify over role
+    /// values, so a constraint without variables is meaningless), or
+    /// mentions `y` without `x`.
+    BadVariables { message: String, span: Span },
+    /// The constraint exceeds [`MAX_OPS`] operations.
+    TooLarge { ops: usize, span: Span },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::BadForm { message, span } => write!(f, "{message} at {span}"),
+            CompileError::UnknownSymbol { name, span } => {
+                write!(f, "unknown symbol `{name}` at {span} (not a label, category, role, variable, or nil)")
+            }
+            CompileError::BadVariables { message, span } => write!(f, "{message} at {span}"),
+            CompileError::TooLarge { ops, span } => {
+                write!(f, "constraint has {ops} operations, exceeding the constant-time bound of {MAX_OPS} at {span}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+/// The symbol namespaces a constraint may reference. Namespaces are kept
+/// disjoint by the grammar builder, so resolution is unambiguous.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolScope<'a> {
+    pub cats: &'a [String],
+    pub labels: &'a [String],
+    pub roles: &'a [String],
+}
+
+impl SymbolScope<'_> {
+    fn resolve(&self, name: &str, span: Span) -> Result<CExpr, CompileError> {
+        if name == "nil" {
+            return Ok(CExpr::ConstNil);
+        }
+        if let Some(i) = self.labels.iter().position(|s| s == name) {
+            return Ok(CExpr::ConstLabel(LabelId(i as u16)));
+        }
+        if let Some(i) = self.cats.iter().position(|s| s == name) {
+            return Ok(CExpr::ConstCat(CatId(i as u16)));
+        }
+        if let Some(i) = self.roles.iter().position(|s| s == name) {
+            return Ok(CExpr::ConstRole(RoleId(i as u16)));
+        }
+        Err(CompileError::UnknownSymbol {
+            name: name.to_string(),
+            span,
+        })
+    }
+}
+
+fn bad(message: impl Into<String>, span: Span) -> CompileError {
+    CompileError::BadForm {
+        message: message.into(),
+        span,
+    }
+}
+
+fn var_of(expr: &Sexpr) -> Result<Var, CompileError> {
+    match expr.as_symbol() {
+        Some("x") => Ok(Var::X),
+        Some("y") => Ok(Var::Y),
+        _ => Err(bad(
+            "access functions take a variable (`x` or `y`)",
+            expr.span(),
+        )),
+    }
+}
+
+fn compile_expr(scope: &SymbolScope<'_>, expr: &Sexpr) -> Result<CExpr, CompileError> {
+    match expr {
+        Sexpr::Int(v, _) => Ok(CExpr::ConstInt(*v)),
+        Sexpr::Symbol(name, span) => {
+            if name == "x" || name == "y" {
+                return Err(bad(
+                    format!("variable `{name}` may only appear inside an access function such as (lab {name})"),
+                    *span,
+                ));
+            }
+            scope.resolve(name, *span)
+        }
+        Sexpr::List(items, span) => {
+            let head = items
+                .first()
+                .ok_or_else(|| bad("empty list is not a valid expression", *span))?;
+            let head_sym = head
+                .as_symbol()
+                .ok_or_else(|| bad("expected an operator symbol", head.span()))?;
+            let args = &items[1..];
+            let expect = |n: usize| -> Result<(), CompileError> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(bad(
+                        format!("`{head_sym}` takes {n} argument(s), got {}", args.len()),
+                        *span,
+                    ))
+                }
+            };
+            match head_sym {
+                "if" => {
+                    expect(2)?;
+                    Ok(CExpr::If(
+                        Box::new(compile_expr(scope, &args[0])?),
+                        Box::new(compile_expr(scope, &args[1])?),
+                    ))
+                }
+                "and" | "or" => {
+                    if args.is_empty() {
+                        return Err(bad(format!("`{head_sym}` needs at least one argument"), *span));
+                    }
+                    let compiled = args
+                        .iter()
+                        .map(|a| compile_expr(scope, a))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(if head_sym == "and" {
+                        CExpr::And(compiled)
+                    } else {
+                        CExpr::Or(compiled)
+                    })
+                }
+                "not" => {
+                    expect(1)?;
+                    Ok(CExpr::Not(Box::new(compile_expr(scope, &args[0])?)))
+                }
+                "eq" | "gt" | "lt" => {
+                    expect(2)?;
+                    let a = Box::new(compile_expr(scope, &args[0])?);
+                    let b = Box::new(compile_expr(scope, &args[1])?);
+                    Ok(match head_sym {
+                        "eq" => CExpr::Eq(a, b),
+                        "gt" => CExpr::Gt(a, b),
+                        _ => CExpr::Lt(a, b),
+                    })
+                }
+                "lab" | "mod" | "role" | "pos" => {
+                    expect(1)?;
+                    let v = var_of(&args[0])?;
+                    Ok(match head_sym {
+                        "lab" => CExpr::Lab(v),
+                        "mod" => CExpr::Mod(v),
+                        "role" => CExpr::RoleOf(v),
+                        _ => CExpr::Pos(v),
+                    })
+                }
+                "word" => {
+                    expect(1)?;
+                    Ok(CExpr::Word(Box::new(compile_expr(scope, &args[0])?)))
+                }
+                "cat" => {
+                    expect(1)?;
+                    Ok(CExpr::Cat(Box::new(compile_expr(scope, &args[0])?)))
+                }
+                other => Err(bad(format!("unknown operator `{other}`"), head.span())),
+            }
+        }
+    }
+}
+
+/// Compile one constraint from source text, returning the compiled
+/// expression and its arity (unary if only `x` appears, binary if both do).
+pub fn compile_str(scope: &SymbolScope<'_>, src: &str) -> Result<(CExpr, Arity), CompileError> {
+    let tree = sexpr::parse(src)?;
+    compile_sexpr(scope, &tree)
+}
+
+/// Compile an already-parsed S-expression.
+pub fn compile_sexpr(
+    scope: &SymbolScope<'_>,
+    tree: &Sexpr,
+) -> Result<(CExpr, Arity), CompileError> {
+    let compiled = compile_expr(scope, tree)?;
+    let ops = compiled.op_count();
+    if ops > MAX_OPS {
+        return Err(CompileError::TooLarge {
+            ops,
+            span: tree.span(),
+        });
+    }
+    let uses_x = compiled.uses(Var::X);
+    let uses_y = compiled.uses(Var::Y);
+    match (uses_x, uses_y) {
+        (true, false) => Ok((compiled, Arity::Unary)),
+        (true, true) => Ok((compiled, Arity::Binary)),
+        (false, true) => Err(CompileError::BadVariables {
+            message: "constraint uses `y` but not `x`; rename `y` to `x`".into(),
+            span: tree.span(),
+        }),
+        (false, false) => Err(CompileError::BadVariables {
+            message: "constraint mentions no role-value variable".into(),
+            span: tree.span(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope_data() -> (Vec<String>, Vec<String>, Vec<String>) {
+        (
+            vec!["det".into(), "noun".into(), "verb".into()],
+            vec!["SUBJ".into(), "ROOT".into(), "DET".into(), "NP".into(), "S".into(), "BLANK".into()],
+            vec!["governor".into(), "needs".into()],
+        )
+    }
+
+    fn compile(src: &str) -> Result<(CExpr, Arity), CompileError> {
+        let (cats, labels, roles) = scope_data();
+        let scope = SymbolScope {
+            cats: &cats,
+            labels: &labels,
+            roles: &roles,
+        };
+        compile_str(&scope, src)
+    }
+
+    #[test]
+    fn paper_unary_constraint_compiles_as_unary() {
+        let (expr, arity) = compile(
+            "(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+                 (and (eq (lab x) ROOT) (eq (mod x) nil)))",
+        )
+        .unwrap();
+        assert_eq!(arity, Arity::Unary);
+        assert!(expr.uses(Var::X));
+        assert!(!expr.uses(Var::Y));
+    }
+
+    #[test]
+    fn paper_binary_constraint_compiles_as_binary() {
+        let (_, arity) = compile(
+            "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+                 (and (eq (mod x) (pos y)) (lt (pos x) (pos y))))",
+        )
+        .unwrap();
+        assert_eq!(arity, Arity::Binary);
+    }
+
+    #[test]
+    fn symbol_resolution_across_namespaces() {
+        let (expr, _) = compile("(eq (lab x) DET)").unwrap();
+        assert!(matches!(expr, CExpr::Eq(_, ref b) if **b == CExpr::ConstLabel(LabelId(2))));
+        let (expr, _) = compile("(eq (cat (word (pos x))) det)").unwrap();
+        assert!(matches!(expr, CExpr::Eq(_, ref b) if **b == CExpr::ConstCat(CatId(0))));
+        let (expr, _) = compile("(eq (role x) needs)").unwrap();
+        assert!(matches!(expr, CExpr::Eq(_, ref b) if **b == CExpr::ConstRole(RoleId(1))));
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let err = compile("(eq (lab x) OBJ)").unwrap_err();
+        assert!(matches!(err, CompileError::UnknownSymbol { ref name, .. } if name == "OBJ"));
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let err = compile("(xor (eq (lab x) DET) (eq (lab x) DET))").unwrap_err();
+        assert!(matches!(err, CompileError::BadForm { ref message, .. } if message.contains("xor")));
+    }
+
+    #[test]
+    fn wrong_arg_counts_rejected() {
+        assert!(compile("(eq (lab x))").is_err());
+        assert!(compile("(not)").is_err());
+        assert!(compile("(if (eq (lab x) DET))").is_err());
+        assert!(compile("(lab x y)").is_err());
+        assert!(compile("(and)").is_err());
+    }
+
+    #[test]
+    fn bare_variable_rejected() {
+        let err = compile("(eq x 3)").unwrap_err();
+        assert!(matches!(err, CompileError::BadForm { ref message, .. } if message.contains("access function")));
+    }
+
+    #[test]
+    fn access_function_requires_variable() {
+        let err = compile("(lab DET)").unwrap_err();
+        assert!(matches!(err, CompileError::BadForm { .. }));
+    }
+
+    #[test]
+    fn no_variables_rejected() {
+        let err = compile("(eq 1 1)").unwrap_err();
+        assert!(matches!(err, CompileError::BadVariables { .. }));
+    }
+
+    #[test]
+    fn y_only_rejected() {
+        let err = compile("(eq (lab y) DET)").unwrap_err();
+        assert!(matches!(err, CompileError::BadVariables { ref message, .. } if message.contains("rename")));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(matches!(compile("(eq (lab x) DET").unwrap_err(), CompileError::Parse(_)));
+    }
+
+    #[test]
+    fn empty_list_rejected() {
+        assert!(compile("()").is_err());
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        // Build an `and` with far more than MAX_OPS clauses.
+        let clause = "(eq (lab x) DET) ";
+        let src = format!("(and {})", clause.repeat(200));
+        let err = compile(&src).unwrap_err();
+        assert!(matches!(err, CompileError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn integers_and_nil_compile() {
+        let (expr, _) = compile("(or (eq (pos x) 1) (eq (mod x) nil))").unwrap();
+        assert_eq!(expr.op_count(), 5);
+    }
+}

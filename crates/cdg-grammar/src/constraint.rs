@@ -1,0 +1,160 @@
+//! Named, compiled constraints and their check entry points.
+
+use crate::expr::{Binding, CExpr, EvalCtx};
+use crate::sentence::Sentence;
+use std::fmt;
+
+/// Whether a constraint mentions one role-value variable or two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arity {
+    Unary,
+    Binary,
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arity::Unary => write!(f, "unary"),
+            Arity::Binary => write!(f, "binary"),
+        }
+    }
+}
+
+/// A compiled constraint: an element of the grammar's constraint set C.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    pub name: String,
+    pub arity: Arity,
+    /// The original DSL source, kept for diagnostics and documentation.
+    pub source: String,
+    pub expr: CExpr,
+}
+
+impl Constraint {
+    /// Check a unary constraint against one role value. `true` means the
+    /// value survives: the constraint is not *definitely* violated (a
+    /// three-valued `Unknown` — possible only for sentences with lexical
+    /// ambiguity — is not grounds for elimination; see
+    /// [`crate::value::Truth`]).
+    ///
+    /// Must only be called on unary constraints (debug-asserted).
+    pub fn check_unary(&self, sentence: &Sentence, x: Binding) -> bool {
+        debug_assert_eq!(self.arity, Arity::Unary, "check_unary on a binary constraint");
+        self.expr.eval(&EvalCtx::unary(sentence, x)).truth().not_false()
+    }
+
+    /// Check a unary constraint against `x` with a *witness* binding `y`:
+    /// used during binary propagation on lexically ambiguous sentences,
+    /// where `y`'s category hypothesis can turn an `Unknown` into a
+    /// definite violation for the pair.
+    pub fn check_unary_with_witness(&self, sentence: &Sentence, x: Binding, y: Binding) -> bool {
+        debug_assert_eq!(self.arity, Arity::Unary, "witness check on a binary constraint");
+        self.expr.eval(&EvalCtx::binary(sentence, x, y)).truth().not_false()
+    }
+
+    /// Check a binary constraint against an *ordered* pair of role values.
+    ///
+    /// The parsing engines call this for both orderings of each pair, since
+    /// the constraint's `x`/`y` are universally quantified over role values.
+    pub fn check_binary(&self, sentence: &Sentence, x: Binding, y: Binding) -> bool {
+        debug_assert_eq!(self.arity, Arity::Binary, "check_binary on a unary constraint");
+        self.expr.eval(&EvalCtx::binary(sentence, x, y)).truth().not_false()
+    }
+
+    /// Check a binary constraint against an unordered pair: the pair
+    /// survives only if neither ordering definitely violates.
+    pub fn check_pair(&self, sentence: &Sentence, a: Binding, b: Binding) -> bool {
+        self.check_binary(sentence, a, b) && self.check_binary(sentence, b, a)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {}", self.name, self.arity, self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammars::paper;
+    use crate::ids::{Modifiee, RoleValue};
+    use crate::sentence::sentence_from_cats;
+
+    fn setup() -> (crate::grammar::Grammar, Sentence) {
+        let g = paper::grammar();
+        let s = sentence_from_cats(
+            &g,
+            &[("the", "det"), ("program", "noun"), ("runs", "verb")],
+        )
+        .unwrap();
+        (g, s)
+    }
+
+    fn bind(
+        g: &crate::grammar::Grammar,
+        pos: u16,
+        role: &str,
+        cat: &str,
+        label: &str,
+        m: Modifiee,
+    ) -> Binding {
+        Binding {
+            pos,
+            role: g.role_id(role).unwrap(),
+            value: RoleValue::new(g.cat_id(cat).unwrap(), g.label_id(label).unwrap(), m),
+        }
+    }
+
+    #[test]
+    fn first_unary_constraint_of_the_paper() {
+        // "Verbs have the label ROOT and are ungoverned."
+        let (g, s) = setup();
+        let c = g
+            .unary_constraints()
+            .iter()
+            .find(|c| c.name == "verb-governor-is-root")
+            .unwrap();
+        // ROOT-nil for the verb's governor role satisfies it...
+        let ok = bind(&g, 3, "governor", "verb", "ROOT", Modifiee::Nil);
+        assert!(c.check_unary(&s, ok));
+        // ...SUBJ-1 violates it...
+        let bad = bind(&g, 3, "governor", "verb", "SUBJ", Modifiee::Word(1));
+        assert!(!c.check_unary(&s, bad));
+        // ...and role values of non-verbs are unaffected (antecedent false).
+        let unaffected = bind(&g, 1, "governor", "det", "SUBJ", Modifiee::Word(2));
+        assert!(c.check_unary(&s, unaffected));
+    }
+
+    #[test]
+    fn first_binary_constraint_of_the_paper() {
+        // "A SUBJ is governed by a ROOT to its right."
+        let (g, s) = setup();
+        let c = g
+            .binary_constraints()
+            .iter()
+            .find(|c| c.name == "subj-governed-by-root-right")
+            .unwrap();
+        let root_nil = bind(&g, 3, "governor", "verb", "ROOT", Modifiee::Nil);
+        // SUBJ-3 for program coexists with ROOT-nil for runs.
+        let subj3 = bind(&g, 2, "governor", "noun", "SUBJ", Modifiee::Word(3));
+        assert!(c.check_pair(&s, subj3, root_nil));
+        // SUBJ-1 (modifying the determiner) cannot coexist with ROOT-nil.
+        let subj1 = bind(&g, 2, "governor", "noun", "SUBJ", Modifiee::Word(1));
+        assert!(!c.check_pair(&s, subj1, root_nil));
+        // Order of the pair must not matter.
+        assert_eq!(
+            c.check_pair(&s, subj1, root_nil),
+            c.check_pair(&s, root_nil, subj1)
+        );
+    }
+
+    #[test]
+    fn display_includes_name_and_arity() {
+        let (g, _) = setup();
+        let c = &g.unary_constraints()[0];
+        let text = c.to_string();
+        assert!(text.contains(&c.name));
+        assert!(text.contains("unary"));
+    }
+}

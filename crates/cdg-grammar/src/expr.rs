@@ -1,0 +1,413 @@
+//! Compiled constraint expressions and their evaluator.
+//!
+//! Constraints are compiled from S-expressions (see [`crate::compile`]) into
+//! [`CExpr`] trees whose symbols are already resolved to grammar ids, so
+//! evaluation in the parser's inner loop is a direct tree walk with no
+//! string handling. Every access function and predicate is constant-time,
+//! and a constraint contains a bounded number of them, so each constraint
+//! check is O(1) — the property all of the paper's complexity bounds rest
+//! on.
+
+use crate::ids::{CatId, LabelId, Modifiee, RoleId, RoleValue};
+use crate::sentence::Sentence;
+use crate::value::Value;
+
+/// A constraint variable. Unary constraints use only `X`; binary
+/// constraints use `X` and `Y`. (The paper: "One and two variable
+/// constraints allow for sufficient expressivity and more than two would
+/// unreasonably increase the running time.")
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    X,
+    Y,
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Var::X => write!(f, "x"),
+            Var::Y => write!(f, "y"),
+        }
+    }
+}
+
+/// A compiled constraint-language expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CExpr {
+    /// `(if antecedent consequent)` — the top of every constraint. A role
+    /// value (pair) *violates* the constraint when the antecedent holds and
+    /// the consequent does not, so `If(a, c)` evaluates as `¬a ∨ c`.
+    If(Box<CExpr>, Box<CExpr>),
+    And(Vec<CExpr>),
+    Or(Vec<CExpr>),
+    Not(Box<CExpr>),
+    Eq(Box<CExpr>, Box<CExpr>),
+    Gt(Box<CExpr>, Box<CExpr>),
+    Lt(Box<CExpr>, Box<CExpr>),
+    /// `(lab v)` — the label of role value `v`.
+    Lab(Var),
+    /// `(mod v)` — the modifiee of role value `v` (a position or nil).
+    Mod(Var),
+    /// `(role v)` — the role that role value `v` sits in.
+    RoleOf(Var),
+    /// `(pos v)` — the 1-based sentence position of `v`'s word.
+    Pos(Var),
+    /// `(word e)` — the word at position `e`.
+    Word(Box<CExpr>),
+    /// `(cat e)` — the category of word `e`.
+    Cat(Box<CExpr>),
+    ConstLabel(LabelId),
+    ConstCat(CatId),
+    ConstRole(RoleId),
+    ConstInt(i64),
+    ConstNil,
+}
+
+/// The binding of one constraint variable: a role value in context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// 1-based position of the word whose role this value sits in.
+    pub pos: u16,
+    /// The role the value sits in.
+    pub role: RoleId,
+    /// The role value itself.
+    pub value: RoleValue,
+}
+
+/// Evaluation context: the sentence plus the bound variables.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    pub sentence: &'a Sentence,
+    pub x: Binding,
+    /// Present only when evaluating a binary constraint.
+    pub y: Option<Binding>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Context for a unary check.
+    pub fn unary(sentence: &'a Sentence, x: Binding) -> Self {
+        EvalCtx { sentence, x, y: None }
+    }
+
+    /// Context for a binary check.
+    pub fn binary(sentence: &'a Sentence, x: Binding, y: Binding) -> Self {
+        EvalCtx { sentence, x, y: Some(y) }
+    }
+
+    fn binding(&self, var: Var) -> Option<Binding> {
+        match var {
+            Var::X => Some(self.x),
+            Var::Y => self.y,
+        }
+    }
+
+    /// The category of the word at 1-based position `p`.
+    ///
+    /// If `p` is the position of a bound variable, the variable's category
+    /// *hypothesis* is used, so lexically ambiguous words are handled
+    /// per-hypothesis. An unbound ambiguous word yields [`Value::Unknown`]
+    /// (three-valued logic: never grounds for elimination); an unbound
+    /// unambiguous word yields its category.
+    fn cat_at(&self, p: u16) -> Value {
+        if self.x.pos == p {
+            return Value::Cat(self.x.value.cat);
+        }
+        if let Some(y) = self.y {
+            if y.pos == p {
+                return Value::Cat(y.value.cat);
+            }
+        }
+        match self.sentence.word_at(p) {
+            Some(w) if w.cats.len() == 1 => Value::Cat(w.cats[0]),
+            Some(_) => Value::Unknown,
+            None => Value::Nil,
+        }
+    }
+}
+
+impl CExpr {
+    /// Evaluate to a [`Value`], with Kleene three-valued logic over the
+    /// predicates (see [`crate::value::Truth`]). Total: never panics on
+    /// well-formed expressions (unbound `y` in a unary context yields
+    /// `Nil`, which all predicates treat as definitely unequal — the
+    /// compiler rejects such expressions anyway).
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> Value {
+        use crate::value::Truth;
+        match self {
+            CExpr::If(a, c) => {
+                // Material implication ¬a ∨ c, three-valued.
+                Value::from(a.eval(ctx).truth().not().or(c.eval(ctx).truth()))
+            }
+            CExpr::And(items) => {
+                let mut acc = Truth::True;
+                for e in items {
+                    acc = acc.and(e.eval(ctx).truth());
+                    if acc == Truth::False {
+                        break;
+                    }
+                }
+                Value::from(acc)
+            }
+            CExpr::Or(items) => {
+                let mut acc = Truth::False;
+                for e in items {
+                    acc = acc.or(e.eval(ctx).truth());
+                    if acc == Truth::True {
+                        break;
+                    }
+                }
+                Value::from(acc)
+            }
+            CExpr::Not(e) => Value::from(e.eval(ctx).truth().not()),
+            CExpr::Eq(a, b) => Value::from(a.eval(ctx).loose_eq(b.eval(ctx))),
+            CExpr::Gt(a, b) => Value::from(a.eval(ctx).gt(b.eval(ctx))),
+            CExpr::Lt(a, b) => Value::from(a.eval(ctx).lt(b.eval(ctx))),
+            CExpr::Lab(v) => match ctx.binding(*v) {
+                Some(b) => Value::Label(b.value.label),
+                None => Value::Nil,
+            },
+            CExpr::Mod(v) => match ctx.binding(*v) {
+                Some(b) => match b.value.modifiee {
+                    Modifiee::Nil => Value::Nil,
+                    Modifiee::Word(p) => Value::Int(p as i64),
+                },
+                None => Value::Nil,
+            },
+            CExpr::RoleOf(v) => match ctx.binding(*v) {
+                Some(b) => Value::Role(b.role),
+                None => Value::Nil,
+            },
+            CExpr::Pos(v) => match ctx.binding(*v) {
+                Some(b) => Value::Int(b.pos as i64),
+                None => Value::Nil,
+            },
+            CExpr::Word(e) => match e.eval(ctx) {
+                Value::Int(p) if p >= 1 && (p as usize) <= ctx.sentence.len() => {
+                    Value::WordRef(p as u16)
+                }
+                Value::Unknown => Value::Unknown,
+                _ => Value::Nil,
+            },
+            CExpr::Cat(e) => match e.eval(ctx) {
+                Value::WordRef(p) => ctx.cat_at(p),
+                Value::Unknown => Value::Unknown,
+                _ => Value::Nil,
+            },
+            CExpr::ConstLabel(l) => Value::Label(*l),
+            CExpr::ConstCat(c) => Value::Cat(*c),
+            CExpr::ConstRole(r) => Value::Role(*r),
+            CExpr::ConstInt(i) => Value::Int(*i),
+            CExpr::ConstNil => Value::Nil,
+        }
+    }
+
+    /// Whether the expression mentions variable `var`.
+    pub fn uses(&self, var: Var) -> bool {
+        match self {
+            CExpr::If(a, b) | CExpr::Eq(a, b) | CExpr::Gt(a, b) | CExpr::Lt(a, b) => {
+                a.uses(var) || b.uses(var)
+            }
+            CExpr::And(items) | CExpr::Or(items) => items.iter().any(|e| e.uses(var)),
+            CExpr::Not(e) | CExpr::Word(e) | CExpr::Cat(e) => e.uses(var),
+            CExpr::Lab(v) | CExpr::Mod(v) | CExpr::RoleOf(v) | CExpr::Pos(v) => *v == var,
+            _ => false,
+        }
+    }
+
+    /// Number of access-function and predicate nodes — a static witness that
+    /// the constraint is constant-time (the compiler enforces a generous
+    /// upper bound).
+    pub fn op_count(&self) -> usize {
+        match self {
+            CExpr::If(a, b) | CExpr::Eq(a, b) | CExpr::Gt(a, b) | CExpr::Lt(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+            CExpr::And(items) | CExpr::Or(items) => {
+                1 + items.iter().map(CExpr::op_count).sum::<usize>()
+            }
+            CExpr::Not(e) | CExpr::Word(e) | CExpr::Cat(e) => 1 + e.op_count(),
+            CExpr::Lab(_) | CExpr::Mod(_) | CExpr::RoleOf(_) | CExpr::Pos(_) => 1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammars::paper;
+    use crate::sentence::sentence_from_cats;
+
+    fn ctx_parts() -> (crate::grammar::Grammar, Sentence) {
+        let g = paper::grammar();
+        let s = sentence_from_cats(
+            &g,
+            &[("the", "det"), ("program", "noun"), ("runs", "verb")],
+        )
+        .unwrap();
+        (g, s)
+    }
+
+    fn bind(g: &crate::grammar::Grammar, pos: u16, role: &str, cat: &str, label: &str, m: Modifiee) -> Binding {
+        Binding {
+            pos,
+            role: g.role_id(role).unwrap(),
+            value: RoleValue::new(g.cat_id(cat).unwrap(), g.label_id(label).unwrap(), m),
+        }
+    }
+
+    #[test]
+    fn access_functions() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 2, "governor", "noun", "SUBJ", Modifiee::Word(3));
+        let ctx = EvalCtx::unary(&s, x);
+        assert_eq!(CExpr::Pos(Var::X).eval(&ctx), Value::Int(2));
+        assert_eq!(CExpr::Mod(Var::X).eval(&ctx), Value::Int(3));
+        assert_eq!(
+            CExpr::Lab(Var::X).eval(&ctx),
+            Value::Label(g.label_id("SUBJ").unwrap())
+        );
+        assert_eq!(
+            CExpr::RoleOf(Var::X).eval(&ctx),
+            Value::Role(g.role_id("governor").unwrap())
+        );
+    }
+
+    #[test]
+    fn mod_nil_is_nil() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 3, "governor", "verb", "ROOT", Modifiee::Nil);
+        let ctx = EvalCtx::unary(&s, x);
+        assert_eq!(CExpr::Mod(Var::X).eval(&ctx), Value::Nil);
+        let e = CExpr::Eq(Box::new(CExpr::Mod(Var::X)), Box::new(CExpr::ConstNil));
+        assert_eq!(e.eval(&ctx), Value::Bool(true));
+    }
+
+    #[test]
+    fn word_and_cat_chain() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 3, "governor", "verb", "ROOT", Modifiee::Nil);
+        let ctx = EvalCtx::unary(&s, x);
+        // (cat (word (pos x))) = verb
+        let e = CExpr::Cat(Box::new(CExpr::Word(Box::new(CExpr::Pos(Var::X)))));
+        assert_eq!(e.eval(&ctx), Value::Cat(g.cat_id("verb").unwrap()));
+        // (cat (word 1)) = det (an unambiguous third word)
+        let e = CExpr::Cat(Box::new(CExpr::Word(Box::new(CExpr::ConstInt(1)))));
+        assert_eq!(e.eval(&ctx), Value::Cat(g.cat_id("det").unwrap()));
+        // Out-of-range word reference yields nil.
+        let e = CExpr::Word(Box::new(CExpr::ConstInt(9)));
+        assert_eq!(e.eval(&ctx), Value::Nil);
+        let e = CExpr::Word(Box::new(CExpr::ConstInt(0)));
+        assert_eq!(e.eval(&ctx), Value::Nil);
+        // (cat nil) yields nil.
+        let e = CExpr::Cat(Box::new(CExpr::ConstNil));
+        assert_eq!(e.eval(&ctx), Value::Nil);
+    }
+
+    #[test]
+    fn cat_uses_variable_hypothesis() {
+        let g = paper::grammar();
+        // "run" could be noun or verb; the binding fixes the hypothesis.
+        let noun = g.cat_id("noun").unwrap();
+        let verb = g.cat_id("verb").unwrap();
+        let s = Sentence::new(vec![crate::sentence::SentenceWord {
+            text: "run".into(),
+            cats: vec![noun, verb],
+        }]);
+        let x = Binding {
+            pos: 1,
+            role: g.role_id("governor").unwrap(),
+            value: RoleValue::new(verb, g.label_id("ROOT").unwrap(), Modifiee::Nil),
+        };
+        let ctx = EvalCtx::unary(&s, x);
+        let e = CExpr::Cat(Box::new(CExpr::Word(Box::new(CExpr::Pos(Var::X)))));
+        assert_eq!(e.eval(&ctx), Value::Cat(verb));
+    }
+
+    #[test]
+    fn ambiguous_third_word_cat_is_unknown() {
+        let g = paper::grammar();
+        let noun = g.cat_id("noun").unwrap();
+        let verb = g.cat_id("verb").unwrap();
+        let s = Sentence::new(vec![
+            crate::sentence::SentenceWord { text: "run".into(), cats: vec![noun, verb] },
+            crate::sentence::SentenceWord { text: "fast".into(), cats: vec![verb] },
+        ]);
+        let x = Binding {
+            pos: 2,
+            role: g.role_id("governor").unwrap(),
+            value: RoleValue::new(verb, g.label_id("ROOT").unwrap(), Modifiee::Nil),
+        };
+        let ctx = EvalCtx::unary(&s, x);
+        // Word 1 is ambiguous and not bound: cat is unknown, and predicates
+        // over it are unknown rather than definitely false.
+        let e = CExpr::Cat(Box::new(CExpr::Word(Box::new(CExpr::ConstInt(1)))));
+        assert_eq!(e.eval(&ctx), Value::Unknown);
+        let p = CExpr::Eq(Box::new(e), Box::new(CExpr::ConstCat(noun)));
+        assert_eq!(p.eval(&ctx), Value::Unknown);
+        let n = CExpr::Not(Box::new(p));
+        assert_eq!(n.eval(&ctx), Value::Unknown);
+    }
+
+    #[test]
+    fn if_truth_table() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 1, "governor", "det", "DET", Modifiee::Word(2));
+        let ctx = EvalCtx::unary(&s, x);
+        let t = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(1)));
+        let f = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(2)));
+        let case = |a: &CExpr, c: &CExpr| {
+            CExpr::If(Box::new(a.clone()), Box::new(c.clone())).eval(&ctx)
+        };
+        assert_eq!(case(&t, &t), Value::Bool(true));
+        assert_eq!(case(&t, &f), Value::Bool(false)); // the only violating case
+        assert_eq!(case(&f, &t), Value::Bool(true));
+        assert_eq!(case(&f, &f), Value::Bool(true));
+    }
+
+    #[test]
+    fn and_or_not() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 1, "governor", "det", "DET", Modifiee::Word(2));
+        let ctx = EvalCtx::unary(&s, x);
+        let t = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(1)));
+        let f = CExpr::Not(Box::new(t.clone()));
+        assert_eq!(f.eval(&ctx), Value::Bool(false));
+        assert_eq!(CExpr::And(vec![t.clone(), t.clone()]).eval(&ctx), Value::Bool(true));
+        assert_eq!(CExpr::And(vec![t.clone(), f.clone()]).eval(&ctx), Value::Bool(false));
+        assert_eq!(CExpr::Or(vec![f.clone(), t.clone()]).eval(&ctx), Value::Bool(true));
+        assert_eq!(CExpr::Or(vec![f.clone(), f.clone()]).eval(&ctx), Value::Bool(false));
+        // Empty and/or: vacuous truth / falsity.
+        assert_eq!(CExpr::And(vec![]).eval(&ctx), Value::Bool(true));
+        assert_eq!(CExpr::Or(vec![]).eval(&ctx), Value::Bool(false));
+    }
+
+    #[test]
+    fn unbound_y_fails_closed() {
+        let (g, s) = ctx_parts();
+        let x = bind(&g, 1, "governor", "det", "DET", Modifiee::Word(2));
+        let ctx = EvalCtx::unary(&s, x);
+        assert_eq!(CExpr::Lab(Var::Y).eval(&ctx), Value::Nil);
+        assert_eq!(CExpr::Pos(Var::Y).eval(&ctx), Value::Nil);
+    }
+
+    #[test]
+    fn uses_and_op_count() {
+        let e = CExpr::If(
+            Box::new(CExpr::Eq(
+                Box::new(CExpr::Lab(Var::X)),
+                Box::new(CExpr::ConstLabel(LabelId(0))),
+            )),
+            Box::new(CExpr::Lt(
+                Box::new(CExpr::Pos(Var::X)),
+                Box::new(CExpr::Pos(Var::Y)),
+            )),
+        );
+        assert!(e.uses(Var::X));
+        assert!(e.uses(Var::Y));
+        assert_eq!(e.op_count(), 6);
+        let u = CExpr::Lab(Var::X);
+        assert!(u.uses(Var::X));
+        assert!(!u.uses(Var::Y));
+    }
+}

@@ -1,0 +1,548 @@
+//! The CDG grammar 5-tuple and its builder.
+
+use crate::compile::{compile_str, CompileError, SymbolScope};
+use crate::constraint::{Arity, Constraint};
+use crate::ids::{CatId, LabelId, RoleId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Names an expression may not shadow: the DSL's operators and variables.
+const RESERVED: &[&str] = &[
+    "if", "and", "or", "not", "eq", "gt", "lt", "lab", "mod", "role", "pos", "word", "cat", "x",
+    "y", "nil",
+];
+
+/// Errors raised while building a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// A symbol name is reserved by the constraint language.
+    ReservedName(String),
+    /// The same name was declared twice (within or across the category,
+    /// label, and role namespaces — they must be disjoint so constraint
+    /// symbols resolve unambiguously).
+    DuplicateName(String),
+    /// The table T references an unknown role or label.
+    UnknownRole(String),
+    UnknownLabel(String),
+    /// A role was declared but given no allowed labels.
+    EmptyRole(String),
+    /// A grammar needs at least one category and at least one role.
+    Empty(String),
+    /// A constraint failed to compile.
+    Constraint { name: String, error: CompileError },
+    /// A duplicate constraint name.
+    DuplicateConstraint(String),
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::ReservedName(n) => {
+                write!(f, "`{n}` is reserved by the constraint language")
+            }
+            GrammarError::DuplicateName(n) => write!(
+                f,
+                "`{n}` is declared more than once (category/label/role names must be pairwise distinct)"
+            ),
+            GrammarError::UnknownRole(n) => write!(f, "unknown role `{n}`"),
+            GrammarError::UnknownLabel(n) => write!(f, "unknown label `{n}`"),
+            GrammarError::EmptyRole(n) => write!(f, "role `{n}` has no allowed labels in table T"),
+            GrammarError::Empty(what) => write!(f, "grammar declares no {what}"),
+            GrammarError::Constraint { name, error } => {
+                write!(f, "constraint `{name}`: {error}")
+            }
+            GrammarError::DuplicateConstraint(n) => {
+                write!(f, "constraint `{n}` is declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// A complete CDG grammar ⟨Σ, L, R, T, C⟩, immutable once built.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    name: String,
+    cats: Vec<String>,
+    labels: Vec<String>,
+    roles: Vec<String>,
+    /// Table T: for each role, the labels it may carry (ascending ids).
+    allowed: Vec<Vec<LabelId>>,
+    unary: Vec<Constraint>,
+    binary: Vec<Constraint>,
+}
+
+impl Grammar {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn num_cats(&self) -> usize {
+        self.cats.len()
+    }
+
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// q — the number of roles per word.
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    pub fn cat_id(&self, name: &str) -> Option<CatId> {
+        self.cats.iter().position(|s| s == name).map(|i| CatId(i as u16))
+    }
+
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels
+            .iter()
+            .position(|s| s == name)
+            .map(|i| LabelId(i as u16))
+    }
+
+    pub fn role_id(&self, name: &str) -> Option<RoleId> {
+        self.roles
+            .iter()
+            .position(|s| s == name)
+            .map(|i| RoleId(i as u16))
+    }
+
+    pub fn cat_name(&self, id: CatId) -> &str {
+        &self.cats[id.0 as usize]
+    }
+
+    pub fn label_name(&self, id: LabelId) -> &str {
+        &self.labels[id.0 as usize]
+    }
+
+    pub fn role_name(&self, id: RoleId) -> &str {
+        &self.roles[id.0 as usize]
+    }
+
+    pub fn cat_names(&self) -> &[String] {
+        &self.cats
+    }
+
+    pub fn label_names(&self) -> &[String] {
+        &self.labels
+    }
+
+    pub fn role_names(&self) -> &[String] {
+        &self.roles
+    }
+
+    /// Table T: the labels role `role` may carry.
+    pub fn allowed_labels(&self, role: RoleId) -> &[LabelId] {
+        &self.allowed[role.0 as usize]
+    }
+
+    /// l — the largest per-role label count (the constant that the MasPar
+    /// implementation virtualizes over: each PE owns an l×l submatrix).
+    pub fn max_labels_per_role(&self) -> usize {
+        self.allowed.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    pub fn unary_constraints(&self) -> &[Constraint] {
+        &self.unary
+    }
+
+    pub fn binary_constraints(&self) -> &[Constraint] {
+        &self.binary
+    }
+
+    /// k — the total number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.unary.len() + self.binary.len()
+    }
+
+    fn scope(&self) -> SymbolScope<'_> {
+        SymbolScope {
+            cats: &self.cats,
+            labels: &self.labels,
+            roles: &self.roles,
+        }
+    }
+
+    /// A copy of this grammar keeping only the constraints whose names
+    /// pass `keep` — the complement of the paper's contextual constraint
+    /// *addition* (§1.5): a core-constraints-only grammar for robust
+    /// first-pass parsing of errorful (e.g. spoken) input, with stricter
+    /// sets layered on afterwards via
+    /// [`compile_extra_constraint`](Grammar::compile_extra_constraint).
+    pub fn retain_constraints(&self, keep: impl Fn(&str) -> bool) -> Grammar {
+        let mut g = self.clone();
+        g.unary.retain(|c| keep(&c.name));
+        g.binary.retain(|c| keep(&c.name));
+        g
+    }
+
+    /// Compile an additional constraint against this grammar's symbols
+    /// without adding it to the grammar — the mechanism behind the paper's
+    /// contextually-determined constraint sets (§1.5): core constraints
+    /// live in the grammar, extra sets are compiled here and handed to the
+    /// parser's incremental propagation entry points.
+    pub fn compile_extra_constraint(
+        &self,
+        name: &str,
+        src: &str,
+    ) -> Result<Constraint, GrammarError> {
+        let (expr, arity) = compile_str(&self.scope(), src).map_err(|error| {
+            GrammarError::Constraint {
+                name: name.to_string(),
+                error,
+            }
+        })?;
+        Ok(Constraint {
+            name: name.to_string(),
+            arity,
+            source: src.to_string(),
+            expr: crate::optimize::simplify(&expr),
+        })
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "grammar {}", self.name)?;
+        writeln!(f, "  categories: {}", self.cats.join(", "))?;
+        writeln!(f, "  labels:     {}", self.labels.join(", "))?;
+        writeln!(f, "  roles:      {}", self.roles.join(", "))?;
+        for (r, labels) in self.allowed.iter().enumerate() {
+            let names: Vec<&str> = labels
+                .iter()
+                .map(|&l| self.label_name(l))
+                .collect();
+            writeln!(f, "  T[{}] = {{{}}}", self.roles[r], names.join(", "))?;
+        }
+        writeln!(
+            f,
+            "  constraints: {} unary + {} binary",
+            self.unary.len(),
+            self.binary.len()
+        )
+    }
+}
+
+/// Incremental builder for [`Grammar`].
+///
+/// Declare categories, labels, and roles first; then the table T via
+/// [`allow`](GrammarBuilder::allow); then constraints (which may reference
+/// all declared symbols); finally [`build`](GrammarBuilder::build).
+///
+/// ```
+/// use cdg_grammar::GrammarBuilder;
+///
+/// let mut b = GrammarBuilder::new("tiny");
+/// b.categories(&["noun", "verb"])
+///     .labels(&["SUBJ", "ROOT"])
+///     .roles(&["governor"])
+///     .allow("governor", &["SUBJ", "ROOT"])
+///     .constraint(
+///         "verbs-are-roots",
+///         "(if (eq (cat (word (pos x))) verb)
+///              (and (eq (lab x) ROOT) (eq (mod x) nil)))",
+///     );
+/// let grammar = b.build().unwrap();
+/// assert_eq!(grammar.num_constraints(), 1);
+/// assert_eq!(grammar.max_labels_per_role(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GrammarBuilder {
+    name: String,
+    cats: Vec<String>,
+    labels: Vec<String>,
+    roles: Vec<String>,
+    allow: Vec<(String, Vec<String>)>,
+    constraints: Vec<(String, String)>,
+}
+
+impl GrammarBuilder {
+    pub fn new(name: &str) -> Self {
+        GrammarBuilder {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a terminal category (an element of Σ).
+    pub fn category(&mut self, name: &str) -> &mut Self {
+        self.cats.push(name.to_string());
+        self
+    }
+
+    /// Declare several categories at once.
+    pub fn categories(&mut self, names: &[&str]) -> &mut Self {
+        self.cats.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Declare a label (an element of L).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.push(name.to_string());
+        self
+    }
+
+    pub fn labels(&mut self, names: &[&str]) -> &mut Self {
+        self.labels.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Declare a role (an element of R).
+    pub fn role(&mut self, name: &str) -> &mut Self {
+        self.roles.push(name.to_string());
+        self
+    }
+
+    pub fn roles(&mut self, names: &[&str]) -> &mut Self {
+        self.roles.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Table T entry: role `role` may carry exactly `labels`.
+    pub fn allow(&mut self, role: &str, labels: &[&str]) -> &mut Self {
+        self.allow
+            .push((role.to_string(), labels.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Add a constraint in DSL source form; arity is inferred from the
+    /// variables it uses.
+    pub fn constraint(&mut self, name: &str, src: &str) -> &mut Self {
+        self.constraints.push((name.to_string(), src.to_string()));
+        self
+    }
+
+    /// Validate everything and produce the grammar.
+    pub fn build(&self) -> Result<Grammar, GrammarError> {
+        if self.cats.is_empty() {
+            return Err(GrammarError::Empty("categories".into()));
+        }
+        if self.roles.is_empty() {
+            return Err(GrammarError::Empty("roles".into()));
+        }
+        if self.labels.is_empty() {
+            return Err(GrammarError::Empty("labels".into()));
+        }
+        // Namespaces must be pairwise disjoint and free of reserved words.
+        let mut seen = BTreeSet::new();
+        for name in self.cats.iter().chain(&self.labels).chain(&self.roles) {
+            if RESERVED.contains(&name.as_str()) {
+                return Err(GrammarError::ReservedName(name.clone()));
+            }
+            if !seen.insert(name.clone()) {
+                return Err(GrammarError::DuplicateName(name.clone()));
+            }
+        }
+
+        // Table T. Roles without an explicit entry default to all labels.
+        let mut allowed: Vec<Option<Vec<LabelId>>> = vec![None; self.roles.len()];
+        for (role, labels) in &self.allow {
+            let r = self
+                .roles
+                .iter()
+                .position(|s| s == role)
+                .ok_or_else(|| GrammarError::UnknownRole(role.clone()))?;
+            let mut ids = Vec::with_capacity(labels.len());
+            for l in labels {
+                let id = self
+                    .labels
+                    .iter()
+                    .position(|s| s == l)
+                    .ok_or_else(|| GrammarError::UnknownLabel(l.clone()))?;
+                let id = LabelId(id as u16);
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            if ids.is_empty() {
+                return Err(GrammarError::EmptyRole(role.clone()));
+            }
+            ids.sort();
+            allowed[r] = Some(ids);
+        }
+        let allowed: Vec<Vec<LabelId>> = allowed
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| (0..self.labels.len()).map(|i| LabelId(i as u16)).collect())
+            })
+            .collect();
+
+        // Constraints.
+        let scope = SymbolScope {
+            cats: &self.cats,
+            labels: &self.labels,
+            roles: &self.roles,
+        };
+        let mut names = BTreeSet::new();
+        let mut unary = Vec::new();
+        let mut binary = Vec::new();
+        for (name, src) in &self.constraints {
+            if !names.insert(name.clone()) {
+                return Err(GrammarError::DuplicateConstraint(name.clone()));
+            }
+            let (expr, arity) = compile_str(&scope, src).map_err(|error| {
+                GrammarError::Constraint {
+                    name: name.clone(),
+                    error,
+                }
+            })?;
+            let c = Constraint {
+                name: name.clone(),
+                arity,
+                source: src.clone(),
+                expr: crate::optimize::simplify(&expr),
+            };
+            match arity {
+                Arity::Unary => unary.push(c),
+                Arity::Binary => binary.push(c),
+            }
+        }
+
+        Ok(Grammar {
+            name: self.name.clone(),
+            cats: self.cats.clone(),
+            labels: self.labels.clone(),
+            roles: self.roles.clone(),
+            allowed,
+            unary,
+            binary,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> GrammarBuilder {
+        let mut b = GrammarBuilder::new("test");
+        b.categories(&["det", "noun", "verb"])
+            .labels(&["SUBJ", "ROOT", "DET"])
+            .roles(&["governor"])
+            .allow("governor", &["SUBJ", "ROOT", "DET"]);
+        b
+    }
+
+    #[test]
+    fn builds_and_looks_up() {
+        let g = minimal().build().unwrap();
+        assert_eq!(g.num_cats(), 3);
+        assert_eq!(g.num_labels(), 3);
+        assert_eq!(g.num_roles(), 1);
+        assert_eq!(g.cat_id("noun"), Some(CatId(1)));
+        assert_eq!(g.label_id("DET"), Some(LabelId(2)));
+        assert_eq!(g.role_id("governor"), Some(RoleId(0)));
+        assert_eq!(g.cat_id("nope"), None);
+        assert_eq!(g.cat_name(CatId(0)), "det");
+        assert_eq!(g.label_name(LabelId(1)), "ROOT");
+        assert_eq!(g.role_name(RoleId(0)), "governor");
+        assert_eq!(g.max_labels_per_role(), 3);
+    }
+
+    #[test]
+    fn table_defaults_to_all_labels() {
+        let mut b = GrammarBuilder::new("t");
+        b.categories(&["a"]).labels(&["L1", "L2"]).roles(&["r1", "r2"]);
+        b.allow("r1", &["L1"]);
+        let g = b.build().unwrap();
+        assert_eq!(g.allowed_labels(RoleId(0)), &[LabelId(0)]);
+        assert_eq!(g.allowed_labels(RoleId(1)), &[LabelId(0), LabelId(1)]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_namespaces() {
+        let mut b = GrammarBuilder::new("t");
+        b.category("thing").label("thing").role("r");
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::DuplicateName("thing".into())
+        );
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let mut b = GrammarBuilder::new("t");
+        b.category("word").label("L").role("r");
+        assert_eq!(b.build().unwrap_err(), GrammarError::ReservedName("word".into()));
+    }
+
+    #[test]
+    fn empty_grammars_rejected() {
+        assert!(matches!(
+            GrammarBuilder::new("t").build().unwrap_err(),
+            GrammarError::Empty(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_role_or_label_in_table_rejected() {
+        let mut b = minimal();
+        b.allow("needs", &["SUBJ"]);
+        assert_eq!(b.build().unwrap_err(), GrammarError::UnknownRole("needs".into()));
+        let mut b = minimal();
+        b.allow("governor", &["NP"]);
+        assert_eq!(b.build().unwrap_err(), GrammarError::UnknownLabel("NP".into()));
+    }
+
+    #[test]
+    fn empty_table_entry_rejected() {
+        let mut b = minimal();
+        b.allow("governor", &[]);
+        assert!(matches!(b.build().unwrap_err(), GrammarError::EmptyRole(_)));
+    }
+
+    #[test]
+    fn constraints_partitioned_by_arity() {
+        let mut b = minimal();
+        b.constraint("u", "(if (eq (cat (word (pos x))) verb) (eq (lab x) ROOT))");
+        b.constraint(
+            "b",
+            "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT)) (lt (pos x) (pos y)))",
+        );
+        let g = b.build().unwrap();
+        assert_eq!(g.unary_constraints().len(), 1);
+        assert_eq!(g.binary_constraints().len(), 1);
+        assert_eq!(g.num_constraints(), 2);
+    }
+
+    #[test]
+    fn bad_constraint_reports_name() {
+        let mut b = minimal();
+        b.constraint("broken", "(eq (lab x) MISSING)");
+        match b.build().unwrap_err() {
+            GrammarError::Constraint { name, .. } => assert_eq!(name, "broken"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_constraint_name_rejected() {
+        let mut b = minimal();
+        b.constraint("c", "(eq (lab x) SUBJ)");
+        b.constraint("c", "(eq (lab x) ROOT)");
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::DuplicateConstraint("c".into())
+        );
+    }
+
+    #[test]
+    fn extra_constraints_compile_against_built_grammar() {
+        let g = minimal().build().unwrap();
+        let c = g
+            .compile_extra_constraint("extra", "(if (eq (lab x) DET) (lt (pos x) 5))")
+            .unwrap();
+        assert_eq!(c.arity, Arity::Unary);
+        assert!(g.compile_extra_constraint("bad", "(eq (lab x) ZZZ)").is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let g = minimal().build().unwrap();
+        let text = g.to_string();
+        assert!(text.contains("grammar test"));
+        assert!(text.contains("T[governor]"));
+    }
+}

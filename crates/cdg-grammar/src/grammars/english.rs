@@ -1,0 +1,333 @@
+//! A broader single-clause English CDG grammar.
+//!
+//! The paper evaluated PARSEC with in-house English grammars that were never
+//! published; this grammar stands in for them (see DESIGN.md). It covers
+//! determiners, adjectives, adverbs, subjects, objects, and prepositional
+//! phrases in single-clause sentences, and deliberately leaves PP attachment
+//! ambiguous — the classic source of syntactic ambiguity the paper's §1.4
+//! discusses (multiple precedence graphs, refined by further constraints).
+//!
+//! Categories (8): `det`, `nouns` (singular common noun, requires a
+//! determiner), `nounpl` (bare plural / proper noun), `pron`, `verb`, `adj`,
+//! `adv`, `prep`.
+//!
+//! Governor labels (8): `SUBJ`, `OBJ`, `POBJ` (object of a preposition),
+//! `ROOT`, `DET`, `MOD` (adjective), `ADV`, `PP`.
+//! Needs labels (4): `NP` (noun needs its determiner), `S` (verb needs its
+//! subject), `PNP` (preposition needs its object), `BLANK`.
+//!
+//! The governor/needs pairs are tied together by *mutuality* binary
+//! constraints (a verb's `S` points at the word whose `SUBJ` points back,
+//! etc.), and uniqueness constraints forbid two subjects, objects, or
+//! determiners sharing one head. The grammar does not enforce projectivity
+//! (non-crossing links); that is documented rather than constrained, as in
+//! the paper's example grammar.
+
+use crate::grammar::{Grammar, GrammarBuilder};
+use crate::sentence::Lexicon;
+
+/// Build the English grammar.
+pub fn grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("english-single-clause");
+    b.categories(&["det", "nouns", "nounpl", "pron", "verb", "adj", "adv", "prep"])
+        .labels(&[
+            "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP", // governor
+            "NP", "S", "PNP", "BLANK", // needs
+        ])
+        .roles(&["governor", "needs"])
+        .allow(
+            "governor",
+            &["SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP"],
+        )
+        .allow("needs", &["NP", "S", "PNP", "BLANK"]);
+
+    // --- Unary constraints: per-category role-value shapes ---
+
+    b.constraint(
+        "det-governs-sing-noun-right",
+        "(if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+             (and (eq (lab x) DET)
+                  (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) nouns)))",
+    );
+    b.constraint(
+        "det-needs-blank",
+        "(if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "adj-modifies-noun-right",
+        "(if (and (eq (cat (word (pos x))) adj) (eq (role x) governor))
+             (and (eq (lab x) MOD)
+                  (lt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl))))",
+    );
+    b.constraint(
+        "adj-needs-blank",
+        "(if (and (eq (cat (word (pos x))) adj) (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    // Nominals (nouns / nounpl / pron) act as SUBJ, OBJ, or POBJ.
+    b.constraint(
+        "nominal-governor-labels",
+        "(if (and (or (eq (cat (word (pos x))) nouns)
+                      (eq (cat (word (pos x))) nounpl)
+                      (eq (cat (word (pos x))) pron))
+                  (eq (role x) governor))
+             (or (eq (lab x) SUBJ) (eq (lab x) OBJ) (eq (lab x) POBJ)))",
+    );
+    b.constraint(
+        "subj-precedes-its-verb",
+        "(if (and (eq (lab x) SUBJ) (eq (role x) governor))
+             (and (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) verb)))",
+    );
+    b.constraint(
+        "obj-follows-its-verb",
+        "(if (and (eq (lab x) OBJ) (eq (role x) governor))
+             (and (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) verb)))",
+    );
+    b.constraint(
+        "pobj-follows-its-prep",
+        "(if (and (eq (lab x) POBJ) (eq (role x) governor))
+             (and (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) prep)))",
+    );
+    // Singular common nouns need a determiner to their left.
+    b.constraint(
+        "sing-noun-needs-det-left",
+        "(if (and (eq (cat (word (pos x))) nouns) (eq (role x) needs))
+             (and (eq (lab x) NP)
+                  (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) det)))",
+    );
+    b.constraint(
+        "plural-pron-needs-blank",
+        "(if (and (or (eq (cat (word (pos x))) nounpl)
+                      (eq (cat (word (pos x))) pron))
+                  (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "verb-governor-is-root",
+        "(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+             (and (eq (lab x) ROOT) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "verb-needs-subject-left",
+        "(if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+             (and (eq (lab x) S)
+                  (gt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) pron))))",
+    );
+    b.constraint(
+        "adv-modifies-verb",
+        "(if (and (eq (cat (word (pos x))) adv) (eq (role x) governor))
+             (and (eq (lab x) ADV)
+                  (not (eq (mod x) nil))
+                  (eq (cat (word (mod x))) verb)))",
+    );
+    b.constraint(
+        "adv-needs-blank",
+        "(if (and (eq (cat (word (pos x))) adv) (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    // Prepositions attach leftward to a nominal or the verb (PP-attachment
+    // ambiguity is intentional).
+    b.constraint(
+        "prep-attaches-left",
+        "(if (and (eq (cat (word (pos x))) prep) (eq (role x) governor))
+             (and (eq (lab x) PP)
+                  (gt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) verb))))",
+    );
+    b.constraint(
+        "prep-needs-object-right",
+        "(if (and (eq (cat (word (pos x))) prep) (eq (role x) needs))
+             (and (eq (lab x) PNP)
+                  (lt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) pron))))",
+    );
+
+    // --- Binary constraints: mutuality between needs and governor links ---
+
+    b.constraint(
+        "s-subj-mutual",
+        "(if (and (eq (lab x) S) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) SUBJ) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "subj-s-mutual",
+        "(if (and (eq (lab x) SUBJ) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) S) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "np-det-mutual",
+        "(if (and (eq (lab x) NP) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) DET) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "det-np-mutual",
+        "(if (and (eq (lab x) DET) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) NP) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "pnp-pobj-mutual",
+        "(if (and (eq (lab x) PNP) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) POBJ) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "pobj-pnp-mutual",
+        "(if (and (eq (lab x) POBJ) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) PNP) (eq (mod y) (pos x))))",
+    );
+
+    // --- Binary constraints: uniqueness of heads ---
+
+    b.constraint(
+        "unique-subj",
+        "(if (and (eq (lab x) SUBJ) (eq (lab y) SUBJ) (not (eq (pos x) (pos y))))
+             (not (eq (mod x) (mod y))))",
+    );
+    b.constraint(
+        "unique-obj",
+        "(if (and (eq (lab x) OBJ) (eq (lab y) OBJ) (not (eq (pos x) (pos y))))
+             (not (eq (mod x) (mod y))))",
+    );
+    b.constraint(
+        "unique-det-per-noun",
+        "(if (and (eq (lab x) DET) (eq (lab y) DET) (not (eq (pos x) (pos y))))
+             (not (eq (mod x) (mod y))))",
+    );
+    b.constraint(
+        "unique-pobj-per-prep",
+        "(if (and (eq (lab x) POBJ) (eq (lab y) POBJ) (not (eq (pos x) (pos y))))
+             (not (eq (mod x) (mod y))))",
+    );
+    b.constraint(
+        "unique-root",
+        "(if (and (eq (lab x) ROOT) (eq (lab y) ROOT))
+             (eq (pos x) (pos y)))",
+    );
+
+    b.build().expect("the English grammar is well-formed")
+}
+
+/// A lexicon of common words for the English grammar.
+pub fn lexicon(grammar: &Grammar) -> Lexicon {
+    let mut lex = Lexicon::new();
+    let entries: &[(&str, &[&str])] = &[
+        // determiners
+        ("the", &["det"]),
+        ("a", &["det"]),
+        ("this", &["det"]),
+        ("every", &["det"]),
+        ("some", &["det"]),
+        // singular common nouns
+        ("dog", &["nouns"]),
+        ("cat", &["nouns"]),
+        ("program", &["nouns"]),
+        ("parser", &["nouns"]),
+        ("machine", &["nouns"]),
+        ("park", &["nouns"]),
+        ("telescope", &["nouns"]),
+        ("table", &["nouns"]),
+        ("sentence", &["nouns"]),
+        ("man", &["nouns"]),
+        ("child", &["nouns"]),
+        // plural / proper nouns
+        ("dogs", &["nounpl"]),
+        ("cats", &["nounpl"]),
+        ("programs", &["nounpl"]),
+        ("machines", &["nounpl"]),
+        ("children", &["nounpl"]),
+        ("mary", &["nounpl"]),
+        ("john", &["nounpl"]),
+        // pronouns
+        ("it", &["pron"]),
+        ("she", &["pron"]),
+        ("he", &["pron"]),
+        ("they", &["pron"]),
+        // verbs
+        ("runs", &["verb"]),
+        ("sees", &["verb"]),
+        ("likes", &["verb"]),
+        ("finds", &["verb"]),
+        ("halts", &["verb"]),
+        ("sleeps", &["verb"]),
+        ("parses", &["verb"]),
+        ("watches", &["verb"]),
+        // base/plural verb forms (the grammar does not model agreement)
+        ("run", &["verb"]),
+        ("see", &["verb"]),
+        ("like", &["verb"]),
+        ("sleep", &["verb"]),
+        // adjectives
+        ("big", &["adj"]),
+        ("red", &["adj"]),
+        ("old", &["adj"]),
+        ("fast", &["adj"]),
+        ("small", &["adj"]),
+        // adverbs
+        ("quickly", &["adv"]),
+        ("often", &["adv"]),
+        ("slowly", &["adv"]),
+        ("today", &["adv"]),
+        // prepositions
+        ("in", &["prep"]),
+        ("on", &["prep"]),
+        ("near", &["prep"]),
+        ("with", &["prep"]),
+        // lexically ambiguous entries (the spoken-language motivation):
+        // "watch" is a noun or a verb, "runs" can be a plural noun.
+        ("watch", &["nouns", "verb"]),
+        ("saw", &["nouns", "verb"]),
+    ];
+    for (word, cats) in entries {
+        lex.add(grammar, word, cats)
+            .expect("english lexicon references only english categories");
+    }
+    lex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = grammar();
+        assert_eq!(g.num_cats(), 8);
+        assert_eq!(g.num_roles(), 2);
+        // l = 8 (governor side) — fits the MasPar engine's 8x8 PE submatrix.
+        assert_eq!(g.max_labels_per_role(), 8);
+        assert_eq!(g.unary_constraints().len(), 16);
+        assert_eq!(g.binary_constraints().len(), 11);
+    }
+
+    #[test]
+    fn lexicon_has_ambiguity() {
+        let g = grammar();
+        let lex = lexicon(&g);
+        assert!(lex.lookup("watch").unwrap().len() == 2);
+        assert!(lex.lookup("dog").unwrap().len() == 1);
+        let s = lex.sentence("the watch runs").unwrap();
+        assert!(s.has_lexical_ambiguity());
+    }
+
+    #[test]
+    fn sentences_tokenize() {
+        let g = grammar();
+        let lex = lexicon(&g);
+        let s = lex.sentence("The big dog sees a cat in the park.").unwrap();
+        assert_eq!(s.len(), 9);
+    }
+}

@@ -1,0 +1,326 @@
+//! The extended English grammar: auxiliaries, finite/base verb agreement,
+//! and **three roles per word**.
+//!
+//! The paper notes "at least two roles per word are required to parse a
+//! sentence, though more can be used as needed"; every engine in this
+//! workspace is generic over q, and this grammar uses q = 3 in earnest:
+//!
+//! * `governor` — the word's function for its head (as usual);
+//! * `needs` — the word's first requirement (a noun's determiner, a
+//!   finite head's subject, a preposition's object);
+//! * `needs2` — a second requirement slot: an auxiliary needs *both* a
+//!   subject (`needs` = S) and a verb complement (`needs2` = VC).
+//!
+//! Compared to [`super::english`], the MOD/ADV labels are merged (both
+//! adjectives and adverbs use `MOD`; their unary constraints are keyed by
+//! category anyway), freeing a governor-label slot for `VCOMP` while
+//! keeping l = 8 — one 64-bit submatrix per simulated PE.
+//!
+//! The finite/base verb split gives the grammar real agreement: *the dog
+//! can run* parses (aux + base), *the dog run* does not (base verb with
+//! no auxiliary), *the dog can* does not (auxiliary with no complement).
+//! Base forms are lexically ambiguous with finite plurals (*run*, *see*
+//! …), exercising the category-hypothesis machinery.
+
+use crate::grammar::{Grammar, GrammarBuilder};
+use crate::sentence::Lexicon;
+
+/// Build the extended English grammar (q = 3, l = 8).
+pub fn grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("english-aux");
+    b.categories(&[
+        "det", "nouns", "nounpl", "pron", "verb", "verbbase", "aux", "adj", "adv", "prep",
+    ])
+    .labels(&[
+        "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "PP", "VCOMP", // governor
+        "NP", "S", "PNP", "BLANK", // needs
+        "VC", // needs2 (plus BLANK, shared)
+    ])
+    .roles(&["governor", "needs", "needs2"])
+    .allow(
+        "governor",
+        &["SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "PP", "VCOMP"],
+    )
+    .allow("needs", &["NP", "S", "PNP", "BLANK"])
+    .allow("needs2", &["VC", "BLANK"]);
+
+    // --- Unary: per-category shapes ---
+
+    b.constraint(
+        "det-governs-sing-noun-right",
+        "(if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+             (and (eq (lab x) DET) (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) nouns)))",
+    );
+    b.constraint(
+        "adj-modifies-noun-right",
+        "(if (and (eq (cat (word (pos x))) adj) (eq (role x) governor))
+             (and (eq (lab x) MOD) (lt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl))))",
+    );
+    // Adverbs share MOD but target verbal heads (either side).
+    b.constraint(
+        "adv-modifies-verbal",
+        "(if (and (eq (cat (word (pos x))) adv) (eq (role x) governor))
+             (and (eq (lab x) MOD) (not (eq (mod x) nil))
+                  (or (eq (cat (word (mod x))) verb)
+                      (eq (cat (word (mod x))) verbbase)
+                      (eq (cat (word (mod x))) aux))))",
+    );
+    b.constraint(
+        "nominal-governor-labels",
+        "(if (and (or (eq (cat (word (pos x))) nouns)
+                      (eq (cat (word (pos x))) nounpl)
+                      (eq (cat (word (pos x))) pron))
+                  (eq (role x) governor))
+             (or (eq (lab x) SUBJ) (eq (lab x) OBJ) (eq (lab x) POBJ)))",
+    );
+    // Subjects attach rightward to a finite head (finite verb or aux).
+    b.constraint(
+        "subj-precedes-finite-head",
+        "(if (and (eq (lab x) SUBJ) (eq (role x) governor))
+             (and (lt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) verb)
+                      (eq (cat (word (mod x))) aux))))",
+    );
+    // Objects attach leftward to a content verb (finite or base).
+    b.constraint(
+        "obj-follows-content-verb",
+        "(if (and (eq (lab x) OBJ) (eq (role x) governor))
+             (and (gt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) verb)
+                      (eq (cat (word (mod x))) verbbase))))",
+    );
+    b.constraint(
+        "pobj-follows-its-prep",
+        "(if (and (eq (lab x) POBJ) (eq (role x) governor))
+             (and (gt (pos x) (mod x)) (eq (cat (word (mod x))) prep)))",
+    );
+    b.constraint(
+        "sing-noun-needs-det-left",
+        "(if (and (eq (cat (word (pos x))) nouns) (eq (role x) needs))
+             (and (eq (lab x) NP) (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) det)))",
+    );
+    b.constraint(
+        "plural-pron-needs-blank",
+        "(if (and (or (eq (cat (word (pos x))) nounpl)
+                      (eq (cat (word (pos x))) pron))
+                  (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    // Finite verbs are roots and need a subject.
+    b.constraint(
+        "finite-verb-is-root",
+        "(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+             (and (eq (lab x) ROOT) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "finite-head-needs-subject",
+        "(if (and (or (eq (cat (word (pos x))) verb) (eq (cat (word (pos x))) aux))
+                  (eq (role x) needs))
+             (and (eq (lab x) S) (gt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) pron))))",
+    );
+    // Base verbs hang off an auxiliary to their left.
+    b.constraint(
+        "base-verb-is-vcomp",
+        "(if (and (eq (cat (word (pos x))) verbbase) (eq (role x) governor))
+             (and (eq (lab x) VCOMP) (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) aux)))",
+    );
+    // Auxiliaries are roots and need a verb complement to their right.
+    b.constraint(
+        "aux-is-root",
+        "(if (and (eq (cat (word (pos x))) aux) (eq (role x) governor))
+             (and (eq (lab x) ROOT) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "aux-needs2-verb-complement",
+        "(if (and (eq (cat (word (pos x))) aux) (eq (role x) needs2))
+             (and (eq (lab x) VC) (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) verbbase)))",
+    );
+    // Everyone except auxiliaries has a trivial needs2.
+    b.constraint(
+        "non-aux-needs2-blank",
+        "(if (and (not (eq (cat (word (pos x))) aux)) (eq (role x) needs2))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    // Remaining trivial needs slots.
+    b.constraint(
+        "modifier-needs-blank",
+        "(if (and (or (eq (cat (word (pos x))) det)
+                      (eq (cat (word (pos x))) adj)
+                      (eq (cat (word (pos x))) adv)
+                      (eq (cat (word (pos x))) verbbase))
+                  (eq (role x) needs))
+             (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    b.constraint(
+        "prep-attaches-left",
+        "(if (and (eq (cat (word (pos x))) prep) (eq (role x) governor))
+             (and (eq (lab x) PP) (gt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) verb)
+                      (eq (cat (word (mod x))) verbbase))))",
+    );
+    b.constraint(
+        "prep-needs-object-right",
+        "(if (and (eq (cat (word (pos x))) prep) (eq (role x) needs))
+             (and (eq (lab x) PNP) (lt (pos x) (mod x))
+                  (or (eq (cat (word (mod x))) nouns)
+                      (eq (cat (word (mod x))) nounpl)
+                      (eq (cat (word (mod x))) pron))))",
+    );
+
+    // --- Binary: mutuality ---
+
+    b.constraint(
+        "s-subj-mutual",
+        "(if (and (eq (lab x) S) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) SUBJ) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "subj-s-mutual",
+        "(if (and (eq (lab x) SUBJ) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) S) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "np-det-mutual",
+        "(if (and (eq (lab x) NP) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) DET) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "det-np-mutual",
+        "(if (and (eq (lab x) DET) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) NP) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "pnp-pobj-mutual",
+        "(if (and (eq (lab x) PNP) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) POBJ) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "pobj-pnp-mutual",
+        "(if (and (eq (lab x) POBJ) (eq (role y) needs) (eq (mod x) (pos y)))
+             (and (eq (lab y) PNP) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "vc-vcomp-mutual",
+        "(if (and (eq (lab x) VC) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) VCOMP) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "vcomp-vc-mutual",
+        "(if (and (eq (lab x) VCOMP) (eq (role y) needs2) (eq (mod x) (pos y)))
+             (and (eq (lab y) VC) (eq (mod y) (pos x))))",
+    );
+
+    // --- Binary: uniqueness ---
+
+    for (name, label) in [
+        ("unique-subj", "SUBJ"),
+        ("unique-obj", "OBJ"),
+        ("unique-det-per-noun", "DET"),
+        ("unique-pobj-per-prep", "POBJ"),
+        ("unique-vcomp-per-aux", "VCOMP"),
+    ] {
+        b.constraint(
+            name,
+            &format!(
+                "(if (and (eq (lab x) {label}) (eq (lab y) {label}) (not (eq (pos x) (pos y))))
+                     (not (eq (mod x) (mod y))))"
+            ),
+        );
+    }
+    b.constraint(
+        "unique-root",
+        "(if (and (eq (lab x) ROOT) (eq (lab y) ROOT)) (eq (pos x) (pos y)))",
+    );
+
+    b.build().expect("the extended English grammar is well-formed")
+}
+
+/// Lexicon: the base-grammar vocabulary plus auxiliaries and base verb
+/// forms (ambiguous with finite plurals, exercising category hypotheses).
+pub fn lexicon(grammar: &Grammar) -> Lexicon {
+    let mut lex = Lexicon::new();
+    let entries: &[(&str, &[&str])] = &[
+        ("the", &["det"]),
+        ("a", &["det"]),
+        ("every", &["det"]),
+        ("dog", &["nouns"]),
+        ("cat", &["nouns"]),
+        ("program", &["nouns"]),
+        ("park", &["nouns"]),
+        ("telescope", &["nouns"]),
+        ("child", &["nouns"]),
+        ("dogs", &["nounpl"]),
+        ("cats", &["nounpl"]),
+        ("children", &["nounpl"]),
+        ("john", &["nounpl"]),
+        ("it", &["pron"]),
+        ("she", &["pron"]),
+        ("they", &["pron"]),
+        // finite verbs
+        ("runs", &["verb"]),
+        ("sees", &["verb"]),
+        ("sleeps", &["verb"]),
+        ("watches", &["verb"]),
+        ("exists", &["verb"]),
+        // base forms, ambiguous with finite plurals...
+        ("run", &["verb", "verbbase"]),
+        ("see", &["verb", "verbbase"]),
+        ("sleep", &["verb", "verbbase"]),
+        ("watch", &["verb", "verbbase"]),
+        // ...and one unambiguous base form (for the MasPar engine, which
+        // requires category-unambiguous input, as in the paper).
+        ("exist", &["verbbase"]),
+        // auxiliaries
+        ("can", &["aux"]),
+        ("will", &["aux"]),
+        ("must", &["aux"]),
+        ("may", &["aux"]),
+        ("big", &["adj"]),
+        ("old", &["adj"]),
+        ("fast", &["adj"]),
+        ("quickly", &["adv"]),
+        ("often", &["adv"]),
+        ("in", &["prep"]),
+        ("near", &["prep"]),
+        ("with", &["prep"]),
+    ];
+    for (word, cats) in entries {
+        lex.add(grammar, word, cats)
+            .expect("extended lexicon references only declared categories");
+    }
+    lex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = grammar();
+        assert_eq!(g.num_roles(), 3);
+        assert_eq!(g.max_labels_per_role(), 8); // still one u64 per PE
+        assert_eq!(g.num_cats(), 10);
+        assert!(g.num_constraints() >= 25);
+    }
+
+    #[test]
+    fn lexicon_ambiguity() {
+        let g = grammar();
+        let lex = lexicon(&g);
+        assert_eq!(lex.lookup("run").unwrap().len(), 2);
+        assert_eq!(lex.lookup("exist").unwrap().len(), 1);
+        assert_eq!(lex.lookup("can").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! Formal-language CDG grammars exercising the expressivity claims of §1.5.
+//!
+//! The paper (after Maruyama) states that CDG with two roles and two-variable
+//! constraints expresses a *superset* of the context-free languages, giving
+//! `ww` as a non-context-free example. These grammars make the claim
+//! executable:
+//!
+//! * [`anbn_grammar`] — {aⁿbⁿ : n ≥ 1} (context-free; cross-validated
+//!   against the CKY baseline in the integration tests);
+//! * [`brackets_grammar`] — balanced strings over two bracket pairs
+//!   (context-free, Dyck-2);
+//! * [`ww_grammar`] — {ww : w ∈ {s0,s1}⁺} (NOT context-free — the paper's
+//!   own example of CDG exceeding CFGs).
+//!
+//! Each grammar encodes the language through a *matching* discipline: words
+//! point at partners via their governor role, mutuality binary constraints
+//! force the matching to be an involution, order constraints make it
+//! monotone (and for brackets, non-crossing). Every grammar uses the same
+//! two roles (`governor` plus a trivially-satisfied `needs`) so the parsing
+//! engines see the paper's standard network shape.
+//!
+//! Direct string predicates ([`is_anbn`], [`is_brackets`], [`is_ww`]) are
+//! provided for cross-validation by tests and benchmarks.
+
+use crate::grammar::{Grammar, GrammarBuilder};
+use crate::sentence::{Sentence, SentenceWord};
+
+/// Common scaffolding: every formal grammar has a `needs` role pinned to
+/// BLANK-nil so the network keeps the paper's two-roles-per-word shape.
+fn base(name: &str, cats: &[&str], governor_labels: &[&str]) -> GrammarBuilder {
+    let mut b = GrammarBuilder::new(name);
+    b.categories(cats);
+    b.labels(governor_labels);
+    b.label("BLANK");
+    b.roles(&["governor", "needs"]);
+    b.allow("governor", governor_labels);
+    b.allow("needs", &["BLANK"]);
+    b.constraint(
+        "needs-is-blank-nil",
+        "(if (eq (role x) needs) (and (eq (lab x) BLANK) (eq (mod x) nil)))",
+    );
+    b
+}
+
+/// {aⁿbⁿ : n ≥ 1}: every `a` points right at its `b`, every `b` points left
+/// at its `a`, the matching is mutual (hence a bijection), all `a`s precede
+/// all `b`s, and matched pairs nest, which makes the parse unique.
+pub fn anbn_grammar() -> Grammar {
+    let mut b = base("anbn", &["a", "b"], &["A", "B"]);
+    b.constraint(
+        "a-points-right-at-b",
+        "(if (and (eq (cat (word (pos x))) a) (eq (role x) governor))
+             (and (eq (lab x) A)
+                  (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) b)))",
+    );
+    b.constraint(
+        "b-points-left-at-a",
+        "(if (and (eq (cat (word (pos x))) b) (eq (role x) governor))
+             (and (eq (lab x) B)
+                  (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) a)))",
+    );
+    // Mutuality, both directions: if an A claims a B the B must claim it
+    // back, and a B may only claim an A that claims it. One direction
+    // alone is unsound — a B could point at an A that points elsewhere
+    // (e.g. `abb` with a1→b2, b2→a1, b3→a1 would slip through).
+    b.constraint(
+        "a-b-mutual",
+        "(if (and (eq (lab x) A) (eq (role y) governor) (eq (mod x) (pos y)))
+             (eq (mod y) (pos x)))",
+    );
+    b.constraint(
+        "b-a-mutual",
+        "(if (and (eq (lab x) B) (eq (role y) governor) (eq (mod x) (pos y)))
+             (eq (mod y) (pos x)))",
+    );
+    // Phase separation: every a precedes every b.
+    b.constraint(
+        "all-a-before-all-b",
+        "(if (and (eq (cat (word (pos x))) a)
+                  (eq (cat (word (pos y))) b)
+                  (eq (role x) governor)
+                  (eq (role y) governor))
+             (lt (pos x) (pos y)))",
+    );
+    // Nesting: earlier a matches later b — makes the matching unique.
+    b.constraint(
+        "a-matching-nests",
+        "(if (and (eq (lab x) A) (eq (lab y) A) (lt (pos x) (pos y)))
+             (gt (mod x) (mod y)))",
+    );
+    b.build().expect("anbn grammar is well-formed")
+}
+
+/// Balanced strings over two bracket pairs `(`/`)` and `[`/`]` (Dyck-2):
+/// mutual matching, opens before their closes, matching brackets have the
+/// same kind, and links never cross.
+pub fn brackets_grammar() -> Grammar {
+    let mut b = base(
+        "brackets",
+        &["oround", "cround", "osquare", "csquare"],
+        &["O", "C"],
+    );
+    b.constraint(
+        "open-points-right-at-close",
+        "(if (and (or (eq (cat (word (pos x))) oround)
+                      (eq (cat (word (pos x))) osquare))
+                  (eq (role x) governor))
+             (and (eq (lab x) O) (lt (pos x) (mod x))))",
+    );
+    b.constraint(
+        "close-points-left-at-open",
+        "(if (and (or (eq (cat (word (pos x))) cround)
+                      (eq (cat (word (pos x))) csquare))
+                  (eq (role x) governor))
+             (and (eq (lab x) C) (gt (pos x) (mod x))))",
+    );
+    // Kind agreement: a round open matches a round close, square a square.
+    b.constraint(
+        "round-matches-round",
+        "(if (and (eq (cat (word (pos x))) oround) (eq (role x) governor))
+             (eq (cat (word (mod x))) cround))",
+    );
+    b.constraint(
+        "square-matches-square",
+        "(if (and (eq (cat (word (pos x))) osquare) (eq (role x) governor))
+             (eq (cat (word (mod x))) csquare))",
+    );
+    b.constraint(
+        "close-matches-open-kind",
+        "(if (and (eq (cat (word (pos x))) cround) (eq (role x) governor))
+             (eq (cat (word (mod x))) oround))",
+    );
+    b.constraint(
+        "close-matches-open-kind-sq",
+        "(if (and (eq (cat (word (pos x))) csquare) (eq (role x) governor))
+             (eq (cat (word (mod x))) osquare))",
+    );
+    b.constraint(
+        "open-close-mutual",
+        "(if (and (eq (lab x) O) (eq (role y) governor) (eq (mod x) (pos y)))
+             (eq (mod y) (pos x)))",
+    );
+    // The converse direction (see the aⁿbⁿ grammar's comment).
+    b.constraint(
+        "close-open-mutual",
+        "(if (and (eq (lab x) C) (eq (role y) governor) (eq (mod x) (pos y)))
+             (eq (mod y) (pos x)))",
+    );
+    // Non-crossing: for opens i < k with partners j, l: not (i < k ≤ j < l);
+    // either k's pair is disjoint (j < k) or nested (l < j).
+    b.constraint(
+        "no-crossing",
+        "(if (and (eq (lab x) O) (eq (lab y) O) (lt (pos x) (pos y)))
+             (or (lt (mod x) (pos y)) (lt (mod y) (mod x))))",
+    );
+    b.build().expect("brackets grammar is well-formed")
+}
+
+/// {ww : w ∈ {s0, s1}⁺} — not context-free. First-half words label `F` and
+/// point right at their copy; second-half words label `S` and point back;
+/// the matching is mutual, order-preserving, phase-separated, and
+/// category-preserving, which forces it to be exactly i ↦ i + |w|.
+pub fn ww_grammar() -> Grammar {
+    let mut b = base("ww", &["s0", "s1"], &["F", "S"]);
+    b.constraint(
+        "f-points-right-same-symbol",
+        "(if (and (eq (lab x) F) (eq (role x) governor))
+             (and (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) (cat (word (pos x))))))",
+    );
+    b.constraint(
+        "s-points-left-same-symbol",
+        "(if (and (eq (lab x) S) (eq (role x) governor))
+             (and (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) (cat (word (pos x))))))",
+    );
+    b.constraint(
+        "f-s-mutual",
+        "(if (and (eq (lab x) F) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) S) (eq (mod y) (pos x))))",
+    );
+    // The converse: an S may only claim an F that claims it back. Without
+    // this, every-symbol-equal odd strings like `000` are wrongly accepted
+    // (the spare S just points at any same-symbol word).
+    b.constraint(
+        "s-f-mutual",
+        "(if (and (eq (lab x) S) (eq (role y) governor) (eq (mod x) (pos y)))
+             (and (eq (lab y) F) (eq (mod y) (pos x))))",
+    );
+    // Phase separation: every F position precedes every S position.
+    b.constraint(
+        "f-before-s",
+        "(if (and (eq (lab x) F) (eq (lab y) S)) (lt (pos x) (pos y)))",
+    );
+    // Order preservation: the matching is monotone.
+    b.constraint(
+        "f-matching-monotone",
+        "(if (and (eq (lab x) F) (eq (lab y) F) (lt (pos x) (pos y)))
+             (lt (mod x) (mod y)))",
+    );
+    b.build().expect("ww grammar is well-formed")
+}
+
+/// {www : w ∈ {s0, s1}⁺} — the copy language of degree 3, beyond even the
+/// tree-adjoining languages (TAGs capture ww but not www). Demonstrates
+/// CDG grammars where **both** roles carry real structure:
+///
+/// * the `fwd` role links each word to its copy one third later
+///   (F → its M partner, M → its L partner, L → nil);
+/// * the `back` role links each word to its copy one third earlier
+///   (F → nil, M → its F partner, L → its M partner);
+/// * a same-word constraint makes both roles agree on the word's
+///   third-class label, and fwd/back mutuality in both directions turns
+///   the links into bijections; phase separation and monotonicity force
+///   the unique order-preserving correspondence i ↦ i + |w| ↦ i + 2|w|,
+///   and symbol equality along `fwd` makes the three thirds equal.
+pub fn www_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("www");
+    b.categories(&["s0", "s1"]);
+    b.labels(&["F", "M", "L"]);
+    b.roles(&["fwd", "back"]);
+    b.allow("fwd", &["F", "M", "L"]);
+    b.allow("back", &["F", "M", "L"]);
+    // Both roles of a word agree on its third-class.
+    b.constraint(
+        "roles-agree-on-class",
+        "(if (eq (pos x) (pos y)) (eq (lab x) (lab y)))",
+    );
+    // fwd links: F and M point right at the same symbol; L points nowhere.
+    b.constraint(
+        "fwd-f-m-point-right",
+        "(if (and (eq (role x) fwd) (or (eq (lab x) F) (eq (lab x) M)))
+             (and (lt (pos x) (mod x))
+                  (eq (cat (word (mod x))) (cat (word (pos x))))))",
+    );
+    b.constraint(
+        "fwd-l-is-nil",
+        "(if (and (eq (role x) fwd) (eq (lab x) L)) (eq (mod x) nil))",
+    );
+    // back links mirror fwd.
+    b.constraint(
+        "back-m-l-point-left",
+        "(if (and (eq (role x) back) (or (eq (lab x) M) (eq (lab x) L)))
+             (and (gt (pos x) (mod x))
+                  (eq (cat (word (mod x))) (cat (word (pos x))))))",
+    );
+    b.constraint(
+        "back-f-is-nil",
+        "(if (and (eq (role x) back) (eq (lab x) F)) (eq (mod x) nil))",
+    );
+    // Mutuality in all four directions: F.fwd ↔ M.back, M.fwd ↔ L.back.
+    b.constraint(
+        "f-fwd-claims-m-back",
+        "(if (and (eq (lab x) F) (eq (role x) fwd)
+                  (eq (role y) back) (eq (mod x) (pos y)))
+             (and (eq (lab y) M) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "m-back-claims-f-fwd",
+        "(if (and (eq (lab x) M) (eq (role x) back)
+                  (eq (role y) fwd) (eq (mod x) (pos y)))
+             (and (eq (lab y) F) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "m-fwd-claims-l-back",
+        "(if (and (eq (lab x) M) (eq (role x) fwd)
+                  (eq (role y) back) (eq (mod x) (pos y)))
+             (and (eq (lab y) L) (eq (mod y) (pos x))))",
+    );
+    b.constraint(
+        "l-back-claims-m-fwd",
+        "(if (and (eq (lab x) L) (eq (role x) back)
+                  (eq (role y) fwd) (eq (mod x) (pos y)))
+             (and (eq (lab y) M) (eq (mod y) (pos x))))",
+    );
+    // Phase separation: F block, then M block, then L block.
+    b.constraint(
+        "f-before-m",
+        "(if (and (eq (lab x) F) (eq (lab y) M)) (lt (pos x) (pos y)))",
+    );
+    b.constraint(
+        "m-before-l",
+        "(if (and (eq (lab x) M) (eq (lab y) L)) (lt (pos x) (pos y)))",
+    );
+    // Order preservation on both forward correspondences.
+    b.constraint(
+        "f-fwd-monotone",
+        "(if (and (eq (lab x) F) (eq (lab y) F)
+                  (eq (role x) fwd) (eq (role y) fwd)
+                  (lt (pos x) (pos y)))
+             (lt (mod x) (mod y)))",
+    );
+    b.constraint(
+        "m-fwd-monotone",
+        "(if (and (eq (lab x) M) (eq (lab y) M)
+                  (eq (role x) fwd) (eq (role y) fwd)
+                  (lt (pos x) (pos y)))
+             (lt (mod x) (mod y)))",
+    );
+    b.build().expect("www grammar is well-formed")
+}
+
+/// Build a sentence for a formal grammar from a symbol string, mapping each
+/// character via `char_cat`.
+fn symbols_to_sentence(grammar: &Grammar, s: &str, char_cat: impl Fn(char) -> &'static str) -> Sentence {
+    let words = s
+        .chars()
+        .map(|c| {
+            let cat = grammar
+                .cat_id(char_cat(c))
+                .unwrap_or_else(|| panic!("symbol `{c}` has no category in {}", grammar.name()));
+            SentenceWord {
+                text: c.to_string(),
+                cats: vec![cat],
+            }
+        })
+        .collect();
+    Sentence::new(words)
+}
+
+/// Sentence over {a, b} for [`anbn_grammar`].
+pub fn anbn_sentence(grammar: &Grammar, s: &str) -> Sentence {
+    symbols_to_sentence(grammar, s, |c| match c {
+        'a' => "a",
+        'b' => "b",
+        other => panic!("anbn strings use only `a` and `b`, got `{other}`"),
+    })
+}
+
+/// Sentence over `()[]` for [`brackets_grammar`].
+pub fn brackets_sentence(grammar: &Grammar, s: &str) -> Sentence {
+    symbols_to_sentence(grammar, s, |c| match c {
+        '(' => "oround",
+        ')' => "cround",
+        '[' => "osquare",
+        ']' => "csquare",
+        other => panic!("bracket strings use only ()[] — got `{other}`"),
+    })
+}
+
+/// Sentence over {0, 1} for [`ww_grammar`] and [`www_grammar`].
+pub fn ww_sentence(grammar: &Grammar, s: &str) -> Sentence {
+    symbols_to_sentence(grammar, s, |c| match c {
+        '0' => "s0",
+        '1' => "s1",
+        other => panic!("ww strings use only 0 and 1, got `{other}`"),
+    })
+}
+
+/// Direct predicate: is `s` of the form www with w nonempty?
+pub fn is_www(s: &str) -> bool {
+    let n = s.len();
+    if n == 0 || n % 3 != 0 {
+        return false;
+    }
+    let third = n / 3;
+    let (a, rest) = s.split_at(third);
+    let (b, c) = rest.split_at(third);
+    a == b && b == c
+}
+
+/// Direct predicate: is `s` in {aⁿbⁿ : n ≥ 1}?
+pub fn is_anbn(s: &str) -> bool {
+    let n = s.len();
+    if n == 0 || n % 2 != 0 {
+        return false;
+    }
+    let half = n / 2;
+    s.chars().take(half).all(|c| c == 'a') && s.chars().skip(half).all(|c| c == 'b')
+}
+
+/// Direct predicate: is `s` a balanced string over `()` and `[]`, nonempty?
+pub fn is_brackets(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    let mut stack = Vec::new();
+    for c in s.chars() {
+        match c {
+            '(' | '[' => stack.push(c),
+            ')' => {
+                if stack.pop() != Some('(') {
+                    return false;
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    stack.is_empty()
+}
+
+/// Direct predicate: is `s` of the form ww with w nonempty?
+pub fn is_ww(s: &str) -> bool {
+    let n = s.len();
+    if n == 0 || n % 2 != 0 {
+        return false;
+    }
+    let (u, v) = s.split_at(n / 2);
+    u == v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammars_build() {
+        for g in [anbn_grammar(), brackets_grammar(), ww_grammar()] {
+            assert_eq!(g.num_roles(), 2);
+            assert!(g.num_constraints() >= 4);
+            // The trivial needs role keeps the network shape standard.
+            assert_eq!(
+                g.allowed_labels(g.role_id("needs").unwrap()).len(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn sentence_builders_map_symbols() {
+        let g = anbn_grammar();
+        let s = anbn_sentence(&g, "aabb");
+        assert_eq!(s.len(), 4);
+        assert_eq!(g.cat_name(s.word(0).cats[0]), "a");
+        assert_eq!(g.cat_name(s.word(3).cats[0]), "b");
+
+        let g = brackets_grammar();
+        let s = brackets_sentence(&g, "([])");
+        assert_eq!(g.cat_name(s.word(1).cats[0]), "osquare");
+
+        let g = ww_grammar();
+        let s = ww_sentence(&g, "0101");
+        assert_eq!(g.cat_name(s.word(0).cats[0]), "s0");
+        assert_eq!(g.cat_name(s.word(1).cats[0]), "s1");
+    }
+
+    #[test]
+    #[should_panic(expected = "only `a` and `b`")]
+    fn bad_symbol_panics() {
+        let g = anbn_grammar();
+        anbn_sentence(&g, "abc");
+    }
+
+    #[test]
+    fn predicate_anbn() {
+        assert!(is_anbn("ab"));
+        assert!(is_anbn("aaabbb"));
+        assert!(!is_anbn(""));
+        assert!(!is_anbn("a"));
+        assert!(!is_anbn("ba"));
+        assert!(!is_anbn("abab"));
+        assert!(!is_anbn("aab"));
+        assert!(!is_anbn("aabbb"));
+    }
+
+    #[test]
+    fn predicate_brackets() {
+        assert!(is_brackets("()"));
+        assert!(is_brackets("([])"));
+        assert!(is_brackets("()[]([])"));
+        assert!(!is_brackets(""));
+        assert!(!is_brackets("(["));
+        assert!(!is_brackets("(]"));
+        assert!(!is_brackets("([)]"));
+        assert!(!is_brackets(")("));
+    }
+
+    #[test]
+    fn www_grammar_builds() {
+        let g = www_grammar();
+        assert_eq!(g.num_roles(), 2);
+        // Both roles carry all three labels — no trivial BLANK role here.
+        assert_eq!(g.allowed_labels(g.role_id("fwd").unwrap()).len(), 3);
+        assert_eq!(g.allowed_labels(g.role_id("back").unwrap()).len(), 3);
+        assert!(g.binary_constraints().len() >= 8);
+    }
+
+    #[test]
+    fn predicate_www() {
+        assert!(is_www("000"));
+        assert!(is_www("010101"));
+        assert!(is_www("011011011"));
+        assert!(!is_www(""));
+        assert!(!is_www("00"));
+        assert!(!is_www("0101"));
+        assert!(!is_www("010011")); // right length, wrong thirds
+        assert!(!is_www("0110"));
+    }
+
+    #[test]
+    fn predicate_ww() {
+        assert!(is_ww("00"));
+        assert!(is_ww("0101"));
+        assert!(is_ww("110110"));
+        assert!(!is_ww(""));
+        assert!(!is_ww("0"));
+        assert!(!is_ww("01"));
+        assert!(!is_ww("0110"));
+    }
+}

@@ -1,0 +1,17 @@
+//! A library of ready-made CDG grammars.
+//!
+//! * [`paper`] — the exact grammar of Helzerman & Harper (1992) §1: the
+//!   worked example that parses *The program runs* and drives Figures 1–7.
+//! * [`english`] — a broader single-clause English grammar (determiners,
+//!   adjectives, adverbs, prepositional phrases, objects) used as the
+//!   realistic workload for the benchmark sweeps.
+//! * [`english_aux`] — the extended English grammar: auxiliaries,
+//!   finite/base verb agreement, and three roles per word (q = 3).
+//! * [`formal`] — formal-language grammars exercising the expressivity
+//!   claims of §1.5: aⁿbⁿ and balanced brackets (context-free), and `ww`
+//!   (not context-free — the paper's own example of CDG exceeding CFG).
+
+pub mod english;
+pub mod english_aux;
+pub mod formal;
+pub mod paper;

@@ -1,0 +1,231 @@
+//! The paper's worked-example grammar, verbatim from §1.3.
+//!
+//! Accepts *The program runs* and drives the Figure 1–7 walkthrough. The
+//! grammar has categories {det, noun, verb}, labels {SUBJ, ROOT, DET, NP, S,
+//! BLANK}, roles {governor, needs}, table T restricting the governor role to
+//! {SUBJ, ROOT, DET} and the needs role to {NP, S, BLANK}, six unary
+//! constraints, and four binary constraints.
+
+use crate::grammar::{Grammar, GrammarBuilder};
+use crate::sentence::{Lexicon, Sentence};
+
+/// Build the paper's grammar. Panics only on internal inconsistency (the
+/// grammar is a compile-time constant of this crate, covered by tests).
+pub fn grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("helzerman-harper-1992");
+    b.categories(&["det", "noun", "verb"])
+        .labels(&["SUBJ", "ROOT", "DET", "NP", "S", "BLANK"])
+        .roles(&["governor", "needs"])
+        .allow("governor", &["SUBJ", "ROOT", "DET"])
+        .allow("needs", &["NP", "S", "BLANK"]);
+
+    // --- Unary constraints (paper §1.3, in order) ---
+
+    // "Verbs have the label ROOT and are ungoverned."
+    b.constraint(
+        "verb-governor-is-root",
+        "(if (and (eq (cat (word (pos x))) verb)
+                  (eq (role x) governor))
+             (and (eq (lab x) ROOT)
+                  (eq (mod x) nil)))",
+    );
+    // "Verbs have the label S for the needs role and must modify something."
+    b.constraint(
+        "verb-needs-s",
+        "(if (and (eq (cat (word (pos x))) verb)
+                  (eq (role x) needs))
+             (and (eq (lab x) S)
+                  (not (eq (mod x) nil))))",
+    );
+    // "Nouns receive the label SUBJ for the governor role and must modify
+    // something."
+    b.constraint(
+        "noun-governor-is-subj",
+        "(if (and (eq (cat (word (pos x))) noun)
+                  (eq (role x) governor))
+             (and (eq (lab x) SUBJ)
+                  (not (eq (mod x) nil))))",
+    );
+    // "Nouns receive the label NP for the needs role and must modify
+    // something."
+    b.constraint(
+        "noun-needs-np",
+        "(if (and (eq (cat (word (pos x))) noun)
+                  (eq (role x) needs))
+             (and (eq (lab x) NP)
+                  (not (eq (mod x) nil))))",
+    );
+    // "Determiners receive the label DET for the governor role and must
+    // modify something."
+    b.constraint(
+        "det-governor-is-det",
+        "(if (and (eq (cat (word (pos x))) det)
+                  (eq (role x) governor))
+             (and (eq (lab x) DET)
+                  (not (eq (mod x) nil))))",
+    );
+    // "Determiners receive the label BLANK for the needs role and modify
+    // nothing."
+    b.constraint(
+        "det-needs-blank",
+        "(if (and (eq (cat (word (pos x))) det)
+                  (eq (role x) needs))
+             (and (eq (lab x) BLANK)
+                  (eq (mod x) nil)))",
+    );
+
+    // --- Binary constraints (paper §1.3, in order) ---
+
+    // "A SUBJ is governed by a ROOT to its right."
+    b.constraint(
+        "subj-governed-by-root-right",
+        "(if (and (eq (lab x) SUBJ)
+                  (eq (lab y) ROOT))
+             (and (eq (mod x) (pos y))
+                  (lt (pos x) (pos y))))",
+    );
+    // "A verb with label S needs a SUBJ to its left."
+    b.constraint(
+        "s-needs-subj-left",
+        "(if (and (eq (lab x) S)
+                  (eq (lab y) SUBJ))
+             (and (eq (mod x) (pos y))
+                  (gt (pos x) (pos y))))",
+    );
+    // "A DET must be governed by a noun to its right."
+    b.constraint(
+        "det-governed-by-noun-right",
+        "(if (and (eq (lab x) DET)
+                  (eq (cat (word (pos y))) noun))
+             (and (eq (mod x) (pos y))
+                  (lt (pos x) (pos y))))",
+    );
+    // "A noun with label NP needs a DET to its left."
+    b.constraint(
+        "np-needs-det-left",
+        "(if (and (eq (lab x) NP)
+                  (eq (lab y) DET))
+             (and (eq (mod x) (pos y))
+                  (gt (pos x) (pos y))))",
+    );
+
+    b.build().expect("the paper grammar is well-formed")
+}
+
+/// A small lexicon for the paper grammar.
+pub fn lexicon(grammar: &Grammar) -> Lexicon {
+    let mut lex = Lexicon::new();
+    for (word, cats) in [
+        ("the", &["det"][..]),
+        ("a", &["det"]),
+        ("this", &["det"]),
+        ("program", &["noun"]),
+        ("dog", &["noun"]),
+        ("cat", &["noun"]),
+        ("parser", &["noun"]),
+        ("machine", &["noun"]),
+        ("runs", &["verb"]),
+        ("halts", &["verb"]),
+        ("sleeps", &["verb"]),
+        ("works", &["verb"]),
+    ] {
+        lex.add(grammar, word, cats)
+            .expect("paper lexicon references only paper categories");
+    }
+    lex
+}
+
+/// The paper's example sentence, *The program runs*.
+pub fn example_sentence(grammar: &Grammar) -> Sentence {
+    lexicon(grammar)
+        .sentence("The program runs")
+        .expect("example sentence is in the lexicon")
+}
+
+/// A det–noun–verb sentence of length `n ≥ 3` in the paper grammar:
+/// `the <noun> ... runs` is not expressible (the grammar is built for 3-word
+/// sentences), so length sweeps repeat the det–noun prefix — useful only for
+/// *cost* measurements (propagation work scales with n regardless of
+/// acceptance). For acceptance sweeps use the English grammar.
+pub fn cost_sweep_sentence(grammar: &Grammar, n: usize) -> Sentence {
+    assert!(n >= 1);
+    let lex = lexicon(grammar);
+    let mut words = Vec::with_capacity(n);
+    for i in 0..n.saturating_sub(1) {
+        words.push(if i % 2 == 0 { "the" } else { "program" });
+    }
+    words.push("runs");
+    lex.sentence(&words.join(" "))
+        .expect("sweep words are in the lexicon")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Arity;
+    use crate::ids::{LabelId, RoleId};
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let g = grammar();
+        assert_eq!(g.num_cats(), 3);
+        assert_eq!(g.num_labels(), 6);
+        assert_eq!(g.num_roles(), 2);
+        assert_eq!(g.unary_constraints().len(), 6);
+        assert_eq!(g.binary_constraints().len(), 4);
+        assert_eq!(g.num_constraints(), 10);
+        // l = 3: three labels per role, the constant in the paper's Figure 13.
+        assert_eq!(g.max_labels_per_role(), 3);
+    }
+
+    #[test]
+    fn table_t() {
+        let g = grammar();
+        let governor = g.role_id("governor").unwrap();
+        let needs = g.role_id("needs").unwrap();
+        let names = |r: RoleId| -> Vec<&str> {
+            g.allowed_labels(r).iter().map(|&l| g.label_name(l)).collect()
+        };
+        assert_eq!(names(governor), vec!["SUBJ", "ROOT", "DET"]);
+        assert_eq!(names(needs), vec!["NP", "S", "BLANK"]);
+        // Namespaces do not overlap.
+        let all: Vec<LabelId> = g
+            .allowed_labels(governor)
+            .iter()
+            .chain(g.allowed_labels(needs))
+            .copied()
+            .collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn constraint_arities() {
+        let g = grammar();
+        assert!(g.unary_constraints().iter().all(|c| c.arity == Arity::Unary));
+        assert!(g.binary_constraints().iter().all(|c| c.arity == Arity::Binary));
+    }
+
+    #[test]
+    fn example_sentence_is_three_words() {
+        let g = grammar();
+        let s = example_sentence(&g);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.word(0).text, "The");
+        assert_eq!(g.cat_name(s.word(0).cats[0]), "det");
+        assert_eq!(g.cat_name(s.word(1).cats[0]), "noun");
+        assert_eq!(g.cat_name(s.word(2).cats[0]), "verb");
+    }
+
+    #[test]
+    fn cost_sweep_lengths() {
+        let g = grammar();
+        for n in 1..=12 {
+            let s = cost_sweep_sentence(&g, n);
+            assert_eq!(s.len(), n);
+            assert_eq!(g.cat_name(s.word(n - 1).cats[0]), "verb");
+        }
+    }
+}

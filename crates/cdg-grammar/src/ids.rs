@@ -1,0 +1,102 @@
+//! Compact identifiers for grammar symbols and role values.
+//!
+//! Everything the inner parsing loops touch is a small integer: categories,
+//! labels, and roles are interned indices into the grammar's symbol tables,
+//! and sentence positions are 1-based `u16`s (the paper numbers words from
+//! 1, and the special modifiee `nil` means "modifies no word").
+
+/// A terminal category (part of speech) — an element of Σ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CatId(pub u16);
+
+/// A label — an element of L.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u16);
+
+/// A role — an element of R.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleId(pub u16);
+
+/// The modifiee half of a role value: the 1-based position of the word being
+/// modified, or `Nil` for "modifies no word" (e.g. the main verb's
+/// `ROOT-nil`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modifiee {
+    Nil,
+    /// 1-based word position.
+    Word(u16),
+}
+
+impl Modifiee {
+    /// The position if this modifiee points at a word.
+    pub fn position(self) -> Option<u16> {
+        match self {
+            Modifiee::Nil => None,
+            Modifiee::Word(p) => Some(p),
+        }
+    }
+
+    pub fn is_nil(self) -> bool {
+        matches!(self, Modifiee::Nil)
+    }
+}
+
+impl std::fmt::Display for Modifiee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Modifiee::Nil => write!(f, "nil"),
+            Modifiee::Word(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A role value: the (label, modifiee) pair a role may take, tagged with the
+/// category hypothesis of its word.
+///
+/// The paper's role values are bare (label, modifiee) pairs because its
+/// examples give every word exactly one category. This implementation also
+/// supports lexically ambiguous words (the paper's spoken-language
+/// motivation): each role value carries the category hypothesis under which
+/// it was generated, and the parsing engines add a structural compatibility
+/// rule that all roles of one word agree on the hypothesis. For unambiguous
+/// words the domains are exactly the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleValue {
+    pub cat: CatId,
+    pub label: LabelId,
+    pub modifiee: Modifiee,
+}
+
+impl RoleValue {
+    pub fn new(cat: CatId, label: LabelId, modifiee: Modifiee) -> Self {
+        RoleValue { cat, label, modifiee }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modifiee_position() {
+        assert_eq!(Modifiee::Nil.position(), None);
+        assert_eq!(Modifiee::Word(3).position(), Some(3));
+        assert!(Modifiee::Nil.is_nil());
+        assert!(!Modifiee::Word(1).is_nil());
+    }
+
+    #[test]
+    fn modifiee_display() {
+        assert_eq!(Modifiee::Nil.to_string(), "nil");
+        assert_eq!(Modifiee::Word(7).to_string(), "7");
+    }
+
+    #[test]
+    fn role_value_ordering_is_total() {
+        let a = RoleValue::new(CatId(0), LabelId(0), Modifiee::Nil);
+        let b = RoleValue::new(CatId(0), LabelId(0), Modifiee::Word(1));
+        let c = RoleValue::new(CatId(0), LabelId(1), Modifiee::Nil);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

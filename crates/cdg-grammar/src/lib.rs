@@ -1,0 +1,52 @@
+//! Constraint Dependency Grammar (CDG).
+//!
+//! A CDG grammar (Maruyama 1990; Helzerman & Harper 1992) is a 5-tuple
+//! ⟨Σ, L, R, T, C⟩:
+//!
+//! * **Σ** — terminal symbols: the parts of speech (categories) of words,
+//!   e.g. `det`, `noun`, `verb`;
+//! * **L** — labels: the functions words can fill, e.g. `SUBJ`, `ROOT`,
+//!   `DET`, `NP`, `S`, `BLANK`;
+//! * **R** — roles: syntactic functions each word carries, e.g. `governor`
+//!   (what function this word fills for its head) and `needs` (what this
+//!   word requires to be complete);
+//! * **T** — a table restricting which labels are legal for each role;
+//! * **C** — k unary and binary *constraints* written in a Lisp-like
+//!   `(if antecedent consequent)` language over the access functions
+//!   `lab`, `mod`, `role`, `pos`, `word`, `cat` and the predicates
+//!   `and`, `or`, `not`, `eq`, `gt`, `lt`.
+//!
+//! Parsing assigns to each role of each word a *role value* — a pair of a
+//! label and a *modifiee* (the position of the word it points at, or `nil`).
+//! Constraints eliminate role values (unary) and pairs of role values
+//! (binary) until the network settles; the surviving modifiee pointers form
+//! the precedence graph(s) of the sentence.
+//!
+//! This crate defines the formalism: identifiers, the [`Grammar`] type and
+//! its [`GrammarBuilder`], the compiled constraint expression language
+//! ([`expr::CExpr`]) with its evaluator, the DSL compiler from S-expressions,
+//! lexicons and sentences, and a library of ready-made grammars in
+//! [`grammars`] (the paper's worked example, a broader English grammar, and
+//! formal-language grammars including the non-context-free `ww`).
+//!
+//! The parsing engines live in downstream crates: `cdg-core` (sequential),
+//! `cdg-parallel` (CRCW-P-RAM-style on rayon), and `parsec-maspar` (on the
+//! MasPar MP-1 simulator).
+
+pub mod compile;
+pub mod constraint;
+pub mod file;
+pub mod expr;
+pub mod grammar;
+pub mod grammars;
+pub mod ids;
+pub mod optimize;
+pub mod sentence;
+pub mod value;
+
+pub use constraint::{Arity, Constraint};
+pub use expr::{CExpr, Var};
+pub use grammar::{Grammar, GrammarBuilder, GrammarError};
+pub use ids::{CatId, LabelId, Modifiee, RoleId, RoleValue};
+pub use sentence::{Lexicon, Sentence, SentenceWord};
+pub use value::Value;

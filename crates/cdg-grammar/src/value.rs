@@ -1,0 +1,211 @@
+//! Runtime values and three-valued truth for the constraint language.
+
+use crate::ids::{CatId, LabelId, RoleId};
+
+/// Kleene three-valued truth.
+///
+/// Constraint propagation may only *eliminate* a role value when a
+/// constraint is **definitely** violated. When a sentence contains
+/// lexically ambiguous words, `(cat (word p))` for an unbound ambiguous
+/// word has no definite value yet, so predicates over it evaluate to
+/// `Unknown` and the role value survives; the ambiguity is resolved during
+/// binary propagation, where the other role value's category hypothesis is
+/// bound. For lexically unambiguous sentences every evaluation is definite
+/// and the logic degenerates to the paper's two-valued semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// "Not definitely violated" — the survival condition for a role value.
+    pub fn not_false(self) -> bool {
+        self != Truth::False
+    }
+}
+
+/// The value produced by evaluating a constraint-language expression.
+///
+/// The language is dynamically typed in the Lisp tradition; the evaluator is
+/// total. `eq` between values of different kinds is `false` (never an
+/// error), `gt`/`lt` are only true between two `Int`s — exactly the paper's
+/// "true if x > y and x, y ∈ Integers, false otherwise".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    Bool(bool),
+    /// A sentence position or other integer (positions are 1-based).
+    Int(i64),
+    Label(LabelId),
+    Cat(CatId),
+    Role(RoleId),
+    /// The result of `(word p)`: a reference to the word at 1-based
+    /// position `p`.
+    WordRef(u16),
+    /// `nil`: the modifiee of a role value that modifies no word, and the
+    /// result of any access that has no referent (e.g. `(word 0)`).
+    Nil,
+    /// A value not yet determined — the category of an unbound, lexically
+    /// ambiguous word. Predicates over it are [`Truth::Unknown`].
+    Unknown,
+}
+
+impl Value {
+    /// Three-valued truthiness: `Bool` carries definite truth, `Unknown`
+    /// stays unknown, every other value is definitely false (a malformed
+    /// predicate position fails closed rather than panicking).
+    pub fn truth(self) -> Truth {
+        match self {
+            Value::Bool(b) => Truth::from_bool(b),
+            Value::Unknown => Truth::Unknown,
+            _ => Truth::False,
+        }
+    }
+
+    /// Back-compat helper: definitely true.
+    pub fn truthy(self) -> bool {
+        self.truth() == Truth::True
+    }
+
+    /// The `eq` predicate: same-kind, same-payload; unknown if either side
+    /// is unknown. `Nil` equals only `Nil`.
+    pub fn loose_eq(self, other: Value) -> Truth {
+        if self == Value::Unknown || other == Value::Unknown {
+            Truth::Unknown
+        } else {
+            Truth::from_bool(self == other)
+        }
+    }
+
+    /// The `gt` predicate: defined only between integers; unknown if either
+    /// side is unknown.
+    pub fn gt(self, other: Value) -> Truth {
+        match (self, other) {
+            (Value::Unknown, _) | (_, Value::Unknown) => Truth::Unknown,
+            (Value::Int(a), Value::Int(b)) => Truth::from_bool(a > b),
+            _ => Truth::False,
+        }
+    }
+
+    /// The `lt` predicate: defined only between integers; unknown if either
+    /// side is unknown.
+    pub fn lt(self, other: Value) -> Truth {
+        match (self, other) {
+            (Value::Unknown, _) | (_, Value::Unknown) => Truth::Unknown,
+            (Value::Int(a), Value::Int(b)) => Truth::from_bool(a < b),
+            _ => Truth::False,
+        }
+    }
+}
+
+impl From<Truth> for Value {
+    fn from(t: Truth) -> Value {
+        match t {
+            Truth::True => Value::Bool(true),
+            Truth::False => Value::Bool(false),
+            Truth::Unknown => Value::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::{False, True, Unknown};
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Bool(true).truth(), True);
+        assert_eq!(Value::Bool(false).truth(), False);
+        assert_eq!(Value::Int(1).truth(), False);
+        assert_eq!(Value::Nil.truth(), False);
+        assert_eq!(Value::Unknown.truth(), Unknown);
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Unknown.truthy());
+    }
+
+    #[test]
+    fn kleene_truth_tables() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(Unknown.and(True), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        assert!(True.not_false());
+        assert!(Unknown.not_false());
+        assert!(!False.not_false());
+    }
+
+    #[test]
+    fn eq_is_kind_strict() {
+        assert_eq!(Value::Int(3).loose_eq(Value::Int(3)), True);
+        assert_eq!(Value::Int(3).loose_eq(Value::Int(4)), False);
+        assert_eq!(Value::Int(3).loose_eq(Value::Label(LabelId(3))), False);
+        assert_eq!(Value::Nil.loose_eq(Value::Nil), True);
+        assert_eq!(Value::Nil.loose_eq(Value::Int(0)), False);
+        assert_eq!(Value::Label(LabelId(2)).loose_eq(Value::Label(LabelId(2))), True);
+        assert_eq!(Value::Cat(CatId(2)).loose_eq(Value::Label(LabelId(2))), False);
+        assert_eq!(Value::Unknown.loose_eq(Value::Cat(CatId(0))), Unknown);
+        assert_eq!(Value::Cat(CatId(0)).loose_eq(Value::Unknown), Unknown);
+    }
+
+    #[test]
+    fn ordering_only_on_ints() {
+        assert_eq!(Value::Int(5).gt(Value::Int(3)), True);
+        assert_eq!(Value::Int(3).gt(Value::Int(5)), False);
+        assert_eq!(Value::Int(3).gt(Value::Int(3)), False);
+        assert_eq!(Value::Int(3).lt(Value::Int(5)), True);
+        assert_eq!(Value::Nil.gt(Value::Int(1)), False);
+        assert_eq!(Value::Int(1).lt(Value::Nil), False);
+        assert_eq!(Value::Bool(true).gt(Value::Bool(false)), False);
+        assert_eq!(Value::Unknown.gt(Value::Int(1)), Unknown);
+        assert_eq!(Value::Int(1).lt(Value::Unknown), Unknown);
+    }
+
+    #[test]
+    fn truth_value_roundtrip() {
+        assert_eq!(Value::from(True), Value::Bool(true));
+        assert_eq!(Value::from(False), Value::Bool(false));
+        assert_eq!(Value::from(Unknown), Value::Unknown);
+    }
+}

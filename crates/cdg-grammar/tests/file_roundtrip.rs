@@ -1,0 +1,111 @@
+//! Property test: the grammar-file format round-trips *arbitrary*
+//! well-formed grammars, not just the shipped ones.
+
+use cdg_grammar::{file, GrammarBuilder, RoleId};
+use proptest::prelude::*;
+
+/// A random constraint source assembled from a template pool, using only
+/// declared symbols.
+fn constraint_source(
+    template: usize,
+    cat: &str,
+    label_a: &str,
+    label_b: &str,
+    role: &str,
+) -> String {
+    match template % 5 {
+        0 => format!(
+            "(if (eq (cat (word (pos x))) {cat}) (and (eq (lab x) {label_a}) (eq (mod x) nil)))"
+        ),
+        1 => format!(
+            "(if (and (eq (lab x) {label_a}) (eq (lab y) {label_b})) (lt (pos x) (pos y)))"
+        ),
+        2 => format!(
+            "(if (eq (role x) {role}) (or (eq (lab x) {label_a}) (eq (lab x) {label_b})))"
+        ),
+        3 => format!(
+            "(if (and (eq (lab x) {label_a}) (eq (mod x) (pos y))) (eq (mod y) (pos x)))"
+        ),
+        _ => format!(
+            "(if (not (eq (mod x) nil)) (and (gt (mod x) 0) (not (eq (lab x) {label_b}))))"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_grammars_round_trip(
+        num_cats in 1usize..5,
+        num_labels in 1usize..6,
+        num_roles in 1usize..4,
+        templates in proptest::collection::vec(0usize..5, 1..8),
+        allow_mask in any::<u32>(),
+    ) {
+        let cats: Vec<String> = (0..num_cats).map(|i| format!("cat{i}")).collect();
+        let labels: Vec<String> = (0..num_labels).map(|i| format!("LAB{i}")).collect();
+        let roles: Vec<String> = (0..num_roles).map(|i| format!("role{i}")).collect();
+
+        let mut b = GrammarBuilder::new("random-roundtrip");
+        for c in &cats {
+            b.category(c);
+        }
+        for l in &labels {
+            b.label(l);
+        }
+        for r in &roles {
+            b.role(r);
+        }
+        // Random table entries: each role gets a nonempty label subset.
+        for (ri, r) in roles.iter().enumerate() {
+            let mask = (allow_mask >> (ri * 6)) as usize;
+            let chosen: Vec<&str> = labels
+                .iter()
+                .enumerate()
+                .filter(|(li, _)| mask >> li & 1 == 1)
+                .map(|(_, l)| l.as_str())
+                .collect();
+            if !chosen.is_empty() {
+                b.allow(r, &chosen);
+            }
+        }
+        for (i, &t) in templates.iter().enumerate() {
+            b.constraint(
+                &format!("c{i}"),
+                &constraint_source(
+                    t,
+                    &cats[i % cats.len()],
+                    &labels[i % labels.len()],
+                    &labels[(i + 1) % labels.len()],
+                    &roles[i % roles.len()],
+                ),
+            );
+        }
+        let grammar = b.build().expect("generated grammar is well-formed");
+
+        let text = file::save(&grammar, &cdg_grammar::Lexicon::new());
+        let (reloaded, _) = file::load_str(&text)
+            .unwrap_or_else(|e| panic!("round-trip failed: {e}\n{text}"));
+
+        prop_assert_eq!(grammar.cat_names(), reloaded.cat_names());
+        prop_assert_eq!(grammar.label_names(), reloaded.label_names());
+        prop_assert_eq!(grammar.role_names(), reloaded.role_names());
+        for r in 0..grammar.num_roles() {
+            prop_assert_eq!(
+                grammar.allowed_labels(RoleId(r as u16)),
+                reloaded.allowed_labels(RoleId(r as u16))
+            );
+        }
+        prop_assert_eq!(grammar.num_constraints(), reloaded.num_constraints());
+        for (a, b) in grammar
+            .unary_constraints()
+            .iter()
+            .chain(grammar.binary_constraints())
+            .zip(reloaded.unary_constraints().iter().chain(reloaded.binary_constraints()))
+        {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.expr, &b.expr, "constraint {} diverges", a.name);
+        }
+    }
+}

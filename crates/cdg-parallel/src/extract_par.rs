@@ -1,0 +1,158 @@
+//! Parallel precedence-graph extraction.
+//!
+//! Extraction (the backtracking search of §1.4) runs on the front end in
+//! the paper, after the PE array has settled the network. On a multi-core
+//! host the search tree's first branching level can be explored in
+//! parallel: each alive value of the most-constrained slot roots an
+//! independent subtree. Results are identical to the sequential
+//! enumerator (same ordering contract: sorted, deduplicated).
+
+use cdg_core::extract::PrecedenceGraph;
+use cdg_core::network::{Network, SlotId};
+use rayon::prelude::*;
+
+/// Enumerate up to `limit` precedence graphs, fanning the top level of the
+/// backtracking search across threads. Equivalent to
+/// [`cdg_core::extract::precedence_graphs`] (property-tested).
+pub fn precedence_graphs_par(net: &Network<'_>, limit: usize) -> Vec<PrecedenceGraph> {
+    assert!(net.arcs_ready(), "extraction needs arc matrices");
+    if limit == 0 || !net.all_roles_nonempty() {
+        return Vec::new();
+    }
+    let nslots = net.num_slots();
+    let mut order: Vec<SlotId> = (0..nslots).collect();
+    order.sort_by_key(|&s| net.slot(s).alive_count());
+    let root = order[0];
+
+    let mut graphs: Vec<PrecedenceGraph> = net
+        .slot(root)
+        .alive_indices()
+        .into_par_iter()
+        .flat_map_iter(|idx| {
+            // Each branch gets its own chosen-stack; `limit` bounds each
+            // branch (over-collection is trimmed after the global sort so
+            // the result set matches the sequential enumerator's).
+            let mut chosen = vec![(root, idx)];
+            let mut results = Vec::new();
+            branch(net, &order, &mut chosen, &mut results, limit);
+            results
+                .into_iter()
+                .map(|choice| {
+                    let mut assignment = vec![None; nslots];
+                    for (slot, i) in choice {
+                        assignment[slot] = Some(net.slot(slot).domain[i]);
+                    }
+                    PrecedenceGraph {
+                        assignment: assignment.into_iter().map(Option::unwrap).collect(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    graphs.sort();
+    graphs.dedup();
+    graphs.truncate(limit);
+    graphs
+}
+
+fn branch(
+    net: &Network<'_>,
+    order: &[SlotId],
+    chosen: &mut Vec<(SlotId, usize)>,
+    results: &mut Vec<Vec<(SlotId, usize)>>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    let depth = chosen.len();
+    if depth == order.len() {
+        results.push(chosen.clone());
+        return;
+    }
+    let slot = order[depth];
+    for idx in net.slot(slot).alive.iter_ones() {
+        let consistent = chosen
+            .iter()
+            .all(|&(other, oidx)| net.arc_entry(slot, idx, other, oidx));
+        if consistent {
+            chosen.push((slot, idx));
+            branch(net, order, chosen, results, limit);
+            chosen.pop();
+            if results.len() >= limit {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_core::parser::{parse, ParseOptions};
+    use cdg_grammar::grammars::{english, paper};
+
+    fn settled<'g>(
+        g: &'g cdg_grammar::Grammar,
+        s: &cdg_grammar::Sentence,
+    ) -> Network<'g> {
+        parse(g, s, ParseOptions::default()).network
+    }
+
+    #[test]
+    fn matches_sequential_on_unambiguous() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let net = settled(&g, &s);
+        assert_eq!(
+            precedence_graphs_par(&net, 10),
+            cdg_core::extract::precedence_graphs(&net, 10)
+        );
+    }
+
+    #[test]
+    fn matches_sequential_on_ambiguous() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        for text in [
+            "the dog runs in the park",
+            "the man watches the dog with the telescope",
+            "the dog sees the cat in the park near the table",
+        ] {
+            let s = lex.sentence(text).unwrap();
+            let net = settled(&g, &s);
+            for limit in [1usize, 2, 5, 1000] {
+                assert_eq!(
+                    precedence_graphs_par(&net, limit),
+                    cdg_core::extract::precedence_graphs(&net, limit),
+                    "`{text}` limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpropagated_network_enumeration() {
+        // Large fan-out exercises the parallel split.
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut net = cdg_core::network::Network::build(&g, &s);
+        net.init_arcs();
+        let par = precedence_graphs_par(&net, 200);
+        let seq = cdg_core::extract::precedence_graphs(&net, 200);
+        assert_eq!(par, seq);
+        assert_eq!(par.len(), 200);
+    }
+
+    #[test]
+    fn rejection_and_zero_limit() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        let s = lex.sentence("program the runs").unwrap();
+        let net = settled(&g, &s);
+        assert!(precedence_graphs_par(&net, 10).is_empty());
+        let s = paper::example_sentence(&g);
+        let net = settled(&g, &s);
+        assert!(precedence_graphs_par(&net, 0).is_empty());
+    }
+}

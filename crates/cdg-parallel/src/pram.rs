@@ -1,0 +1,441 @@
+//! The CRCW-P-RAM-style engine on rayon.
+
+use cdg_core::network::{Network, RoleSlot};
+use cdg_core::parser::{FilterMode, ParseOptions};
+use cdg_core::PrecedenceGraph;
+use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
+use rayon::prelude::*;
+
+/// Parallel-step and width accounting for the P-RAM model.
+///
+/// `steps` counts synchronous parallel rounds (the quantity the paper
+/// bounds by O(k)); `max_width` is the largest number of virtual processors
+/// any round would occupy (the paper's O(n⁴)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PramStats {
+    /// Synchronous parallel rounds executed.
+    pub steps: usize,
+    /// Maximum virtual processors used by any single round.
+    pub max_width: usize,
+    /// Consistency-maintenance passes run (each costs O(1) rounds).
+    pub maintain_passes: usize,
+    /// Role values removed in total.
+    pub removals: usize,
+}
+
+impl PramStats {
+    fn round(&mut self, width: usize) {
+        self.steps += 1;
+        self.max_width = self.max_width.max(width);
+    }
+}
+
+/// Outcome of a P-RAM parse: the settled network plus step accounting.
+#[derive(Debug)]
+pub struct PramOutcome<'g> {
+    pub network: Network<'g>,
+    pub stats: PramStats,
+    pub roles_nonempty: bool,
+    pub filter_passes: usize,
+}
+
+impl<'g> PramOutcome<'g> {
+    pub fn accepted(&self) -> bool {
+        self.roles_nonempty && cdg_core::extract::has_parse(&self.network)
+    }
+
+    /// Enumerate parses with the parallel extractor (identical results to
+    /// the sequential one; see `extract_par`).
+    pub fn parses(&self, limit: usize) -> Vec<PrecedenceGraph> {
+        crate::extract_par::precedence_graphs_par(&self.network, limit)
+    }
+
+    /// Propagate additional constraints in parallel — the P-RAM analogue
+    /// of `ParseOutcome::propagate_extra` (§1.5 contextual constraint
+    /// sets), followed by maintenance to the fixpoint.
+    pub fn propagate_extra(&mut self, constraints: &[Constraint]) {
+        for c in constraints {
+            match c.arity {
+                Arity::Unary => {
+                    apply_unary_par(&mut self.network, c, &mut self.stats);
+                }
+                Arity::Binary => {
+                    apply_binary_par(&mut self.network, c, &mut self.stats);
+                }
+            }
+        }
+        loop {
+            self.filter_passes += 1;
+            if maintain_par(&mut self.network, &mut self.stats) == 0 {
+                break;
+            }
+        }
+        self.roles_nonempty = self.network.all_roles_nonempty();
+    }
+}
+
+/// Group removal indices by slot for the arc-parallel removal sweep.
+fn group_by_slot(num_slots: usize, doomed: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut by_slot = vec![Vec::new(); num_slots];
+    for &(slot, idx) in doomed {
+        by_slot[slot].push(idx);
+    }
+    by_slot
+}
+
+/// Apply removals: flip alive bits, then zero rows/columns arc-parallel
+/// (each worker owns one arc matrix — race-free by construction).
+fn remove_values_par(net: &mut Network<'_>, doomed: &[(usize, usize)], stats: &mut PramStats) {
+    if doomed.is_empty() {
+        return;
+    }
+    stats.removals += doomed.len();
+    let by_slot = group_by_slot(net.num_slots(), doomed);
+    if net.arcs_ready() {
+        let pairs = net.arc_pairs();
+        let (_slots, arcs, _sentence) = net.parts_mut();
+        arcs.par_iter_mut().zip(pairs.par_iter()).for_each(|(m, &(i, j, _))| {
+            for &idx in &by_slot[i] {
+                m.zero_row(idx);
+            }
+            for &idx in &by_slot[j] {
+                m.zero_col(idx);
+            }
+        });
+    }
+    for (slot_id, idxs) in by_slot.iter().enumerate() {
+        for &idx in idxs {
+            net.clear_alive(slot_id, idx);
+        }
+    }
+    // One parallel round for the zeroing sweep.
+    stats.round(doomed.len() * net.num_slots());
+}
+
+/// One unary constraint over all role values, in parallel. O(1) P-RAM
+/// rounds, width O(n²).
+pub fn apply_unary_par(net: &mut Network<'_>, c: &Constraint, stats: &mut PramStats) -> usize {
+    debug_assert_eq!(c.arity, Arity::Unary);
+    let sentence = net.sentence().clone();
+    let doomed: Vec<(usize, usize)> = net
+        .slots()
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(slot_id, slot)| {
+            slot.alive
+                .iter_ones()
+                .filter(|&idx| !c.check_unary(&sentence, slot.binding(idx)))
+                .map(move |idx| (slot_id, idx))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    stats.round(net.total_alive());
+    remove_values_par(net, &doomed, stats);
+    doomed.len()
+}
+
+/// One binary constraint over all arcs, in parallel (arc-owner workers).
+/// O(1) P-RAM rounds, width O(n⁴).
+pub fn apply_binary_par(net: &mut Network<'_>, c: &Constraint, stats: &mut PramStats) -> usize {
+    debug_assert_eq!(c.arity, Arity::Binary);
+    let pairs = net.arc_pairs();
+    let width: usize = {
+        let slots = net.slots();
+        pairs
+            .iter()
+            .map(|&(i, j, _)| slots[i].alive_count() * slots[j].alive_count())
+            .sum()
+    };
+    let (slots, arcs, sentence) = net.parts_mut();
+    let zeroed: usize = arcs
+        .par_iter_mut()
+        .zip(pairs.par_iter())
+        .map(|(m, &(i, j, _))| {
+            let (si, sj) = (&slots[i], &slots[j]);
+            let mut count = 0;
+            for a in si.alive.iter_ones() {
+                let ba = si.binding(a);
+                for b in sj.alive.iter_ones() {
+                    if m.get(a, b) && !c.check_pair(sentence, ba, sj.binding(b)) {
+                        m.set(a, b, false);
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+        .sum();
+    stats.round(width.max(1));
+    zeroed
+}
+
+/// A unary constraint applied pairwise with witness semantics (lexically
+/// ambiguous sentences; see `cdg_core::propagate::apply_unary_pairwise`).
+pub fn apply_unary_pairwise_par(
+    net: &mut Network<'_>,
+    c: &Constraint,
+    stats: &mut PramStats,
+) -> usize {
+    debug_assert_eq!(c.arity, Arity::Unary);
+    let pairs = net.arc_pairs();
+    let (slots, arcs, sentence) = net.parts_mut();
+    let zeroed: usize = arcs
+        .par_iter_mut()
+        .zip(pairs.par_iter())
+        .map(|(m, &(i, j, _))| {
+            let (si, sj) = (&slots[i], &slots[j]);
+            let mut count = 0;
+            for a in si.alive.iter_ones() {
+                let ba = si.binding(a);
+                for b in sj.alive.iter_ones() {
+                    if !m.get(a, b) {
+                        continue;
+                    }
+                    let bb = sj.binding(b);
+                    if !c.check_unary_with_witness(sentence, ba, bb)
+                        || !c.check_unary_with_witness(sentence, bb, ba)
+                    {
+                        m.set(a, b, false);
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+        .sum();
+    stats.round(1);
+    zeroed
+}
+
+/// One simultaneous consistency-maintenance pass: the parallel analogue of
+/// the paper's constant-time OR/AND support test. O(1) P-RAM rounds, width
+/// O(n⁴). Returns values removed.
+pub fn maintain_par(net: &mut Network<'_>, stats: &mut PramStats) -> usize {
+    let num = net.num_slots();
+    let support_width: usize = net.total_alive() * num.saturating_sub(1);
+    // Read-only support scan over (slot, value) in parallel.
+    let doomed: Vec<(usize, usize)> = {
+        let netref = &*net;
+        (0..num)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let si: &RoleSlot = netref.slot(i);
+                si.alive
+                    .iter_ones()
+                    .filter(move |&a| {
+                        (0..num).any(|j| {
+                            if j == i {
+                                return false;
+                            }
+                            let (m, _) = netref.arc(i.min(j), i.max(j));
+                            let supported =
+                                if i < j { m.row_any(a) } else { m.col_any(a) };
+                            !supported
+                        })
+                    })
+                    .map(move |a| (i, a))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    stats.round(support_width.max(1));
+    stats.maintain_passes += 1;
+    remove_values_par(net, &doomed, stats);
+    doomed.len()
+}
+
+/// The full parallel pipeline, mirroring `cdg_core::parse` phase for phase.
+///
+/// ```
+/// use cdg_parallel::parse_pram;
+/// use cdg_core::parser::ParseOptions;
+/// use cdg_grammar::grammars::paper;
+///
+/// let grammar = paper::grammar();
+/// let sentence = paper::example_sentence(&grammar);
+/// let outcome = parse_pram(&grammar, &sentence, ParseOptions::default());
+/// assert!(outcome.accepted());
+/// // The P-RAM accounting: a handful of parallel steps, n⁴-scale width.
+/// assert!(outcome.stats.steps < 60);
+/// assert!(outcome.stats.max_width > 100);
+/// ```
+pub fn parse_pram<'g>(
+    grammar: &'g Grammar,
+    sentence: &Sentence,
+    options: ParseOptions,
+) -> PramOutcome<'g> {
+    let mut stats = PramStats::default();
+    // Role-value generation: one O(1) round of O(n²) processors. The host
+    // builds the domains; the round accounting mirrors the model.
+    let mut net = Network::build(grammar, sentence);
+    stats.round(net.total_alive());
+
+    let run_unary = |net: &mut Network<'g>, stats: &mut PramStats| {
+        for c in grammar.unary_constraints() {
+            apply_unary_par(net, c, stats);
+        }
+    };
+    if options.arcs_before_unary {
+        net.init_arcs();
+        stats.round(net.stats.arc_entries_initialized.max(1));
+        run_unary(&mut net, &mut stats);
+    } else {
+        run_unary(&mut net, &mut stats);
+        net.init_arcs();
+        stats.round(net.stats.arc_entries_initialized.max(1));
+    }
+    for c in grammar.binary_constraints() {
+        apply_binary_par(&mut net, c, &mut stats);
+    }
+    if sentence.has_lexical_ambiguity() {
+        for c in grammar.unary_constraints() {
+            apply_unary_pairwise_par(&mut net, c, &mut stats);
+        }
+    }
+    let mut passes = 0;
+    match options.filter {
+        FilterMode::None => {}
+        FilterMode::Bounded(max) => {
+            while passes < max {
+                passes += 1;
+                if maintain_par(&mut net, &mut stats) == 0 {
+                    break;
+                }
+            }
+        }
+        FilterMode::Fixpoint => loop {
+            passes += 1;
+            if maintain_par(&mut net, &mut stats) == 0 {
+                break;
+            }
+        },
+    }
+    PramOutcome {
+        roles_nonempty: net.all_roles_nonempty(),
+        stats,
+        filter_passes: passes,
+        network: net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_grammar::grammars::{english, paper};
+
+    fn options() -> ParseOptions {
+        ParseOptions::default()
+    }
+
+    fn assert_equivalent(grammar: &Grammar, sentence: &Sentence) {
+        let serial = cdg_core::parse(grammar, sentence, options());
+        let par = parse_pram(grammar, sentence, options());
+        assert_eq!(serial.roles_nonempty, par.roles_nonempty);
+        for (a, b) in serial
+            .network
+            .slots()
+            .iter()
+            .zip(par.network.slots())
+        {
+            assert_eq!(a.alive, b.alive, "alive sets diverge");
+        }
+        assert_eq!(serial.parses(100), par.parses(100));
+    }
+
+    #[test]
+    fn equivalent_on_the_paper_example() {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        assert_equivalent(&g, &s);
+    }
+
+    #[test]
+    fn equivalent_on_english_suite() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        for text in [
+            "the dog runs",
+            "the dog runs in the park",
+            "the big red dog sees a small cat",
+            "program the runs",
+            "the watch runs",
+            "they often watch dogs near the table",
+        ] {
+            if let Ok(s) = lex.sentence(text) {
+                assert_equivalent(&g, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn step_count_is_independent_of_sentence_length() {
+        // The P-RAM promise: parallel steps are O(k + filtering passes),
+        // not O(n). Compare step counts across lengths with filtering
+        // bounded to a constant.
+        let g = paper::grammar();
+        let opts = ParseOptions {
+            filter: FilterMode::Bounded(3),
+            ..Default::default()
+        };
+        let steps: Vec<usize> = [3usize, 6, 9]
+            .iter()
+            .map(|&n| {
+                let s = paper::cost_sweep_sentence(&g, n);
+                parse_pram(&g, &s, opts).stats.steps
+            })
+            .collect();
+        let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
+        // Steps may differ by a few removal rounds, never by O(n) factors.
+        assert!(
+            spread <= 4,
+            "parallel steps should be nearly constant in n: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn width_grows_with_sentence_length() {
+        let g = paper::grammar();
+        let w: Vec<usize> = [3usize, 6]
+            .iter()
+            .map(|&n| {
+                let s = paper::cost_sweep_sentence(&g, n);
+                parse_pram(&g, &s, options()).stats.max_width
+            })
+            .collect();
+        assert!(w[1] > w[0] * 4, "width should grow ~n⁴: {w:?}");
+    }
+
+    #[test]
+    fn parallel_incremental_constraints_match_serial() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the dog runs in the park").unwrap();
+        let pin = g
+            .compile_extra_constraint(
+                "pp-attaches-to-verb",
+                "(if (eq (lab x) PP) (eq (cat (word (mod x))) verb))",
+            )
+            .unwrap();
+
+        let mut serial = cdg_core::parse(&g, &s, options());
+        serial.propagate_extra(std::slice::from_ref(&pin));
+
+        let mut par = parse_pram(&g, &s, options());
+        par.propagate_extra(std::slice::from_ref(&pin));
+
+        assert_eq!(serial.parses(16), par.parses(16));
+        for (a, b) in serial.network.slots().iter().zip(par.network.slots()) {
+            assert_eq!(a.alive, b.alive);
+        }
+        assert_eq!(par.parses(16).len(), 1);
+    }
+
+    #[test]
+    fn accepted_matches_serial_on_rejections() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("dog the runs").unwrap();
+        let par = parse_pram(&g, &s, options());
+        assert!(!par.accepted());
+    }
+}

@@ -1,0 +1,249 @@
+//! Sequential CKY — the O(|R|·n³) CFG baseline.
+
+use crate::grammar::{CnfGrammar, Nt};
+
+/// Operation counts for scaling fits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkyStats {
+    /// Rule applications attempted (the n³ quantity).
+    pub rule_checks: usize,
+    /// Chart cells filled.
+    pub cells: usize,
+}
+
+/// Triangular chart: `masks[len-1][i]` is the nonterminal mask spanning
+/// `i .. i+len`.
+pub(crate) fn build_chart(grammar: &CnfGrammar, tokens: &[usize], stats: &mut CkyStats) -> Vec<Vec<u64>> {
+    let n = tokens.len();
+    let mut chart: Vec<Vec<u64>> = Vec::with_capacity(n);
+    chart.push(tokens.iter().map(|&t| grammar.lexical_mask(t)).collect());
+    stats.cells += n;
+    for len in 2..=n {
+        let mut row = vec![0u64; n - len + 1];
+        for (i, slot) in row.iter_mut().enumerate() {
+            let mut mask = 0u64;
+            for split in 1..len {
+                let left = chart[split - 1][i];
+                let right = chart[len - split - 1][i + split];
+                if left == 0 || right == 0 {
+                    stats.rule_checks += 1;
+                    continue;
+                }
+                for (a_bit, b, c) in grammar.rules_for_cky() {
+                    stats.rule_checks += 1;
+                    if left >> b.0 & 1 == 1 && right >> c.0 & 1 == 1 {
+                        mask |= a_bit;
+                    }
+                }
+            }
+            *slot = mask;
+            stats.cells += 1;
+        }
+        chart.push(row);
+    }
+    chart
+}
+
+/// Does the grammar derive `tokens`? Returns the decision and op counts.
+///
+/// ```
+/// let g = cfg_baseline::gen::anbn_cfg();
+/// let tokens = g.tokenize("a a b b").unwrap();
+/// let (accepted, stats) = cfg_baseline::cky_recognize(&g, &tokens);
+/// assert!(accepted);
+/// assert!(stats.rule_checks > 0);
+/// ```
+pub fn cky_recognize(grammar: &CnfGrammar, tokens: &[usize]) -> (bool, CkyStats) {
+    if tokens.is_empty() {
+        return (false, CkyStats::default());
+    }
+    let mut stats = CkyStats::default();
+    let chart = build_chart(grammar, tokens, &mut stats);
+    let accepted = chart[tokens.len() - 1][0] >> grammar.start().0 & 1 == 1;
+    (accepted, stats)
+}
+
+/// A parse tree over terminal indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTree {
+    Leaf(Nt, usize),
+    Node(Nt, Box<ParseTree>, Box<ParseTree>),
+}
+
+impl ParseTree {
+    /// Root nonterminal.
+    pub fn root(&self) -> Nt {
+        match self {
+            ParseTree::Leaf(nt, _) | ParseTree::Node(nt, _, _) => *nt,
+        }
+    }
+
+    /// The terminal yield, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            ParseTree::Leaf(_, t) => vec![*t],
+            ParseTree::Node(_, l, r) => {
+                let mut out = l.leaves();
+                out.extend(r.leaves());
+                out
+            }
+        }
+    }
+
+    /// Render as a bracketed string.
+    pub fn render(&self, grammar: &CnfGrammar) -> String {
+        match self {
+            ParseTree::Leaf(nt, t) => {
+                format!("({} {})", grammar.nt_name(*nt), grammar.terminal_name(*t))
+            }
+            ParseTree::Node(nt, l, r) => format!(
+                "({} {} {})",
+                grammar.nt_name(*nt),
+                l.render(grammar),
+                r.render(grammar)
+            ),
+        }
+    }
+
+    /// Check this tree is a valid derivation of `tokens` under `grammar`.
+    pub fn validates(&self, grammar: &CnfGrammar, tokens: &[usize]) -> bool {
+        if self.leaves() != tokens {
+            return false;
+        }
+        self.rules_ok(grammar)
+    }
+
+    fn rules_ok(&self, grammar: &CnfGrammar) -> bool {
+        match self {
+            ParseTree::Leaf(nt, t) => grammar.lexical_mask(*t) >> nt.0 & 1 == 1,
+            ParseTree::Node(nt, l, r) => {
+                grammar
+                    .binary_rules()
+                    .iter()
+                    .any(|&(a, b, c)| a == *nt && b == l.root() && c == r.root())
+                    && l.rules_ok(grammar)
+                    && r.rules_ok(grammar)
+            }
+        }
+    }
+}
+
+/// Parse: returns one derivation tree if the sentence is in the language.
+pub fn cky_parse(grammar: &CnfGrammar, tokens: &[usize]) -> Option<ParseTree> {
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut stats = CkyStats::default();
+    let chart = build_chart(grammar, tokens, &mut stats);
+    if chart[tokens.len() - 1][0] >> grammar.start().0 & 1 != 1 {
+        return None;
+    }
+    Some(extract(grammar, &chart, tokens, grammar.start(), 0, tokens.len()))
+}
+
+fn extract(
+    grammar: &CnfGrammar,
+    chart: &[Vec<u64>],
+    tokens: &[usize],
+    nt: Nt,
+    i: usize,
+    len: usize,
+) -> ParseTree {
+    if len == 1 {
+        return ParseTree::Leaf(nt, tokens[i]);
+    }
+    for split in 1..len {
+        let left = chart[split - 1][i];
+        let right = chart[len - split - 1][i + split];
+        for &(a, b, c) in grammar.binary_rules() {
+            if a == nt && left >> b.0 & 1 == 1 && right >> c.0 & 1 == 1 {
+                let l = extract(grammar, chart, tokens, b, i, split);
+                let r = extract(grammar, chart, tokens, c, i + split, len - split);
+                return ParseTree::Node(nt, Box::new(l), Box::new(r));
+            }
+        }
+    }
+    unreachable!("chart bit set without a deriving rule");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn anbn_membership() {
+        let g = gen::anbn_cfg();
+        for (s, expect) in [
+            ("a b", true),
+            ("a a b b", true),
+            ("a a a b b b", true),
+            ("a", false),
+            ("b a", false),
+            ("a b a b", false),
+            ("a a b", false),
+        ] {
+            let toks = g.tokenize(s).unwrap();
+            let (got, _) = cky_recognize(&g, &toks);
+            assert_eq!(got, expect, "`{s}`");
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let g = gen::anbn_cfg();
+        assert!(!cky_recognize(&g, &[]).0);
+        assert!(cky_parse(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn parse_tree_is_a_valid_derivation() {
+        let g = gen::anbn_cfg();
+        let toks = g.tokenize("a a a b b b").unwrap();
+        let tree = cky_parse(&g, &toks).unwrap();
+        assert!(tree.validates(&g, &toks));
+        assert_eq!(tree.root(), g.start());
+        let rendered = tree.render(&g);
+        assert!(rendered.starts_with("(S"));
+    }
+
+    #[test]
+    fn english_cfg_parses() {
+        let g = gen::english_cfg();
+        let toks = g.tokenize("the dog sees a cat").unwrap();
+        let (ok, _) = cky_recognize(&g, &toks);
+        assert!(ok);
+        let tree = cky_parse(&g, &toks).unwrap();
+        assert!(tree.validates(&g, &toks));
+        let toks = g.tokenize("dog the sees").unwrap();
+        assert!(!cky_recognize(&g, &toks).0);
+    }
+
+    #[test]
+    fn rule_checks_grow_cubically() {
+        let g = gen::anbn_cfg();
+        let ops = |n: usize| {
+            let s = format!("{}{}", "a ".repeat(n), "b ".repeat(n));
+            let toks = g.tokenize(&s).unwrap();
+            cky_recognize(&g, &toks).1.rule_checks as f64
+        };
+        let r = ops(16) / ops(8);
+        assert!((5.0..12.0).contains(&r), "ops should grow ~n³: ratio {r}");
+    }
+
+    #[test]
+    fn brackets_membership() {
+        let g = gen::brackets_cfg();
+        for (s, expect) in [
+            ("( )", true),
+            ("( ( ) )", true),
+            ("( ) ( )", true),
+            ("(", false),
+            (") (", false),
+            ("( ( )", false),
+        ] {
+            let toks = g.tokenize(s).unwrap();
+            assert_eq!(cky_recognize(&g, &toks).0, expect, "`{s}`");
+        }
+    }
+}

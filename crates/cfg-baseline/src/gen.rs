@@ -1,0 +1,226 @@
+//! Fixed and random CNF grammars, plus sentence samplers.
+
+use crate::grammar::{CnfBuilder, CnfGrammar, Expansion, Nt};
+use rand::Rng;
+
+/// {aⁿbⁿ : n ≥ 1} in CNF: S → A B | A T; T → S B; A → a; B → b.
+/// The same language as the CDG grammar `cdg_grammar::grammars::formal::
+/// anbn_grammar`, used for cross-engine validation.
+pub fn anbn_cfg() -> CnfGrammar {
+    let mut b = CnfBuilder::new("anbn");
+    b.start("S")
+        .rule("S", "A", "B")
+        .rule("S", "A", "T")
+        .rule("T", "S", "B")
+        .lex("A", "a")
+        .lex("B", "b");
+    b.build().expect("anbn CFG is well-formed")
+}
+
+/// Nonempty balanced single-type brackets (Dyck-1) in CNF:
+/// S → L R | L T | S S; T → S R; L → (; R → ).
+pub fn brackets_cfg() -> CnfGrammar {
+    let mut b = CnfBuilder::new("brackets");
+    b.start("S")
+        .rule("S", "L", "R")
+        .rule("S", "L", "T")
+        .rule("S", "S", "S")
+        .rule("T", "S", "R")
+        .lex("L", "(")
+        .lex("R", ")");
+    b.build().expect("brackets CFG is well-formed")
+}
+
+/// A toy English CFG covering the same constructions as the CDG English
+/// grammar's core: S → NP VP, transitive/intransitive verbs, determiners,
+/// adjectives, and PP attachment (ambiguously, as in the CDG version).
+pub fn english_cfg() -> CnfGrammar {
+    let mut b = CnfBuilder::new("english");
+    b.start("S");
+    b.rule("S", "NP", "VP");
+    // NP → Det Nom | Det N ; Nom → Adj Nom handled via binary chains.
+    b.rule("NP", "Det", "Nom");
+    b.rule("Nom", "Adj", "Nom");
+    b.rule("NP", "NP", "PP");
+    b.rule("VP", "V", "NP");
+    b.rule("VP", "VP", "PP");
+    b.rule("VP", "VP", "Adv");
+    b.rule("PP", "P", "NP");
+    // Lexical heads — the same vocabulary the `corpus` generator draws
+    // from, so Figure 8 can run both parser families on identical
+    // sentences.
+    for d in ["the", "a", "this", "every"] {
+        b.lex("Det", d);
+    }
+    for n in [
+        "dog", "cat", "park", "telescope", "man", "program", "parser",
+        "machine", "table", "sentence", "child",
+    ] {
+        b.lex("Nom", n);
+    }
+    for v in ["sees", "likes", "finds", "watches"] {
+        b.lex("V", v);
+        // English drops objects freely ("the dog sees"), so transitive
+        // verbs double as VPs, like the CDG grammar's optional OBJ.
+        b.lex("VP", v);
+    }
+    // Intransitive verbs make a VP on their own.
+    for v in ["runs", "sleeps", "halts"] {
+        b.lex("VP", v);
+    }
+    for a in ["big", "red", "old", "small", "fast"] {
+        b.lex("Adj", a);
+    }
+    for p in ["in", "on", "near", "with"] {
+        b.lex("P", p);
+    }
+    for adv in ["quickly", "often", "slowly"] {
+        b.lex("Adv", adv);
+    }
+    b.build().expect("english CFG is well-formed")
+}
+
+/// A seeded random CNF grammar with `nts` nonterminals, `rules` binary
+/// rules, and `terminals` terminal symbols. Every nonterminal gets at
+/// least one lexical rule so derivations terminate.
+pub fn random_cnf<R: Rng>(rng: &mut R, nts: usize, rules: usize, terminals: usize) -> CnfGrammar {
+    assert!(nts >= 1 && nts <= 64 && terminals >= 1);
+    let mut b = CnfBuilder::new("random");
+    let nt_name = |i: usize| format!("N{i}");
+    let t_name = |i: usize| format!("t{i}");
+    b.start(&nt_name(0));
+    for i in 0..nts {
+        let t = rng.gen_range(0..terminals);
+        b.lex(&nt_name(i), &t_name(t));
+    }
+    for _ in 0..rules {
+        let a = rng.gen_range(0..nts);
+        let c1 = rng.gen_range(0..nts);
+        let c2 = rng.gen_range(0..nts);
+        b.rule(&nt_name(a), &nt_name(c1), &nt_name(c2));
+    }
+    // Make sure every terminal symbol exists even if unused by lex above.
+    for t in 0..terminals {
+        b.lex(&nt_name(rng.gen_range(0..nts)), &t_name(t));
+    }
+    b.build().expect("random CNF is well-formed by construction")
+}
+
+/// Sample a derivable sentence from the grammar by stochastic top-down
+/// expansion, biased toward terminals as depth grows so strings stay
+/// short. Returns terminal indices, or `None` if the budget ran out.
+pub fn sample_sentence<R: Rng>(
+    grammar: &CnfGrammar,
+    rng: &mut R,
+    max_len: usize,
+) -> Option<Vec<usize>> {
+    let expansions = grammar.expansions();
+    let mut out = Vec::new();
+    let mut stack = vec![(grammar.start(), 0usize)];
+    let mut budget = max_len * 8;
+    while let Some((nt, depth)) = stack.pop() {
+        if out.len() > max_len || budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        let options = expansions.get(&nt)?;
+        let terminals: Vec<&Expansion> = options
+            .iter()
+            .filter(|e| matches!(e, Expansion::Terminal(_)))
+            .collect();
+        let pairs: Vec<&Expansion> = options
+            .iter()
+            .filter(|e| matches!(e, Expansion::Pair(_, _)))
+            .collect();
+        // Bias toward terminals as the expansion deepens.
+        let use_terminal = !terminals.is_empty()
+            && (pairs.is_empty() || rng.gen_range(0..depth + 2) > 0);
+        let choice: &Expansion = if use_terminal {
+            terminals[rng.gen_range(0..terminals.len())]
+        } else if !pairs.is_empty() {
+            pairs[rng.gen_range(0..pairs.len())]
+        } else {
+            return None;
+        };
+        match *choice {
+            Expansion::Terminal(t) => out.push(t),
+            Expansion::Pair(b, c) => {
+                // Push right child first so the left expands first.
+                stack.push((c, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+    }
+    (!out.is_empty() && out.len() <= max_len).then_some(out)
+}
+
+/// Helper for benchmarks: the unique Nt whose name is given (panics if
+/// missing — fixed grammars only).
+pub fn nt_by_name(grammar: &CnfGrammar, name: &str) -> Nt {
+    (0..grammar.num_nonterminals() as u8)
+        .map(Nt)
+        .find(|&nt| grammar.nt_name(nt) == name)
+        .unwrap_or_else(|| panic!("no nonterminal `{name}` in {}", grammar.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cky::cky_recognize;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_grammars_build() {
+        assert_eq!(anbn_cfg().num_nonterminals(), 4);
+        assert!(english_cfg().num_rules() > 20);
+        assert_eq!(brackets_cfg().num_terminals(), 2);
+    }
+
+    #[test]
+    fn sampled_sentences_are_in_the_language() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for g in [anbn_cfg(), brackets_cfg(), english_cfg()] {
+            let mut found = 0;
+            for _ in 0..60 {
+                if let Some(tokens) = sample_sentence(&g, &mut rng, 12) {
+                    found += 1;
+                    let (ok, _) = cky_recognize(&g, &tokens);
+                    assert!(ok, "sampled string must be derivable ({})", g.name());
+                }
+            }
+            assert!(found > 5, "sampler should succeed sometimes for {}", g.name());
+        }
+    }
+
+    #[test]
+    fn random_grammars_always_terminate_sampling() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let g = random_cnf(&mut rng, 6, 12, 4);
+            // Sampling may fail, but must not loop forever or panic.
+            let _ = sample_sentence(&g, &mut rng, 10);
+            assert!(g.num_rules() >= 6);
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let g = english_cfg();
+        let a = sample_sentence(&g, &mut SmallRng::seed_from_u64(5), 12);
+        let b = sample_sentence(&g, &mut SmallRng::seed_from_u64(5), 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nt_by_name_finds() {
+        let g = anbn_cfg();
+        assert_eq!(g.nt_name(nt_by_name(&g, "T")), "T");
+    }
+
+    #[test]
+    #[should_panic(expected = "no nonterminal")]
+    fn nt_by_name_panics_on_missing() {
+        nt_by_name(&anbn_cfg(), "ZZZ");
+    }
+}

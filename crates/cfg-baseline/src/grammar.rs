@@ -1,0 +1,306 @@
+//! Chomsky-normal-form grammars.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A nonterminal, indexed into the grammar's symbol table. At most 64
+/// nonterminals are allowed so a chart cell fits one `u64` mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nt(pub u8);
+
+/// A CNF grammar: rules are `A → B C` or `A → t`.
+#[derive(Debug, Clone)]
+pub struct CnfGrammar {
+    name: String,
+    nonterminals: Vec<String>,
+    terminals: Vec<String>,
+    start: Nt,
+    /// Binary rules (A, B, C) for A → B C.
+    binary: Vec<(Nt, Nt, Nt)>,
+    /// Unit (lexical) rules: terminal index → mask of A with A → t.
+    lexical: Vec<u64>,
+}
+
+/// Errors raised while building a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    TooManyNonterminals(usize),
+    UnknownSymbol(String),
+    NoRules,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::TooManyNonterminals(n) => {
+                write!(f, "{n} nonterminals exceed the 64 supported")
+            }
+            CfgError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            CfgError::NoRules => write!(f, "grammar has no rules"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// Builder for [`CnfGrammar`].
+#[derive(Debug, Default)]
+pub struct CnfBuilder {
+    name: String,
+    nonterminals: Vec<String>,
+    terminals: Vec<String>,
+    binary: Vec<(String, String, String)>,
+    lexical: Vec<(String, String)>,
+    start: Option<String>,
+}
+
+impl CnfBuilder {
+    pub fn new(name: &str) -> Self {
+        CnfBuilder {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    fn nt_index(&mut self, name: &str) -> usize {
+        if let Some(i) = self.nonterminals.iter().position(|s| s == name) {
+            i
+        } else {
+            self.nonterminals.push(name.to_string());
+            self.nonterminals.len() - 1
+        }
+    }
+
+    fn t_index(&mut self, name: &str) -> usize {
+        if let Some(i) = self.terminals.iter().position(|s| s == name) {
+            i
+        } else {
+            self.terminals.push(name.to_string());
+            self.terminals.len() - 1
+        }
+    }
+
+    /// The start symbol (defaults to the first nonterminal mentioned).
+    pub fn start(&mut self, s: &str) -> &mut Self {
+        self.nt_index(s);
+        self.start = Some(s.to_string());
+        self
+    }
+
+    /// Add `a → b c`.
+    pub fn rule(&mut self, a: &str, b: &str, c: &str) -> &mut Self {
+        self.nt_index(a);
+        self.nt_index(b);
+        self.nt_index(c);
+        self.binary.push((a.into(), b.into(), c.into()));
+        self
+    }
+
+    /// Add `a → t` (lexical).
+    pub fn lex(&mut self, a: &str, t: &str) -> &mut Self {
+        self.nt_index(a);
+        self.t_index(t);
+        self.lexical.push((a.into(), t.into()));
+        self
+    }
+
+    pub fn build(&self) -> Result<CnfGrammar, CfgError> {
+        if self.binary.is_empty() && self.lexical.is_empty() {
+            return Err(CfgError::NoRules);
+        }
+        if self.nonterminals.len() > 64 {
+            return Err(CfgError::TooManyNonterminals(self.nonterminals.len()));
+        }
+        let nt = |name: &str| -> Result<Nt, CfgError> {
+            self.nonterminals
+                .iter()
+                .position(|s| s == name)
+                .map(|i| Nt(i as u8))
+                .ok_or_else(|| CfgError::UnknownSymbol(name.to_string()))
+        };
+        let start = match &self.start {
+            Some(s) => nt(s)?,
+            None => Nt(0),
+        };
+        let binary = self
+            .binary
+            .iter()
+            .map(|(a, b, c)| Ok((nt(a)?, nt(b)?, nt(c)?)))
+            .collect::<Result<Vec<_>, CfgError>>()?;
+        let mut lexical = vec![0u64; self.terminals.len()];
+        for (a, t) in &self.lexical {
+            let a = nt(a)?;
+            let ti = self
+                .terminals
+                .iter()
+                .position(|s| s == t)
+                .expect("terminal interned in lex()");
+            lexical[ti] |= 1u64 << a.0;
+        }
+        Ok(CnfGrammar {
+            name: self.name.clone(),
+            nonterminals: self.nonterminals.clone(),
+            terminals: self.terminals.clone(),
+            start,
+            binary,
+            lexical,
+        })
+    }
+}
+
+impl CnfGrammar {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn start(&self) -> Nt {
+        self.start
+    }
+
+    pub fn num_nonterminals(&self) -> usize {
+        self.nonterminals.len()
+    }
+
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+
+    pub fn num_rules(&self) -> usize {
+        self.binary.len() + self.lexical.iter().map(|m| m.count_ones() as usize).sum::<usize>()
+    }
+
+    pub fn binary_rules(&self) -> &[(Nt, Nt, Nt)] {
+        &self.binary
+    }
+
+    pub fn nt_name(&self, nt: Nt) -> &str {
+        &self.nonterminals[nt.0 as usize]
+    }
+
+    pub fn terminal_index(&self, t: &str) -> Option<usize> {
+        self.terminals.iter().position(|s| s == t)
+    }
+
+    pub fn terminal_name(&self, i: usize) -> &str {
+        &self.terminals[i]
+    }
+
+    /// Mask of nonterminals deriving terminal index `ti` directly.
+    pub fn lexical_mask(&self, ti: usize) -> u64 {
+        self.lexical[ti]
+    }
+
+    /// Tokenize a whitespace string into terminal indices.
+    pub fn tokenize(&self, text: &str) -> Result<Vec<usize>, CfgError> {
+        text.split_whitespace()
+            .map(|t| {
+                self.terminal_index(t)
+                    .ok_or_else(|| CfgError::UnknownSymbol(t.to_string()))
+            })
+            .collect()
+    }
+
+    /// Binary rules grouped for the CKY inner loop: (A mask bit, B, C).
+    pub fn rules_for_cky(&self) -> impl Iterator<Item = (u64, Nt, Nt)> + '_ {
+        self.binary.iter().map(|&(a, b, c)| (1u64 << a.0, b, c))
+    }
+
+    /// All (surface) productions of each nonterminal, for the sampler:
+    /// map A → list of either Terminal(usize) or Pair(B, C).
+    pub fn expansions(&self) -> BTreeMap<Nt, Vec<Expansion>> {
+        let mut map: BTreeMap<Nt, Vec<Expansion>> = BTreeMap::new();
+        for &(a, b, c) in &self.binary {
+            map.entry(a).or_default().push(Expansion::Pair(b, c));
+        }
+        for (ti, &mask) in self.lexical.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let a = Nt(m.trailing_zeros() as u8);
+                m &= m - 1;
+                map.entry(a).or_default().push(Expansion::Terminal(ti));
+            }
+        }
+        map
+    }
+}
+
+/// One right-hand side of a CNF rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    Terminal(usize),
+    Pair(Nt, Nt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anbn() -> CnfGrammar {
+        // S → A B | A T;  T → S B;  A → a;  B → b.
+        let mut b = CnfBuilder::new("anbn");
+        b.start("S")
+            .rule("S", "A", "B")
+            .rule("S", "A", "T")
+            .rule("T", "S", "B")
+            .lex("A", "a")
+            .lex("B", "b");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_interned_symbols() {
+        let g = anbn();
+        assert_eq!(g.num_nonterminals(), 4);
+        assert_eq!(g.num_terminals(), 2);
+        assert_eq!(g.nt_name(g.start()), "S");
+        assert_eq!(g.num_rules(), 5);
+        assert_eq!(g.terminal_index("a"), Some(0));
+        assert_eq!(g.terminal_index("z"), None);
+    }
+
+    #[test]
+    fn lexical_masks() {
+        let g = anbn();
+        let a_mask = g.lexical_mask(g.terminal_index("a").unwrap());
+        assert_eq!(a_mask.count_ones(), 1);
+        let b_mask = g.lexical_mask(g.terminal_index("b").unwrap());
+        assert_ne!(a_mask, b_mask);
+    }
+
+    #[test]
+    fn tokenize_roundtrip() {
+        let g = anbn();
+        let toks = g.tokenize("a a b b").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(g.terminal_name(toks[0]), "a");
+        assert!(g.tokenize("a x").is_err());
+    }
+
+    #[test]
+    fn empty_grammar_rejected() {
+        assert_eq!(CnfBuilder::new("x").build().unwrap_err(), CfgError::NoRules);
+    }
+
+    #[test]
+    fn too_many_nonterminals_rejected() {
+        let mut b = CnfBuilder::new("big");
+        for i in 0..65 {
+            b.lex(&format!("N{i}"), "t");
+        }
+        assert!(matches!(
+            b.build().unwrap_err(),
+            CfgError::TooManyNonterminals(65)
+        ));
+    }
+
+    #[test]
+    fn expansions_cover_all_rules() {
+        let g = anbn();
+        let ex = g.expansions();
+        let s_rules = &ex[&g.start()];
+        assert_eq!(s_rules.len(), 2);
+        assert!(s_rules.iter().all(|e| matches!(e, Expansion::Pair(_, _))));
+        let a = Nt(1); // "A" interned second (after S)
+        assert!(matches!(ex[&a][0], Expansion::Terminal(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! Context-free parsing baselines for the paper's Figure 8.
+//!
+//! The paper's evaluation table compares CDG parsing against CFG parsing
+//! across architectures (sequential, CRCW P-RAM, 2-D mesh, cellular
+//! automata, tree/hypercube). This crate supplies the CFG side:
+//!
+//! * [`grammar::CnfGrammar`] — Chomsky-normal-form grammars with at most
+//!   64 nonterminals, so chart cells are single `u64` masks;
+//! * [`cky`] — the O(|R|·n³) sequential CKY recognizer/parser (the
+//!   "Sequential Machine" CFG row);
+//! * [`parallel`] — a rayon wavefront CKY (diagonals in parallel — the
+//!   practical stand-in for the P-RAM CFG rows);
+//! * [`mesh`] — a synchronous-sweep systolic CKY in the spirit of
+//!   Kosaraju's array automata (the "2D Mesh / Cellular Automata" rows):
+//!   every cell recomputes from the current chart each sweep, and the
+//!   number of sweeps to fixpoint is the measured mesh time, O(n);
+//! * [`gen`] — seeded random CNF grammars and sentence samplers, plus
+//!   fixed grammars (a toy English CFG, aⁿbⁿ, balanced brackets) shared
+//!   with the CDG cross-validation tests.
+
+pub mod cky;
+pub mod gen;
+pub mod grammar;
+pub mod mesh;
+pub mod parallel;
+
+pub use cky::{cky_parse, cky_recognize, CkyStats, ParseTree};
+pub use grammar::{CnfGrammar, Nt};
+pub use mesh::{mesh_recognize, MeshCkyStats};
+pub use parallel::cky_recognize_par;

@@ -1,0 +1,146 @@
+//! Systolic-sweep CKY — the "2D Mesh / 2D Cellular Automata" CFG rows of
+//! Figure 8 (after Kosaraju 1975).
+//!
+//! The chart is laid out on an O(n²) cell array. Each synchronous sweep,
+//! every cell recomputes its nonterminal mask from the *current* contents
+//! of the cells it depends on (all ways of splitting its span). Masks only
+//! grow, so the computation reaches a fixpoint; the number of sweeps until
+//! nothing changes is the measured mesh time. Information must propagate
+//! from length-1 spans to the length-n span, so the fixpoint needs Θ(n)
+//! sweeps — matching the O(k·n) / O(n) time of the table's mesh rows.
+
+use crate::grammar::CnfGrammar;
+
+/// Step counts from a mesh run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshCkyStats {
+    /// Cells in the array: n(n+1)/2 occupied, O(n²).
+    pub cells: usize,
+    /// Synchronous sweeps until fixpoint (the measured mesh time, Θ(n)).
+    pub sweeps: usize,
+    /// Per-sweep work of one cell (rule set size × split positions ≤ n).
+    pub max_cell_work: usize,
+}
+
+/// Recognize by synchronous sweeps to fixpoint.
+pub fn mesh_recognize(grammar: &CnfGrammar, tokens: &[usize]) -> (bool, MeshCkyStats) {
+    if tokens.is_empty() {
+        return (false, MeshCkyStats::default());
+    }
+    let n = tokens.len();
+    let mut stats = MeshCkyStats {
+        cells: n * (n + 1) / 2,
+        sweeps: 0,
+        max_cell_work: 0,
+    };
+    // chart[len-1][i], all zero except the lexical row.
+    let mut chart: Vec<Vec<u64>> = (0..n).map(|len| vec![0u64; n - len]).collect();
+    for (i, &t) in tokens.iter().enumerate() {
+        chart[0][i] = grammar.lexical_mask(t);
+    }
+    loop {
+        stats.sweeps += 1;
+        let mut changed = false;
+        // Synchronous: all cells read the previous sweep's chart.
+        let snapshot = chart.clone();
+        for len in 2..=n {
+            for i in 0..=n - len {
+                let mut mask = snapshot[len - 1][i];
+                let mut work = 0;
+                for split in 1..len {
+                    let left = snapshot[split - 1][i];
+                    let right = snapshot[len - split - 1][i + split];
+                    work += grammar.binary_rules().len();
+                    if left == 0 || right == 0 {
+                        continue;
+                    }
+                    for (a_bit, b, c) in grammar.rules_for_cky() {
+                        if left >> b.0 & 1 == 1 && right >> c.0 & 1 == 1 {
+                            mask |= a_bit;
+                        }
+                    }
+                }
+                stats.max_cell_work = stats.max_cell_work.max(work);
+                if mask != chart[len - 1][i] {
+                    chart[len - 1][i] = mask;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let accepted = chart[n - 1][0] >> grammar.start().0 & 1 == 1;
+    (accepted, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cky::cky_recognize;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_sequential() {
+        let g = gen::english_cfg();
+        for s in [
+            "the dog sees a cat",
+            "a cat sleeps",
+            "dog the sees",
+            "the dog sees the cat in the park",
+        ] {
+            let toks = g.tokenize(s).unwrap();
+            let (seq, _) = cky_recognize(&g, &toks);
+            let (mesh, _) = mesh_recognize(&g, &toks);
+            assert_eq!(seq, mesh, "`{s}`");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_inputs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let g = gen::random_cnf(&mut rng, 5, 8, 3);
+            let len = rng.gen_range(1..=8);
+            let tokens: Vec<usize> = (0..len)
+                .map(|_| rng.gen_range(0..g.num_terminals()))
+                .collect();
+            assert_eq!(
+                cky_recognize(&g, &tokens).0,
+                mesh_recognize(&g, &tokens).0
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_grow_linearly() {
+        // The fixpoint needs Θ(n) sweeps: doubling n should roughly double
+        // the sweep count (within rounding), never square it.
+        let g = gen::anbn_cfg();
+        let sweeps = |n: usize| {
+            let s = format!("{}{}", "a ".repeat(n), "b ".repeat(n));
+            let toks = g.tokenize(&s).unwrap();
+            mesh_recognize(&g, &toks).1.sweeps as f64
+        };
+        let ratio = sweeps(12) / sweeps(6);
+        assert!((1.5..3.0).contains(&ratio), "sweeps should be Θ(n): {ratio}");
+    }
+
+    #[test]
+    fn cell_count_is_quadratic() {
+        let g = gen::anbn_cfg();
+        let toks = g.tokenize("a a b b").unwrap();
+        let (_, stats) = mesh_recognize(&g, &toks);
+        assert_eq!(stats.cells, 10); // 4·5/2
+        assert!(stats.max_cell_work > 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = gen::anbn_cfg();
+        assert_eq!(mesh_recognize(&g, &[]).0, false);
+    }
+}

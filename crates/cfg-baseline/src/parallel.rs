@@ -1,0 +1,90 @@
+//! Wavefront-parallel CKY on rayon.
+//!
+//! CKY's data dependencies run strictly from shorter spans to longer ones,
+//! so each anti-diagonal of the chart (all cells of one span length) is an
+//! independent parallel sweep — the practical host-machine analogue of the
+//! P-RAM CFG rows in Figure 8. Results are bit-identical to the sequential
+//! recognizer.
+
+use crate::grammar::CnfGrammar;
+use rayon::prelude::*;
+
+/// Parallel recognizer. Returns the same decision as
+/// [`crate::cky_recognize`]; also reports the number of parallel sweeps
+/// (one per span length — the O(n) critical path of this schedule).
+pub fn cky_recognize_par(grammar: &CnfGrammar, tokens: &[usize]) -> (bool, usize) {
+    if tokens.is_empty() {
+        return (false, 0);
+    }
+    let n = tokens.len();
+    let mut chart: Vec<Vec<u64>> = Vec::with_capacity(n);
+    chart.push(tokens.iter().map(|&t| grammar.lexical_mask(t)).collect());
+    let mut sweeps = 1;
+    for len in 2..=n {
+        sweeps += 1;
+        let row: Vec<u64> = (0..n - len + 1)
+            .into_par_iter()
+            .map(|i| {
+                let mut mask = 0u64;
+                for split in 1..len {
+                    let left = chart[split - 1][i];
+                    let right = chart[len - split - 1][i + split];
+                    if left == 0 || right == 0 {
+                        continue;
+                    }
+                    for (a_bit, b, c) in grammar.rules_for_cky() {
+                        if left >> b.0 & 1 == 1 && right >> c.0 & 1 == 1 {
+                            mask |= a_bit;
+                        }
+                    }
+                }
+                mask
+            })
+            .collect();
+        chart.push(row);
+    }
+    let accepted = chart[n - 1][0] >> grammar.start().0 & 1 == 1;
+    (accepted, sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cky::cky_recognize;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_sequential_on_fixed_cases() {
+        let g = gen::anbn_cfg();
+        for s in ["a b", "a a b b", "a b b", "b", "a a a a b b b b"] {
+            let toks = g.tokenize(s).unwrap();
+            let (seq, _) = cky_recognize(&g, &toks);
+            let (par, sweeps) = cky_recognize_par(&g, &toks);
+            assert_eq!(seq, par, "`{s}`");
+            assert_eq!(sweeps, toks.len());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_grammars_and_strings() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for trial in 0..30 {
+            let g = gen::random_cnf(&mut rng, 6, 10, 3);
+            let len = rng.gen_range(1..=10);
+            let tokens: Vec<usize> = (0..len)
+                .map(|_| rng.gen_range(0..g.num_terminals()))
+                .collect();
+            let (seq, _) = cky_recognize(&g, &tokens);
+            let (par, _) = cky_recognize_par(&g, &tokens);
+            assert_eq!(seq, par, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = gen::anbn_cfg();
+        assert_eq!(cky_recognize_par(&g, &[]), (false, 0));
+    }
+}

@@ -1,0 +1,333 @@
+//! Workload generation for the benchmark harness.
+//!
+//! The paper's time trials sweep sentence length; its architecture table
+//! (Figure 8) compares engines on the same inputs. This crate produces
+//! those inputs deterministically:
+//!
+//! * [`english_sentence`] — a grammatical English sentence of an exact
+//!   target length, built from a seeded template expansion over the
+//!   `cdg-grammar` English lexicon (subject NP, verb, optional object NP,
+//!   adverbs, and as many PP adjuncts as the length requires);
+//! * [`length_sweep`] — a deterministic sweep of such sentences;
+//! * [`scrambled`] — a rejection workload: the same words, shuffled with a
+//!   seeded RNG (almost never grammatical);
+//! * [`formal`] re-exports sized strings for the formal languages.
+
+use cdg_grammar::grammars::english;
+use cdg_grammar::{Grammar, Lexicon, Sentence};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary pools drawn from the English lexicon, grouped by category.
+struct Pools {
+    det: Vec<&'static str>,
+    nouns: Vec<&'static str>,
+    verb: Vec<&'static str>,
+    adj: Vec<&'static str>,
+    adv: Vec<&'static str>,
+    prep: Vec<&'static str>,
+}
+
+fn pools() -> Pools {
+    Pools {
+        det: vec!["the", "a", "this", "every"],
+        nouns: vec!["dog", "cat", "program", "parser", "machine", "park", "telescope", "table", "sentence", "man", "child"],
+        verb: vec!["sees", "likes", "finds", "watches"],
+        adj: vec!["big", "red", "old", "fast", "small"],
+        adv: vec!["quickly", "often", "slowly"],
+        prep: vec!["in", "on", "near", "with"],
+    }
+}
+
+/// Build a grammatical English sentence with exactly `n ≥ 3` words,
+/// deterministic in `seed`.
+///
+/// Shape: `det [adj]* noun verb [adv] [det [adj]* noun] (prep det [adj]* noun)*`
+/// — adjectives and PP adjuncts are added until the length is exact, so
+/// any n ≥ 3 is reachable.
+pub fn english_sentence(_grammar: &Grammar, lexicon: &Lexicon, n: usize, seed: u64) -> Sentence {
+    assert!(n >= 3, "an English sentence needs det noun verb (n >= 3), got {n}");
+    let p = pools();
+    let mut rng = SmallRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let pick = |rng: &mut SmallRng, v: &[&'static str]| v[rng.gen_range(0..v.len())];
+
+    // Start with the skeleton and grow by inserting optional material.
+    // Words are tracked as (text, insertable-slots) implicitly by
+    // rebuilding: we compute the counts first.
+    // Skeleton: det noun verb = 3 words. Each PP adds 3 (prep det noun).
+    // Each adjective adds 1 (before a noun). An object NP adds 2.
+    let mut remaining = n - 3;
+    let mut object = false;
+    if remaining >= 2 && rng.gen_bool(0.6) {
+        object = true;
+        remaining -= 2;
+    }
+    let mut adverb = false;
+    if remaining >= 1 && rng.gen_bool(0.3) {
+        adverb = true;
+        remaining -= 1;
+    }
+    let pps = remaining / 3;
+    let mut adjectives = remaining % 3;
+
+    // Noun-phrase sites: subject, object (if any), each PP object.
+    let np_sites = 1 + usize::from(object) + pps;
+    // Distribute the leftover adjectives across NP sites.
+    let mut adj_per_site = vec![0usize; np_sites];
+    let mut site = 0;
+    while adjectives > 0 {
+        adj_per_site[site % np_sites] += 1;
+        adjectives -= 1;
+        site += 1;
+    }
+
+    let mut words: Vec<&'static str> = Vec::with_capacity(n);
+    let np = |rng: &mut SmallRng, words: &mut Vec<&'static str>, adjs: usize| {
+        words.push(pick(rng, &p.det));
+        for _ in 0..adjs {
+            words.push(pick(rng, &p.adj));
+        }
+        words.push(pick(rng, &p.nouns));
+    };
+    let mut site_iter = adj_per_site.into_iter();
+    np(&mut rng, &mut words, site_iter.next().unwrap());
+    words.push(pick(&mut rng, &p.verb));
+    if object {
+        np(&mut rng, &mut words, site_iter.next().unwrap());
+    }
+    for _ in 0..pps {
+        words.push(pick(&mut rng, &p.prep));
+        np(&mut rng, &mut words, site_iter.next().unwrap());
+    }
+    if adverb {
+        words.push(pick(&mut rng, &p.adv));
+    }
+    assert_eq!(words.len(), n, "length bookkeeping must be exact");
+    lexicon
+        .sentence(&words.join(" "))
+        .expect("generated words come from the lexicon")
+}
+
+/// A deterministic sweep of grammatical sentences over `lengths`.
+pub fn length_sweep(
+    grammar: &Grammar,
+    lexicon: &Lexicon,
+    lengths: &[usize],
+    seed: u64,
+) -> Vec<Sentence> {
+    lengths
+        .iter()
+        .map(|&n| english_sentence(grammar, lexicon, n, seed))
+        .collect()
+}
+
+/// Shuffle the words of `sentence` with a seeded RNG — a same-vocabulary,
+/// (almost always) ungrammatical rejection workload.
+pub fn scrambled(lexicon: &Lexicon, sentence: &Sentence, seed: u64) -> Sentence {
+    let mut words: Vec<String> = sentence.words().iter().map(|w| w.text.clone()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    words.shuffle(&mut rng);
+    lexicon
+        .sentence(&words.join(" "))
+        .expect("same vocabulary, still in the lexicon")
+}
+
+/// The standard benchmark setup: the English grammar, its lexicon, and a
+/// default sweep used by several benches and examples.
+pub fn standard_setup() -> (Grammar, Lexicon) {
+    let g = english::grammar();
+    let lex = english::lexicon(&g);
+    (g, lex)
+}
+
+/// The extended (q = 3, auxiliaries) setup.
+pub fn extended_setup() -> (Grammar, Lexicon) {
+    let g = cdg_grammar::grammars::english_aux::grammar();
+    let lex = cdg_grammar::grammars::english_aux::lexicon(&g);
+    (g, lex)
+}
+
+/// A grammatical sentence for the extended grammar with exactly `n ≥ 3`
+/// words, deterministic in `seed`. Shape:
+/// `det noun (aux base | finite) [det noun] (prep det noun)* [adv]*` —
+/// the auxiliary construction appears whenever the length budget allows.
+pub fn english_aux_sentence(
+    _grammar: &Grammar,
+    lexicon: &Lexicon,
+    n: usize,
+    seed: u64,
+) -> Sentence {
+    assert!(n >= 3, "need det noun verb (n >= 3), got {n}");
+    let mut rng = SmallRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E3779B9));
+    let det = ["the", "a", "every"];
+    let nouns = ["dog", "cat", "program", "park", "telescope", "child"];
+    let finite = ["runs", "sees", "sleeps", "watches", "exists"];
+    let aux = ["can", "will", "must", "may"];
+    let base = ["run", "see", "sleep", "watch", "exist"];
+    let adv = ["quickly", "often"];
+    let prep = ["in", "near", "with"];
+    let pick = |rng: &mut SmallRng, v: &[&'static str]| v[rng.gen_range(0..v.len())];
+
+    let mut remaining = n - 3;
+    // The auxiliary construction costs one extra word over a finite verb.
+    let use_aux = remaining >= 1 && rng.gen_bool(0.7);
+    if use_aux {
+        remaining -= 1;
+    }
+    let mut object = false;
+    if remaining >= 2 && rng.gen_bool(0.6) {
+        object = true;
+        remaining -= 2;
+    }
+    // Spend the non-multiple-of-3 remainder on trailing adverbs; the rest
+    // on PP adjuncts (3 words each). Adverbs stack freely on the verb.
+    let adverbs = remaining % 3;
+    let pps = remaining / 3;
+
+    let mut words: Vec<&'static str> = Vec::with_capacity(n);
+    words.push(pick(&mut rng, &det));
+    words.push(pick(&mut rng, &nouns));
+    if use_aux {
+        words.push(pick(&mut rng, &aux));
+        words.push(pick(&mut rng, &base));
+    } else {
+        words.push(pick(&mut rng, &finite));
+    }
+    if object {
+        words.push(pick(&mut rng, &det));
+        words.push(pick(&mut rng, &nouns));
+    }
+    for _ in 0..pps {
+        words.push(pick(&mut rng, &prep));
+        words.push(pick(&mut rng, &det));
+        words.push(pick(&mut rng, &nouns));
+    }
+    for _ in 0..adverbs {
+        words.push(pick(&mut rng, &adv));
+    }
+    assert_eq!(words.len(), n, "length bookkeeping must be exact");
+    lexicon
+        .sentence(&words.join(" "))
+        .expect("generated words come from the extended lexicon")
+}
+
+/// Sized strings for the formal languages (shared by benches and tests).
+pub mod formal {
+    /// aⁿbⁿ with the given n.
+    pub fn anbn(n: usize) -> String {
+        format!("{}{}", "a".repeat(n), "b".repeat(n))
+    }
+
+    /// Nested brackets of depth d: `((…))`.
+    pub fn nested_brackets(d: usize) -> String {
+        format!("{}{}", "(".repeat(d), ")".repeat(d))
+    }
+
+    /// ww where w is a pseudo-random binary string of length `half`
+    /// derived from `seed` (deterministic, no RNG dependency).
+    pub fn ww(half: usize, seed: u64) -> String {
+        let mut w = String::with_capacity(half);
+        let mut state = seed | 1;
+        for _ in 0..half {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            w.push(if state >> 63 == 1 { '1' } else { '0' });
+        }
+        format!("{w}{w}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_core::parser::{parse, ParseOptions};
+
+    #[test]
+    fn english_sentences_hit_exact_lengths() {
+        let (g, lex) = standard_setup();
+        for n in 3..=20 {
+            let s = english_sentence(&g, &lex, n, 1);
+            assert_eq!(s.len(), n, "target {n}");
+        }
+    }
+
+    #[test]
+    fn english_sentences_are_grammatical() {
+        let (g, lex) = standard_setup();
+        for n in [3usize, 5, 6, 8, 9, 11, 12, 14] {
+            for seed in 0..3 {
+                let s = english_sentence(&g, &lex, n, seed);
+                let outcome = parse(&g, &s, ParseOptions::default());
+                assert!(
+                    outcome.accepted(),
+                    "n={n} seed={seed}: `{s}` should parse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_sentences_parse_and_hit_lengths() {
+        let (g, lex) = extended_setup();
+        for n in 3..=14 {
+            for seed in 0..3 {
+                let s = english_aux_sentence(&g, &lex, n, seed);
+                assert_eq!(s.len(), n, "target {n} seed {seed}");
+                let outcome = parse(&g, &s, ParseOptions::default());
+                assert!(outcome.accepted(), "n={n} seed={seed}: `{s}`");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (g, lex) = standard_setup();
+        let a = english_sentence(&g, &lex, 9, 7);
+        let b = english_sentence(&g, &lex, 9, 7);
+        assert_eq!(a, b);
+        let c = english_sentence(&g, &lex, 9, 8);
+        // Different seeds will almost surely differ (not guaranteed, but
+        // with this vocabulary the chance of collision is negligible).
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_covers_lengths() {
+        let (g, lex) = standard_setup();
+        let sweep = length_sweep(&g, &lex, &[3, 6, 9], 0);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[2].len(), 9);
+    }
+
+    #[test]
+    fn scrambled_keeps_vocabulary() {
+        let (g, lex) = standard_setup();
+        let s = english_sentence(&g, &lex, 8, 3);
+        let bad = scrambled(&lex, &s, 99);
+        assert_eq!(bad.len(), 8);
+        let mut orig: Vec<&str> = s.words().iter().map(|w| w.text.as_str()).collect();
+        let mut scram: Vec<&str> = bad.words().iter().map(|w| w.text.as_str()).collect();
+        orig.sort();
+        scram.sort();
+        assert_eq!(orig, scram);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn too_short_panics() {
+        let (g, lex) = standard_setup();
+        english_sentence(&g, &lex, 2, 0);
+    }
+
+    #[test]
+    fn formal_strings() {
+        assert_eq!(formal::anbn(3), "aaabbb");
+        assert_eq!(formal::nested_brackets(2), "(())");
+        let w = formal::ww(4, 5);
+        assert_eq!(w.len(), 8);
+        assert_eq!(&w[..4], &w[4..]);
+        assert_eq!(formal::ww(4, 5), formal::ww(4, 5));
+    }
+}

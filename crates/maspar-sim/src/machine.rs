@@ -1,0 +1,721 @@
+//! The Machine: PE array, ACU activity control, plural operations, scans,
+//! and the global router.
+
+use crate::plural::Plural;
+use crate::scan::SegmentMap;
+use crate::stats::{CostModel, MachineStats};
+use rayon::prelude::*;
+
+/// Static machine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Physical PEs (the full MP-1: 16,384).
+    pub phys_pes: usize,
+    /// PE-local memory, bytes (MP-1: 16 KB).
+    pub pe_memory_bytes: usize,
+    /// Cost weights for the time estimate.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            phys_pes: 16_384,
+            pe_memory_bytes: 16 * 1024,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The simulated machine, sized for one program's virtual PE count.
+///
+/// When a program needs more virtual PEs than the machine has physical
+/// ones, every broadcast instruction is executed ⌈virt/phys⌉ times — the
+/// paper's processor virtualization (design decision 6), and the origin of
+/// the 0.15 s → 0.45 s staircase in its time trials.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    n_virt: usize,
+    virt_factor: u64,
+    /// Activity flags per virtual PE; the stack implements MPL's plural if.
+    enabled: Vec<bool>,
+    activity_stack: Vec<Vec<bool>>,
+    /// Simulated PE-local memory in use (bytes per physical PE).
+    pe_memory_used: usize,
+    /// Optional instruction trace (the paper singles out the MP-1's
+    /// "extensive debugging support"; this is ours).
+    trace: Option<Vec<TraceEntry>>,
+    pub stats: MachineStats,
+}
+
+/// One traced machine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Operation kind: `plural`, `scan_or`, `scan_and`, `scan_add`,
+    /// `reduce`, `gather`, `scatter`, `xnet`, `activity`.
+    pub op: &'static str,
+    /// PEs active when the operation was broadcast.
+    pub active: usize,
+}
+
+impl Machine {
+    /// A machine executing a program of `n_virt` virtual PEs.
+    ///
+    /// ```
+    /// use maspar_sim::{Machine, SegmentMap};
+    ///
+    /// // 8 virtual PEs; each computes its id, then a segmented scanOr
+    /// // reduces each half to its boundary PE.
+    /// let mut m = Machine::mp1(8);
+    /// let flags = m.par_init(false, |pe| pe == 6);
+    /// let segs = SegmentMap::uniform(8, 4);
+    /// let reduced = m.scan_or(&flags, &segs);
+    /// assert!(!reduced.get(0));     // first half: no flag
+    /// assert!(*reduced.get(4));     // second half: PE 6 flagged
+    /// assert_eq!(m.stats.scan_calls, 1);
+    /// ```
+    pub fn new(config: MachineConfig, n_virt: usize) -> Self {
+        assert!(n_virt > 0, "a program needs at least one virtual PE");
+        assert!(config.phys_pes > 0);
+        let virt_factor = n_virt.div_ceil(config.phys_pes) as u64;
+        Machine {
+            config,
+            n_virt,
+            virt_factor,
+            enabled: vec![true; n_virt],
+            activity_stack: Vec::new(),
+            pe_memory_used: 0,
+            trace: None,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// Full-size MP-1 with default cost model.
+    pub fn mp1(n_virt: usize) -> Self {
+        Machine::new(MachineConfig::default(), n_virt)
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    pub fn n_virt(&self) -> usize {
+        self.n_virt
+    }
+
+    /// ⌈virtual PEs / physical PEs⌉ — the paper's virtualization multiplier.
+    pub fn virt_factor(&self) -> u64 {
+        self.virt_factor
+    }
+
+    /// PEs currently executing broadcast instructions.
+    pub fn active_count(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
+    }
+
+    pub fn is_enabled(&self, pe: usize) -> bool {
+        self.enabled[pe]
+    }
+
+    /// Estimated MP-1 seconds for everything executed so far.
+    pub fn estimated_seconds(&self) -> f64 {
+        self.stats.estimated_seconds(&self.config.cost)
+    }
+
+    /// Turn on instruction tracing; each subsequent operation records its
+    /// kind and the active PE count.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The trace so far (empty when tracing is off).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, op: &'static str) {
+        if self.trace.is_some() {
+            let active = self.active_count();
+            self.trace.as_mut().expect("checked above").push(TraceEntry { op, active });
+        }
+    }
+
+    /// Permanently disable specific PEs (used for layout diagonals and for
+    /// failure-injection tests). Applies to the *current* activity frame
+    /// and, by construction, everything nested within it.
+    pub fn disable_pes(&mut self, pes: &[usize]) {
+        for &pe in pes {
+            self.enabled[pe] = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Allocate a plural value, one `T` per virtual PE, charged against the
+    /// 16 KB-per-PE budget (each physical PE holds `virt_factor` layers).
+    pub fn alloc<T: Clone + Send + Sync>(&mut self, init: T) -> Plural<T> {
+        let per_phys = std::mem::size_of::<T>() * self.virt_factor as usize;
+        self.pe_memory_used += per_phys;
+        assert!(
+            self.pe_memory_used <= self.config.pe_memory_bytes,
+            "PE-local memory exhausted: {} of {} bytes (the MP-1 had 16 KB per PE)",
+            self.pe_memory_used,
+            self.config.pe_memory_bytes
+        );
+        self.stats.peak_pe_memory_bytes = self.stats.peak_pe_memory_bytes.max(self.pe_memory_used);
+        Plural::from_vec(vec![init; self.n_virt])
+    }
+
+    /// Release a plural's memory (host keeps the data; the budget shrinks).
+    pub fn free<T>(&mut self, plural: Plural<T>) {
+        let per_phys = std::mem::size_of::<T>() * self.virt_factor as usize;
+        self.pe_memory_used = self.pe_memory_used.saturating_sub(per_phys);
+        drop(plural);
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast plural instructions
+    // ------------------------------------------------------------------
+
+    fn charge_plural_op(&mut self) {
+        self.record("plural");
+        self.stats.plural_ops += 1;
+        self.stats.plural_slices += self.virt_factor;
+    }
+
+    /// One broadcast instruction: every active PE updates its slot of `p`
+    /// from its PE id. Runs data-parallel on the host.
+    pub fn par_map<T: Send>(&mut self, p: &mut Plural<T>, f: impl Fn(usize, &mut T) + Sync) {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        self.charge_plural_op();
+        let enabled = &self.enabled;
+        p.as_mut_slice()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(pe, slot)| {
+                if enabled[pe] {
+                    f(pe, slot);
+                }
+            });
+    }
+
+    /// One broadcast instruction reading a second plural: `dst[pe] =
+    /// f(pe, dst[pe], src[pe])` on active PEs.
+    pub fn par_zip<T: Send, U: Sync>(
+        &mut self,
+        dst: &mut Plural<T>,
+        src: &Plural<U>,
+        f: impl Fn(usize, &mut T, &U) + Sync,
+    ) {
+        assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(src.len(), self.n_virt, "plural size mismatch");
+        self.charge_plural_op();
+        let enabled = &self.enabled;
+        let src = src.as_slice();
+        dst.as_mut_slice()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(pe, slot)| {
+                if enabled[pe] {
+                    f(pe, slot, &src[pe]);
+                }
+            });
+    }
+
+    /// One broadcast instruction reading two plurals: `dst[pe] =
+    /// f(pe, dst[pe], a[pe], b[pe])` on active PEs.
+    pub fn par_zip2<T: Send, U: Sync, V: Sync>(
+        &mut self,
+        dst: &mut Plural<T>,
+        a: &Plural<U>,
+        b: &Plural<V>,
+        f: impl Fn(usize, &mut T, &U, &V) + Sync,
+    ) {
+        assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(a.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(b.len(), self.n_virt, "plural size mismatch");
+        self.charge_plural_op();
+        let enabled = &self.enabled;
+        let a = a.as_slice();
+        let b = b.as_slice();
+        dst.as_mut_slice()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(pe, slot)| {
+                if enabled[pe] {
+                    f(pe, slot, &a[pe], &b[pe]);
+                }
+            });
+    }
+
+    /// Build a fresh plural from PE ids in one instruction (active PEs run
+    /// `f`; inactive PEs hold `fill`).
+    pub fn par_init<T: Clone + Send + Sync>(
+        &mut self,
+        fill: T,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Plural<T> {
+        let mut p = self.alloc(fill);
+        self.par_map(&mut p, |pe, slot| *slot = f(pe));
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Activity control (MPL plural if)
+    // ------------------------------------------------------------------
+
+    /// Run `body` with activity narrowed to PEs where `mask` holds (and
+    /// that were already active). Restores the previous activity set after.
+    pub fn with_activity<R>(
+        &mut self,
+        mask: &Plural<bool>,
+        body: impl FnOnce(&mut Machine) -> R,
+    ) -> R {
+        assert_eq!(mask.len(), self.n_virt, "mask size mismatch");
+        let saved = self.enabled.clone();
+        self.activity_stack.push(saved);
+        let mask = mask.as_slice();
+        for (pe, e) in self.enabled.iter_mut().enumerate() {
+            *e = *e && mask[pe];
+        }
+        // Narrowing activity is itself one broadcast test.
+        self.charge_plural_op();
+        let result = body(self);
+        self.enabled = self.activity_stack.pop().expect("activity stack underflow");
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and scans
+    // ------------------------------------------------------------------
+
+    fn charge_scan(&mut self) {
+        self.record("scan");
+        self.stats.scan_calls += 1;
+        // ⌈log₂ (PEs in use)⌉ router passes — the paper's logarithmic
+        // primitive — plus one local pass per extra virtualization layer
+        // once the program outgrows the physical array.
+        let in_use = self.n_virt.min(self.config.phys_pes).max(2);
+        let log = (in_use as f64).log2().ceil() as u64;
+        self.stats.scan_passes += log + (self.virt_factor - 1);
+    }
+
+    /// Global OR over active PEs (the MP-1's `globalor`).
+    pub fn reduce_or(&mut self, p: &Plural<bool>) -> bool {
+        assert_eq!(p.len(), self.n_virt);
+        self.charge_scan();
+        let enabled = &self.enabled;
+        p.as_slice()
+            .par_iter()
+            .enumerate()
+            .any(|(pe, &v)| enabled[pe] && v)
+    }
+
+    /// Global AND over active PEs (identity `true` when none active).
+    pub fn reduce_and(&mut self, p: &Plural<bool>) -> bool {
+        assert_eq!(p.len(), self.n_virt);
+        self.charge_scan();
+        let enabled = &self.enabled;
+        p.as_slice()
+            .par_iter()
+            .enumerate()
+            .all(|(pe, &v)| !enabled[pe] || v)
+    }
+
+    /// Global sum of a u64 plural over active PEs.
+    pub fn reduce_sum(&mut self, p: &Plural<u64>) -> u64 {
+        assert_eq!(p.len(), self.n_virt);
+        self.charge_scan();
+        let enabled = &self.enabled;
+        p.as_slice()
+            .par_iter()
+            .enumerate()
+            .map(|(pe, &v)| if enabled[pe] { v } else { 0 })
+            .sum()
+    }
+
+    /// Segmented `scanOr`: OR of each segment's *active* PEs, deposited at
+    /// the segment's boundary (first) PE; all other slots of the result are
+    /// `false`. Inactive PEs contribute the identity, matching the MP-1's
+    /// behaviour of skipping disabled PEs in a scan.
+    pub fn scan_or(&mut self, p: &Plural<bool>, segs: &SegmentMap) -> Plural<bool> {
+        self.seg_reduce(p, segs, false, |a, b| a || b)
+    }
+
+    /// Segmented `scanAnd`: AND of each segment's active PEs at the
+    /// boundary PE (identity `true` for empty/inactive segments).
+    pub fn scan_and(&mut self, p: &Plural<bool>, segs: &SegmentMap) -> Plural<bool> {
+        self.seg_reduce(p, segs, true, |a, b| a && b)
+    }
+
+    /// Segmented `scanAdd` as an *inclusive prefix sum*: each active PE
+    /// receives the sum of active values from its segment's start through
+    /// itself (inactive PEs keep 0 and contribute 0). The MP-1 exposed
+    /// exactly this family of prefix primitives; PARSEC itself only needs
+    /// the reductions, but enumeration-style kernels (e.g. compacting the
+    /// surviving role values) are built on scanAdd.
+    pub fn scan_add(&mut self, p: &Plural<u64>, segs: &SegmentMap) -> Plural<u64> {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(segs.len(), self.n_virt, "segment map size mismatch");
+        self.charge_scan();
+        let mut out = self.alloc(0u64);
+        let enabled = &self.enabled;
+        let src = p.as_slice();
+        let results: Vec<(usize, Vec<u64>)> = (0..segs.num_segments())
+            .into_par_iter()
+            .map(|s| {
+                let range = segs.range_of(s);
+                let mut acc = 0u64;
+                let prefix: Vec<u64> = range
+                    .clone()
+                    .map(|pe| {
+                        if enabled[pe] {
+                            acc += src[pe];
+                        }
+                        acc
+                    })
+                    .collect();
+                (range.start, prefix)
+            })
+            .collect();
+        let slice = out.as_mut_slice();
+        for (start, prefix) in results {
+            for (offset, v) in prefix.into_iter().enumerate() {
+                if enabled[start + offset] {
+                    slice[start + offset] = v;
+                }
+            }
+        }
+        out
+    }
+
+    fn seg_reduce(
+        &mut self,
+        p: &Plural<bool>,
+        segs: &SegmentMap,
+        identity: bool,
+        op: impl Fn(bool, bool) -> bool + Sync,
+    ) -> Plural<bool> {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(segs.len(), self.n_virt, "segment map size mismatch");
+        self.charge_scan();
+        let mut out = self.alloc(identity);
+        let enabled = &self.enabled;
+        let src = p.as_slice();
+        let results: Vec<(usize, bool)> = (0..segs.num_segments())
+            .into_par_iter()
+            .map(|s| {
+                let mut acc = identity;
+                for pe in segs.range_of(s) {
+                    if enabled[pe] {
+                        acc = op(acc, src[pe]);
+                    }
+                }
+                (segs.start_of(s), acc)
+            })
+            .collect();
+        for (boundary, value) in results {
+            out.as_mut_slice()[boundary] = value;
+        }
+        out
+    }
+
+    /// `selectFirst`: the lowest-numbered *active* PE whose flag is set
+    /// (MPL's enumeration primitive — the ACU uses it to pick a
+    /// representative PE). Costs one scan.
+    pub fn select_first(&mut self, p: &Plural<bool>) -> Option<usize> {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        self.charge_scan();
+        let enabled = &self.enabled;
+        p.as_slice()
+            .iter()
+            .enumerate()
+            .find(|&(pe, &v)| enabled[pe] && v)
+            .map(|(pe, _)| pe)
+    }
+
+    // ------------------------------------------------------------------
+    // Global router
+    // ------------------------------------------------------------------
+
+    pub(crate) fn charge_xnet(&mut self, hops: usize) {
+        self.record("xnet");
+        self.stats.xnet_shifts += hops as u64 * self.virt_factor;
+        self.stats.plural_ops += 1;
+        self.stats.plural_slices += self.virt_factor;
+    }
+
+    fn charge_router(&mut self) {
+        self.record("router");
+        self.stats.router_ops += 1;
+        self.stats.router_slices += self.virt_factor;
+    }
+
+    /// Routed gather: every active PE fetches `src[index[pe]]`. One router
+    /// operation (the MP-1 router resolves an arbitrary permutation;
+    /// many-to-one reads are fine — common read).
+    pub fn gather<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plural<T>,
+        index: &Plural<usize>,
+        dst: &mut Plural<T>,
+    ) {
+        assert_eq!(src.len(), self.n_virt);
+        assert_eq!(index.len(), self.n_virt);
+        assert_eq!(dst.len(), self.n_virt);
+        self.charge_router();
+        let enabled = &self.enabled;
+        let s = src.as_slice();
+        let idx = index.as_slice();
+        dst.as_mut_slice()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(pe, slot)| {
+                if enabled[pe] {
+                    let target = idx[pe];
+                    assert!(target < s.len(), "router gather out of range: PE {pe} -> {target}");
+                    *slot = s[target];
+                }
+            });
+    }
+
+    /// Routed scatter: every active PE sends its value to `dst[index[pe]]`.
+    /// Write conflicts resolve deterministically: the lowest-numbered
+    /// sending PE wins (the CRCW "a single processor succeeds" rule made
+    /// reproducible).
+    pub fn scatter<T: Copy + Send + Sync>(
+        &mut self,
+        src: &Plural<T>,
+        index: &Plural<usize>,
+        dst: &mut Plural<T>,
+    ) {
+        assert_eq!(src.len(), self.n_virt);
+        assert_eq!(index.len(), self.n_virt);
+        assert_eq!(dst.len(), self.n_virt);
+        self.charge_router();
+        // Deterministic serial application in ascending PE order; the
+        // lowest sender's write lands last... no: lowest wins means apply
+        // in descending order so the lowest overwrites.
+        let enabled = &self.enabled;
+        let idx = index.as_slice();
+        let s = src.as_slice();
+        let d = dst.as_mut_slice();
+        for pe in (0..s.len()).rev() {
+            if enabled[pe] {
+                let target = idx[pe];
+                assert!(target < d.len(), "router scatter out of range: PE {pe} -> {target}");
+                d[target] = s[pe];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtualization_factor() {
+        assert_eq!(Machine::mp1(1).virt_factor(), 1);
+        assert_eq!(Machine::mp1(16_384).virt_factor(), 1);
+        assert_eq!(Machine::mp1(16_385).virt_factor(), 2);
+        assert_eq!(Machine::mp1(40_000).virt_factor(), 3);
+        // The paper's 10-word network: q²n⁴ = 4·10⁴ = 40,000 → factor 3.
+    }
+
+    #[test]
+    fn par_map_runs_on_active_pes_only() {
+        let mut m = Machine::mp1(8);
+        m.disable_pes(&[3, 5]);
+        let mut p = m.alloc(0u32);
+        m.par_map(&mut p, |pe, v| *v = pe as u32 + 1);
+        assert_eq!(p.as_slice(), &[1, 2, 3, 0, 5, 0, 7, 8]);
+        assert_eq!(m.stats.plural_ops, 1);
+        assert_eq!(m.active_count(), 6);
+    }
+
+    #[test]
+    fn par_zip_and_init() {
+        let mut m = Machine::mp1(4);
+        let a = m.par_init(0u32, |pe| pe as u32);
+        let mut b = m.alloc(100u32);
+        m.par_zip(&mut b, &a, |_, dst, src| *dst += *src);
+        assert_eq!(b.as_slice(), &[100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn activity_stack_nesting() {
+        let mut m = Machine::mp1(6);
+        let even = m.par_init(false, |pe| pe % 2 == 0);
+        let low = m.par_init(false, |pe| pe < 4);
+        let mut hits = m.alloc(0u32);
+        m.with_activity(&even, |m| {
+            m.with_activity(&low, |m| {
+                m.par_map(&mut hits, |_, v| *v = 1);
+            });
+            assert_eq!(m.active_count(), 3); // 0, 2, 4
+        });
+        assert_eq!(m.active_count(), 6);
+        assert_eq!(hits.as_slice(), &[1, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reductions_respect_activity() {
+        let mut m = Machine::mp1(4);
+        let p = m.par_init(false, |pe| pe == 3);
+        assert!(m.reduce_or(&p));
+        let mask = m.par_init(false, |pe| pe < 3);
+        let inside = m.with_activity(&mask, |m| m.reduce_or(&p));
+        assert!(!inside);
+        let all_true = m.par_init(false, |_| true);
+        assert!(m.reduce_and(&all_true));
+        let sums = m.par_init(0u64, |pe| pe as u64);
+        assert_eq!(m.reduce_sum(&sums), 6);
+    }
+
+    #[test]
+    fn reduce_and_identity_when_none_active() {
+        let mut m = Machine::mp1(4);
+        let none = m.alloc(false);
+        let p = m.par_init(true, |_| false);
+        let r = m.with_activity(&none, |m| m.reduce_and(&p));
+        assert!(r, "AND over an empty active set is the identity true");
+    }
+
+    #[test]
+    fn scan_or_deposits_at_boundaries() {
+        let mut m = Machine::mp1(9);
+        let segs = SegmentMap::uniform(9, 3);
+        let p = m.par_init(false, |pe| pe == 4 || pe == 8);
+        let r = m.scan_or(&p, &segs);
+        assert_eq!(
+            r.as_slice(),
+            &[false, false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(m.stats.scan_calls, 1);
+    }
+
+    #[test]
+    fn scan_and_skips_disabled_pes() {
+        let mut m = Machine::mp1(6);
+        let segs = SegmentMap::uniform(6, 3);
+        // Segment 0: values T,F,T with PE 1 disabled → AND = T.
+        // Segment 1: values T,T,F all enabled → AND = F.
+        m.disable_pes(&[1]);
+        let p = m.par_init(false, |pe| matches!(pe, 0 | 2 | 3 | 4));
+        let r = m.scan_and(&p, &segs);
+        assert!(r.as_slice()[0]);
+        assert!(!r.as_slice()[3]);
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let mut m = Machine::mp1(5);
+        let src = m.par_init(0u32, |pe| pe as u32 * 10);
+        let reverse = m.par_init(0usize, |pe| 4 - pe);
+        let mut dst = m.alloc(0u32);
+        m.gather(&src, &reverse, &mut dst);
+        assert_eq!(dst.as_slice(), &[40, 30, 20, 10, 0]);
+        // Scatter with a conflict: PEs 0, 1 and 2 all send to slot 0; the
+        // lowest sender (PE 0) wins.
+        let idx = m.par_init(0usize, |pe| if pe <= 2 { 0 } else { pe });
+        let vals = m.par_init(0u32, |pe| pe as u32 + 1);
+        let mut out = m.alloc(99u32);
+        m.scatter(&vals, &idx, &mut out);
+        assert_eq!(out.as_slice()[0], 1); // PE 0's value (pe+1 = 1)
+        assert_eq!(out.as_slice()[3], 4);
+        assert_eq!(m.stats.router_ops, 2);
+    }
+
+    #[test]
+    fn select_first_respects_activity() {
+        let mut m = Machine::mp1(6);
+        let p = m.par_init(false, |pe| pe == 2 || pe == 4);
+        assert_eq!(m.select_first(&p), Some(2));
+        let mask = m.par_init(false, |pe| pe > 2);
+        let inside = m.with_activity(&mask, |m| m.select_first(&p));
+        assert_eq!(inside, Some(4));
+        let none = m.alloc(false);
+        assert_eq!(m.select_first(&none), None);
+    }
+
+    #[test]
+    fn tracing_records_operations() {
+        let mut m = Machine::mp1(8);
+        assert!(m.trace().is_empty());
+        m.enable_trace();
+        let mut p = m.alloc(false);
+        m.par_map(&mut p, |_, v| *v = true);
+        let segs = SegmentMap::global(8);
+        let _ = m.scan_or(&p, &segs);
+        let mask = m.par_init(false, |pe| pe < 4);
+        m.with_activity(&mask, |m| {
+            m.par_map(&mut p, |_, v| *v = false);
+        });
+        let ops: Vec<&str> = m.trace().iter().map(|t| t.op).collect();
+        assert!(ops.contains(&"plural"));
+        assert!(ops.contains(&"scan"));
+        // The op inside the narrowed activity frame saw 4 active PEs.
+        let narrowed = m.trace().iter().rev().find(|t| t.op == "plural").unwrap();
+        assert_eq!(narrowed.active, 4);
+        // Enabling twice is idempotent.
+        let len = m.trace().len();
+        m.enable_trace();
+        assert_eq!(m.trace().len(), len);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let mut m = Machine::mp1(4);
+        // 16 KB per PE: two 8 KB allocations fit, a third does not.
+        let a = m.alloc([0u8; 8192]);
+        let _b = m.alloc([0u8; 8000]);
+        assert!(m.stats.peak_pe_memory_bytes >= 16192);
+        m.free(a);
+        let _c = m.alloc([0u8; 8192]); // fits again after free
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _d = m.alloc([0u8; 8192]);
+        }));
+        assert!(result.is_err(), "exceeding 16 KB per PE must fail loudly");
+    }
+
+    #[test]
+    fn virtualized_ops_cost_more() {
+        let mut small = Machine::mp1(100);
+        let mut big = Machine::mp1(40_000); // factor 3
+        let mut ps = small.alloc(0u8);
+        let mut pb = big.alloc(0u8);
+        small.par_map(&mut ps, |_, _| {});
+        big.par_map(&mut pb, |_, _| {});
+        assert_eq!(small.stats.plural_slices, 1);
+        assert_eq!(big.stats.plural_slices, 3);
+        assert!(big.estimated_seconds() > small.estimated_seconds());
+    }
+
+    #[test]
+    fn scan_cost_is_logarithmic_in_phys_pes() {
+        let mut m = Machine::mp1(16);
+        let p = m.alloc(false);
+        let segs = SegmentMap::global(16);
+        let before = m.stats.scan_passes;
+        let _ = m.scan_or(&p, &segs);
+        assert_eq!(m.stats.scan_passes - before, 4); // log2(16 PEs in use)
+        // A program spanning the whole array pays log2(16384) per scan.
+        let mut full = Machine::mp1(16_384);
+        let pf = full.alloc(false);
+        let sf = SegmentMap::global(16_384);
+        let _ = full.scan_or(&pf, &sf);
+        assert_eq!(full.stats.scan_passes, 14);
+        // A virtualized program additionally pays local passes.
+        let mut virt = Machine::mp1(40_000);
+        let pv = virt.alloc(false);
+        let sv = SegmentMap::global(40_000);
+        let _ = virt.scan_or(&pv, &sv);
+        assert_eq!(virt.stats.scan_passes, 16); // 14 + (3 - 1)
+    }
+}

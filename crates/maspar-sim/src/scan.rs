@@ -1,0 +1,150 @@
+//! Segment geometry for the scanOr/scanAnd primitives.
+
+/// A partition of the virtual PE array into contiguous segments.
+///
+/// The MP-1's scan primitives operate within *segments*: runs of
+/// consecutive PEs delimited by segment-boundary flags. PARSEC lays arc
+/// elements out so that the bits to be ORed share a segment (Figure 12);
+/// the scan deposits each segment's reduction at its boundary (first) PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMap {
+    /// Start PE of each segment, ascending; segment `s` spans
+    /// `starts[s] .. starts[s+1]` (or to `len` for the last).
+    starts: Vec<usize>,
+    /// Total PEs covered.
+    len: usize,
+}
+
+impl SegmentMap {
+    /// Build from explicit segment lengths (must all be nonzero).
+    pub fn from_lengths(lengths: &[usize]) -> Self {
+        assert!(!lengths.is_empty(), "a segment map needs at least one segment");
+        let mut starts = Vec::with_capacity(lengths.len());
+        let mut at = 0;
+        for &l in lengths {
+            assert!(l > 0, "zero-length segment");
+            starts.push(at);
+            at += l;
+        }
+        SegmentMap { starts, len: at }
+    }
+
+    /// Uniform segments of `seg_len` covering `total` PEs exactly.
+    pub fn uniform(total: usize, seg_len: usize) -> Self {
+        assert!(seg_len > 0 && total % seg_len == 0, "uniform segments must tile exactly: {total} / {seg_len}");
+        SegmentMap {
+            starts: (0..total / seg_len).map(|s| s * seg_len).collect(),
+            len: total,
+        }
+    }
+
+    /// One segment spanning everything (a global reduction).
+    pub fn global(total: usize) -> Self {
+        assert!(total > 0);
+        SegmentMap {
+            starts: vec![0],
+            len: total,
+        }
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Total PEs covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Start PE (boundary) of segment `s`.
+    pub fn start_of(&self, s: usize) -> usize {
+        self.starts[s]
+    }
+
+    /// Half-open PE range of segment `s`.
+    pub fn range_of(&self, s: usize) -> std::ops::Range<usize> {
+        let end = self
+            .starts
+            .get(s + 1)
+            .copied()
+            .unwrap_or(self.len);
+        self.starts[s]..end
+    }
+
+    /// The segment containing `pe` (binary search).
+    pub fn segment_of(&self, pe: usize) -> usize {
+        assert!(pe < self.len, "PE {pe} outside segment map of {} PEs", self.len);
+        match self.starts.binary_search(&pe) {
+            Ok(s) => s,
+            Err(next) => next - 1,
+        }
+    }
+
+    /// Longest segment length (drives the scan's local pass count).
+    pub fn max_segment_len(&self) -> usize {
+        (0..self.num_segments())
+            .map(|s| self.range_of(s).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lengths_geometry() {
+        let m = SegmentMap::from_lengths(&[3, 2, 4]);
+        assert_eq!(m.num_segments(), 3);
+        assert_eq!(m.len(), 9);
+        assert_eq!(m.start_of(0), 0);
+        assert_eq!(m.start_of(1), 3);
+        assert_eq!(m.start_of(2), 5);
+        assert_eq!(m.range_of(1), 3..5);
+        assert_eq!(m.range_of(2), 5..9);
+        assert_eq!(m.max_segment_len(), 4);
+    }
+
+    #[test]
+    fn uniform_tiles() {
+        let m = SegmentMap::uniform(12, 3);
+        assert_eq!(m.num_segments(), 4);
+        assert_eq!(m.range_of(3), 9..12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile exactly")]
+    fn uniform_must_divide() {
+        SegmentMap::uniform(10, 3);
+    }
+
+    #[test]
+    fn segment_of_lookup() {
+        let m = SegmentMap::from_lengths(&[3, 2, 4]);
+        assert_eq!(m.segment_of(0), 0);
+        assert_eq!(m.segment_of(2), 0);
+        assert_eq!(m.segment_of(3), 1);
+        assert_eq!(m.segment_of(4), 1);
+        assert_eq!(m.segment_of(5), 2);
+        assert_eq!(m.segment_of(8), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment map")]
+    fn segment_of_out_of_range() {
+        SegmentMap::from_lengths(&[2]).segment_of(2);
+    }
+
+    #[test]
+    fn global_is_one_segment() {
+        let m = SegmentMap::global(7);
+        assert_eq!(m.num_segments(), 1);
+        assert_eq!(m.range_of(0), 0..7);
+        assert_eq!(m.segment_of(6), 0);
+    }
+}

@@ -1,0 +1,629 @@
+//! The SIMD parsing kernels and host driver.
+
+use crate::layout::Layout;
+use cdg_core::network::Network;
+use cdg_grammar::{Constraint, Grammar, Sentence};
+use maspar_sim::{Machine, MachineConfig, MachineStats, Plural};
+
+/// Options for a MasPar parse.
+#[derive(Debug, Clone)]
+pub struct MasparOptions {
+    /// Machine parameters (physical PEs, memory, cost model).
+    pub machine: MachineConfig,
+    /// Maximum consistency-maintenance iterations (design decision 5;
+    /// the paper: "typically fewer than 10 are required").
+    pub filter_iterations: usize,
+    /// Stop early when an iteration removes nothing (the ACU can see the
+    /// global "changed" flag via a reduction). Disable to reproduce the
+    /// strict constant-iteration schedule.
+    pub early_exit: bool,
+    /// Record a machine instruction trace (op kind + active PE count per
+    /// broadcast) — the simulator's answer to the MP-1's debugging tools.
+    pub trace: bool,
+}
+
+impl Default for MasparOptions {
+    fn default() -> Self {
+        MasparOptions {
+            machine: MachineConfig::default(),
+            filter_iterations: 10,
+            early_exit: true,
+            trace: false,
+        }
+    }
+}
+
+/// Per-phase operation counts (for the paper's per-constraint time trials).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    pub name: String,
+    pub stats: MachineStats,
+}
+
+/// The result of a MasPar parse.
+#[derive(Debug)]
+pub struct MasparOutcome {
+    pub layout: Layout,
+    /// Final alive mask per group (readback of the boundary PEs).
+    alive: Vec<u64>,
+    /// Final submatrices, one u64 per virtual PE (readback).
+    bits: Vec<u64>,
+    /// Machine counters for the whole run.
+    pub stats: MachineStats,
+    /// Estimated MP-1 wall time for the whole run, seconds.
+    pub estimated_seconds: f64,
+    /// Per-phase attribution (network init, each constraint, maintenance).
+    pub phases: Vec<PhaseStats>,
+    /// Maintenance iterations actually executed.
+    pub filter_iterations_run: usize,
+    /// Role values removed by each maintenance iteration, counted on the
+    /// machine itself (popcount diff of the alive masks, summed with a
+    /// global scanAdd-style reduction).
+    pub removals_per_iteration: Vec<u64>,
+    /// The virtualization multiplier ⌈q²n⁴ / phys⌉.
+    pub virt_factor: u64,
+    /// Machine instruction trace (empty unless `MasparOptions::trace`).
+    pub trace: Vec<maspar_sim::TraceEntry>,
+}
+
+impl MasparOutcome {
+    /// Is role value (group, label idx) still alive?
+    pub fn is_alive(&self, group: usize, li: usize) -> bool {
+        self.alive[group] >> li & 1 == 1
+    }
+
+    /// The paper's acceptance condition: every (word, role) slot retains
+    /// at least one role value.
+    pub fn roles_nonempty(&self) -> bool {
+        let lay = &self.layout;
+        (0..lay.n * lay.q).all(|slot| {
+            (0..lay.m).any(|m_idx| self.alive[slot * lay.m + m_idx] != 0)
+        })
+    }
+
+    /// Submatrix entry readback: may role values (cg, ci) and (rg, rj)
+    /// coexist?
+    pub fn entry(&self, cg: usize, ci: usize, rg: usize, rj: usize) -> bool {
+        let pe = self.layout.pe(cg, rg);
+        self.bits[pe] >> self.layout.bit(ci, rj) & 1 == 1
+    }
+
+    /// Estimated MP-1 seconds for one named phase.
+    pub fn phase_seconds(&self, name: &str, cost: &maspar_sim::CostModel) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.stats.estimated_seconds(cost))
+    }
+
+    /// Mean estimated seconds per constraint-propagation phase — the
+    /// quantity the paper reports as "less than 10 milliseconds".
+    pub fn mean_constraint_seconds(&self, cost: &maspar_sim::CostModel) -> f64 {
+        let phases: Vec<&PhaseStats> = self
+            .phases
+            .iter()
+            .filter(|p| p.name.starts_with("unary:") || p.name.starts_with("binary:"))
+            .collect();
+        if phases.is_empty() {
+            return 0.0;
+        }
+        phases
+            .iter()
+            .map(|p| p.stats.estimated_seconds(cost))
+            .sum::<f64>()
+            / phases.len() as f64
+    }
+
+    /// Reconstruct a host-side [`Network`] with exactly this outcome's
+    /// state (alive sets and arc entries), so the standard extraction and
+    /// rendering machinery applies.
+    pub fn to_network<'g>(&self, grammar: &'g Grammar, sentence: &Sentence) -> Network<'g> {
+        let lay = &self.layout;
+        let mut net = Network::build(grammar, sentence);
+        net.init_arcs();
+        // Remove dead role values. Core domain index = li·n + m_idx.
+        for g in 0..lay.groups {
+            let (w, r, m_idx) = lay.decode_group(g);
+            let slot = w * lay.q + r;
+            for li in 0..lay.labels_of_role(r) {
+                if !self.is_alive(g, li) {
+                    net.remove_value(slot, li * lay.m + m_idx);
+                }
+            }
+        }
+        // Zero arc entries the machine zeroed.
+        let nslots = lay.n * lay.q;
+        for si in 0..nslots {
+            for sj in (si + 1)..nslots {
+                let (wi, ri) = (si / lay.q, si % lay.q);
+                let (wj, rj) = (sj / lay.q, sj % lay.q);
+                for mi in 0..lay.m {
+                    let cg = lay.group(wi, ri, mi);
+                    for li in 0..lay.labels_of_role(ri) {
+                        if !self.is_alive(cg, li) {
+                            continue;
+                        }
+                        for mj in 0..lay.m {
+                            let rg = lay.group(wj, rj, mj);
+                            for lj in 0..lay.labels_of_role(rj) {
+                                if self.is_alive(rg, lj) && !self.entry(cg, li, rg, lj) {
+                                    net.zero_arc_entry(
+                                        si,
+                                        li * lay.m + mi,
+                                        sj,
+                                        lj * lay.m + mj,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        net
+    }
+}
+
+/// Run PARSEC on the simulated MP-1.
+///
+/// ```
+/// use parsec_maspar::{parse_maspar, MasparOptions};
+/// use cdg_grammar::grammars::paper;
+///
+/// let grammar = paper::grammar();
+/// let sentence = paper::example_sentence(&grammar);
+/// let out = parse_maspar(&grammar, &sentence, &MasparOptions::default());
+/// assert!(out.roles_nonempty());
+/// assert_eq!(out.layout.virt_pes(), 324); // the paper's Figure 11
+/// assert_eq!(out.virt_factor, 1);         // fits the 16K array
+/// // Estimated MP-1 time lands on the paper's ~0.15 s.
+/// assert!((0.08..0.25).contains(&out.estimated_seconds));
+/// ```
+pub fn parse_maspar(
+    grammar: &Grammar,
+    sentence: &Sentence,
+    opts: &MasparOptions,
+) -> MasparOutcome {
+    let lay = Layout::new(grammar, sentence);
+    let mut machine = Machine::new(opts.machine.clone(), lay.virt_pes());
+    if opts.trace {
+        machine.enable_trace();
+    }
+    let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut mark = machine.stats;
+    let phase = |machine: &Machine, phases: &mut Vec<PhaseStats>, mark: &mut MachineStats, name: String| {
+        phases.push(PhaseStats {
+            name,
+            stats: machine.stats.delta_since(mark),
+        });
+        *mark = machine.stats;
+    };
+
+    // Validity mask: everything but the self-arc diagonal (Figure 11's
+    // disabled PEs). Computed once from PE ids — design decision 2: no
+    // broadcast needed.
+    let valid: Plural<bool> = machine.par_init(false, |pe| !lay.is_diagonal(pe));
+    let block_boundary: Plural<bool> =
+        machine.par_init(false, |pe| !lay.is_diagonal(pe) && pe % lay.m == 0);
+
+    // Design decision 1: arc matrices first, all ones (Figure 9).
+    let mut bits: Plural<u64> = machine.par_init(0u64, |pe| lay.init_bits(pe));
+    let mut alive: Plural<u64> = machine.par_init(0u64, |pe| lay.init_alive(pe));
+
+    // Router index plurals for the alive-mask gathers (phase D).
+    let col_boundary_idx: Plural<usize> =
+        machine.par_init(0usize, |pe| lay.decode_pe(pe).0 * lay.groups);
+    let row_boundary_idx: Plural<usize> =
+        machine.par_init(0usize, |pe| lay.decode_pe(pe).1 * lay.groups);
+    phase(&machine, &mut phases, &mut mark, "init".into());
+
+    // --- Unary propagation on the matrices (design decisions 1 & 4) ---
+    for c in grammar.unary_constraints() {
+        apply_unary(&mut machine, &lay, sentence, c, &valid, &mut bits, &mut alive);
+        phase(&machine, &mut phases, &mut mark, format!("unary:{}", c.name));
+    }
+    // Immediately zero rows/cols of values the unary pass killed, so the
+    // matrices agree with the alive masks before binary propagation.
+    mask_dead(&mut machine, &lay, &valid, &mut bits, &alive, &col_boundary_idx, &row_boundary_idx);
+    phase(&machine, &mut phases, &mut mark, "unary:mask".into());
+
+    // --- Binary propagation ---
+    for c in grammar.binary_constraints() {
+        apply_binary(&mut machine, &lay, sentence, c, &valid, &mut bits);
+        phase(&machine, &mut phases, &mut mark, format!("binary:{}", c.name));
+    }
+
+    // --- Consistency maintenance + bounded filtering (decisions 3 & 5) ---
+    let mut iterations = 0;
+    let mut removals_per_iteration = Vec::new();
+    for _ in 0..opts.filter_iterations {
+        iterations += 1;
+        let removed = maintain(
+            &mut machine,
+            &lay,
+            &valid,
+            &block_boundary,
+            &mut bits,
+            &mut alive,
+            &col_boundary_idx,
+            &row_boundary_idx,
+        );
+        removals_per_iteration.push(removed);
+        phase(&machine, &mut phases, &mut mark, format!("maintain:{iterations}"));
+        if opts.early_exit && removed == 0 {
+            break;
+        }
+    }
+
+    let estimated_seconds = machine.estimated_seconds();
+    let trace = machine.trace().to_vec();
+    MasparOutcome {
+        alive: alive.as_slice()[..].iter().step_by(lay.groups).copied().collect(),
+        bits: bits.as_slice().to_vec(),
+        stats: machine.stats,
+        estimated_seconds,
+        phases,
+        filter_iterations_run: iterations,
+        removals_per_iteration,
+        virt_factor: machine.virt_factor(),
+        trace,
+        layout: lay,
+    }
+}
+
+/// One unary constraint: every PE zeroes the submatrix columns/rows of its
+/// violating role values; boundary PEs update the alive masks. The
+/// violation test is pure PE-local computation from the PE id plus the
+/// ACU-broadcast constraint (design decision 2).
+fn apply_unary(
+    machine: &mut Machine,
+    lay: &Layout,
+    sentence: &Sentence,
+    c: &Constraint,
+    valid: &Plural<bool>,
+    bits: &mut Plural<u64>,
+    alive: &mut Plural<u64>,
+) {
+    let violates = |g: usize, li: usize| -> bool {
+        match lay.binding(g, li) {
+            Some(b) => !c.check_unary(sentence, b),
+            None => false,
+        }
+    };
+    machine.with_activity(valid, |m| {
+        m.par_map(bits, |pe, b| {
+            let (cg, rg) = lay.decode_pe(pe);
+            for i in 0..lay.l {
+                if violates(cg, i) {
+                    for j in 0..lay.l {
+                        *b &= !(1u64 << lay.bit(i, j));
+                    }
+                }
+            }
+            for j in 0..lay.l {
+                if violates(rg, j) {
+                    for i in 0..lay.l {
+                        *b &= !(1u64 << lay.bit(i, j));
+                    }
+                }
+            }
+        });
+    });
+    machine.par_map(alive, |pe, a| {
+        if pe % lay.groups == 0 {
+            let g = pe / lay.groups;
+            for li in 0..lay.l {
+                if violates(g, li) {
+                    *a &= !(1u64 << li);
+                }
+            }
+        }
+    });
+}
+
+/// One binary constraint: every PE checks its l×l pairs (both orderings).
+fn apply_binary(
+    machine: &mut Machine,
+    lay: &Layout,
+    sentence: &Sentence,
+    c: &Constraint,
+    valid: &Plural<bool>,
+    bits: &mut Plural<u64>,
+) {
+    machine.with_activity(valid, |m| {
+        m.par_map(bits, |pe, b| {
+            if *b == 0 {
+                return;
+            }
+            let (cg, rg) = lay.decode_pe(pe);
+            for i in 0..lay.l {
+                let Some(bx) = lay.binding(cg, i) else { continue };
+                for j in 0..lay.l {
+                    let mask = 1u64 << lay.bit(i, j);
+                    if *b & mask == 0 {
+                        continue;
+                    }
+                    let Some(by) = lay.binding(rg, j) else { continue };
+                    if !c.check_pair(sentence, bx, by) {
+                        *b &= !mask;
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Zero every submatrix column/row belonging to a dead role value: two
+/// router gathers fetch the column's and row's alive masks from the
+/// boundary PEs, then one broadcast instruction applies them.
+fn mask_dead(
+    machine: &mut Machine,
+    lay: &Layout,
+    valid: &Plural<bool>,
+    bits: &mut Plural<u64>,
+    alive: &Plural<u64>,
+    col_idx: &Plural<usize>,
+    row_idx: &Plural<usize>,
+) {
+    let mut col_alive = machine.alloc(0u64);
+    let mut row_alive = machine.alloc(0u64);
+    machine.gather(alive, col_idx, &mut col_alive);
+    machine.gather(alive, row_idx, &mut row_alive);
+    machine.with_activity(valid, |m| {
+        m.par_zip(bits, &col_alive, |pe, b, &ca| {
+            let _ = pe;
+            let mut keep = 0u64;
+            for i in 0..lay.l {
+                if ca >> i & 1 == 1 {
+                    for j in 0..lay.l {
+                        keep |= 1u64 << lay.bit(i, j);
+                    }
+                }
+            }
+            *b &= keep;
+        });
+        m.par_zip(bits, &row_alive, |pe, b, &ra| {
+            let _ = pe;
+            let mut keep = 0u64;
+            for j in 0..lay.l {
+                if ra >> j & 1 == 1 {
+                    for i in 0..lay.l {
+                        keep |= 1u64 << lay.bit(i, j);
+                    }
+                }
+            }
+            *b &= keep;
+        });
+    });
+    machine.free(col_alive);
+    machine.free(row_alive);
+}
+
+/// One consistency-maintenance iteration — Figure 12's scan choreography,
+/// repeated once per label (Figure 13). Returns how many role values were
+/// removed (counted on the machine: per-boundary popcount diff, then a
+/// global sum reduction).
+#[allow(clippy::too_many_arguments)]
+fn maintain(
+    machine: &mut Machine,
+    lay: &Layout,
+    valid: &Plural<bool>,
+    block_boundary: &Plural<bool>,
+    bits: &mut Plural<u64>,
+    alive: &mut Plural<u64>,
+    col_idx: &Plural<usize>,
+    row_idx: &Plural<usize>,
+) -> u64 {
+    let blocks = lay.block_segments();
+    let columns = lay.column_segments();
+    let mut support = machine.alloc(0u64);
+
+    for li in 0..lay.l {
+        // Phase A: each PE ORs its submatrix row for column label li.
+        let mut loc = machine.alloc(false);
+        machine.with_activity(valid, |m| {
+            m.par_zip(&mut loc, bits, |_, out, &b| {
+                let mut any = false;
+                for j in 0..lay.l {
+                    if b >> lay.bit(li, j) & 1 == 1 {
+                        any = true;
+                        break;
+                    }
+                }
+                *out = any;
+            });
+        });
+        // Phase B: scanOr within each (column, row word-role) block; the
+        // block's OR lands on its boundary PE.
+        let block_or = machine.with_activity(valid, |m| m.scan_or(&loc, &blocks));
+        machine.free(loc);
+        // Phase C: scanAnd across the block-boundary PEs of each column
+        // (self-arc blocks are invalid, hence skipped — the figure's
+        // "disabled only during the scanAnd").
+        let col_support = machine.with_activity(block_boundary, |m| m.scan_and(&block_or, &columns));
+        machine.free(block_or);
+        // Phase D (accumulate): boundary PEs record the supported bit.
+        machine.par_zip(&mut support, &col_support, move |pe, s, &ok| {
+            if pe % lay.groups == 0 && ok {
+                *s |= 1u64 << li;
+            }
+        });
+        machine.free(col_support);
+    }
+
+    // New alive = old ∧ supported; removal counting is PE-local (popcount
+    // of the bits each boundary PE loses), then one global sum tells the
+    // ACU how much this iteration removed (0 = fixpoint reached).
+    let mut lost = machine.alloc(0u64);
+    machine.par_zip2(&mut lost, alive, &support, |pe, out, &a, &s| {
+        if pe % lay.groups == 0 {
+            *out = (a & !s).count_ones() as u64;
+        }
+    });
+    let removed = machine.reduce_sum(&lost);
+    machine.free(lost);
+    machine.par_zip(alive, &support, |pe, a, &s| {
+        if pe % lay.groups == 0 {
+            *a &= s;
+        }
+    });
+    machine.free(support);
+
+    if removed > 0 {
+        mask_dead(machine, lay, valid, bits, alive, col_idx, row_idx);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_core::parser::{parse, FilterMode, ParseOptions};
+    use cdg_grammar::grammars::paper;
+    use cdg_grammar::Modifiee;
+
+    fn example() -> (Grammar, Sentence) {
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn figure6_final_state_on_the_machine() {
+        let (g, s) = example();
+        let out = parse_maspar(&g, &s, &MasparOptions::default());
+        assert!(out.roles_nonempty());
+        let lay = &out.layout;
+        let governor = 0usize;
+        let needs = 1usize;
+        // the/governor: only DET-2 alive.
+        let det = lay.label_index(governor, g.label_id("DET").unwrap()).unwrap();
+        let m2 = lay.modifiee_index(0, Modifiee::Word(2));
+        assert!(out.is_alive(lay.group(0, governor, m2), det));
+        let m3 = lay.modifiee_index(0, Modifiee::Word(3));
+        assert!(!out.is_alive(lay.group(0, governor, m3), det));
+        // program/governor: only SUBJ-3.
+        let subj = lay.label_index(governor, g.label_id("SUBJ").unwrap()).unwrap();
+        let pm3 = lay.modifiee_index(1, Modifiee::Word(3));
+        assert!(out.is_alive(lay.group(1, governor, pm3), subj));
+        let pm1 = lay.modifiee_index(1, Modifiee::Word(1));
+        assert!(!out.is_alive(lay.group(1, governor, pm1), subj));
+        // runs/needs: only S-2.
+        let s_label = lay.label_index(needs, g.label_id("S").unwrap()).unwrap();
+        let rm2 = lay.modifiee_index(2, Modifiee::Word(2));
+        assert!(out.is_alive(lay.group(2, needs, rm2), s_label));
+    }
+
+    #[test]
+    fn equivalent_to_sequential_engine() {
+        let (g, s) = example();
+        let serial = parse(&g, &s, ParseOptions::default());
+        let out = parse_maspar(&g, &s, &MasparOptions::default());
+        let net = out.to_network(&g, &s);
+        for (a, b) in serial.network.slots().iter().zip(net.slots()) {
+            assert_eq!(a.alive, b.alive, "alive sets diverge");
+        }
+        assert_eq!(
+            cdg_core::extract::precedence_graphs(&serial.network, 100),
+            cdg_core::extract::precedence_graphs(&net, 100),
+        );
+    }
+
+    #[test]
+    fn equivalent_on_rejected_sentence() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        let s = lex.sentence("program the runs").unwrap();
+        let serial = parse(&g, &s, ParseOptions::default());
+        let out = parse_maspar(&g, &s, &MasparOptions::default());
+        assert_eq!(serial.roles_nonempty, out.roles_nonempty());
+        assert!(!out.roles_nonempty());
+    }
+
+    #[test]
+    fn bounded_filtering_matches_bounded_serial() {
+        // With the same pass budget and no early exit, the scan-based
+        // maintenance must remove exactly what the serial passes remove.
+        let (g, s) = example();
+        for passes in 1..=3 {
+            let serial = parse(
+                &g,
+                &s,
+                ParseOptions {
+                    filter: FilterMode::Bounded(passes),
+                    ..Default::default()
+                },
+            );
+            let out = parse_maspar(
+                &g,
+                &s,
+                &MasparOptions {
+                    filter_iterations: passes,
+                    early_exit: false,
+                    ..Default::default()
+                },
+            );
+            let net = out.to_network(&g, &s);
+            for (a, b) in serial.network.slots().iter().zip(net.slots()) {
+                assert_eq!(a.alive, b.alive, "pass budget {passes}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure12_subj1_eliminated_by_scans() {
+        // SUBJ-1 of program/governor survives unary propagation but is
+        // eliminated by the first scan-based consistency iteration.
+        let (g, s) = example();
+        let one = parse_maspar(
+            &g,
+            &s,
+            &MasparOptions {
+                filter_iterations: 1,
+                early_exit: false,
+                ..Default::default()
+            },
+        );
+        let lay = &one.layout;
+        let subj = lay.label_index(0, g.label_id("SUBJ").unwrap()).unwrap();
+        let pm1 = lay.modifiee_index(1, Modifiee::Word(1));
+        assert!(!one.is_alive(lay.group(1, 0, pm1), subj));
+    }
+
+    #[test]
+    fn virtualization_staircase() {
+        // n ≤ 7 words fit the 16K array (q²n⁴ ≤ 9604); 10 words need
+        // 40,000 virtual PEs → factor 3. The paper: 0.15 s vs 0.45 s.
+        let g = paper::grammar();
+        let small = parse_maspar(
+            &g,
+            &paper::cost_sweep_sentence(&g, 7),
+            &MasparOptions::default(),
+        );
+        assert_eq!(small.virt_factor, 1);
+        let big = parse_maspar(
+            &g,
+            &paper::cost_sweep_sentence(&g, 10),
+            &MasparOptions::default(),
+        );
+        assert_eq!(big.virt_factor, 3);
+    }
+
+    #[test]
+    fn phase_attribution_covers_all_constraints() {
+        let (g, s) = example();
+        let out = parse_maspar(&g, &s, &MasparOptions::default());
+        let unary = out.phases.iter().filter(|p| p.name.starts_with("unary:") && !p.name.ends_with(":mask")).count();
+        let binary = out.phases.iter().filter(|p| p.name.starts_with("binary:")).count();
+        assert_eq!(unary, 6);
+        assert_eq!(binary, 4);
+        assert!(out.estimated_seconds > 0.0);
+        assert!(out.mean_constraint_seconds(&out.stats_cost()) > 0.0);
+    }
+
+    impl MasparOutcome {
+        fn stats_cost(&self) -> maspar_sim::CostModel {
+            maspar_sim::CostModel::default()
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Tokenizer for the S-expression reader.
+
+use crate::{ParseError, Span};
+
+/// What kind of token was read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    LParen,
+    RParen,
+    /// A bare symbol (anything that is not a paren, whitespace, or a number).
+    Symbol(String),
+    /// A decimal integer, possibly negative.
+    Int(i64),
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+fn is_symbol_char(c: char) -> bool {
+    !c.is_whitespace() && c != '(' && c != ')' && c != ';'
+}
+
+/// Tokenize `src`, skipping whitespace and `;`-to-end-of-line comments.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = src[i..].chars().next().expect("indexed at char boundary");
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        if c == ';' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '(' {
+            tokens.push(Token {
+                kind: TokenKind::LParen,
+                span: Span::new(i, i + 1),
+            });
+            i += 1;
+            continue;
+        }
+        if c == ')' {
+            tokens.push(Token {
+                kind: TokenKind::RParen,
+                span: Span::new(i, i + 1),
+            });
+            i += 1;
+            continue;
+        }
+        // Symbol or integer: consume a maximal run of symbol characters.
+        let start = i;
+        while i < src.len() {
+            let c = src[i..].chars().next().expect("char boundary");
+            if !is_symbol_char(c) {
+                break;
+            }
+            i += c.len_utf8();
+        }
+        let text = &src[start..i];
+        let span = Span::new(start, i);
+        let looks_numeric = {
+            let t = text.strip_prefix('-').unwrap_or(text);
+            !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())
+        };
+        if looks_numeric {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("integer literal `{text}` out of range"), span))?;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                span,
+            });
+        } else {
+            tokens.push(Token {
+                kind: TokenKind::Symbol(text.to_string()),
+                span,
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(eq x 3)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("eq".into()),
+                TokenKind::Symbol("x".into()),
+                TokenKind::Int(3),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(kinds("-42"), vec![TokenKind::Int(-42)]);
+    }
+
+    #[test]
+    fn lone_dash_is_a_symbol() {
+        assert_eq!(kinds("-"), vec![TokenKind::Symbol("-".into())]);
+    }
+
+    #[test]
+    fn hyphenated_names_are_symbols() {
+        assert_eq!(
+            kinds("SUBJ-nil ROOT-3"),
+            vec![
+                TokenKind::Symbol("SUBJ-nil".into()),
+                TokenKind::Symbol("ROOT-3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("; a comment\n(x) ; trailing\n"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("x".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let toks = tokenize("  (abc)").unwrap();
+        assert_eq!(toks[1].span, Span::new(3, 6));
+    }
+
+    #[test]
+    fn huge_integer_is_an_error() {
+        let err = tokenize("999999999999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unicode_symbols_ok() {
+        assert_eq!(kinds("λx"), vec![TokenKind::Symbol("λx".into())]);
+    }
+}

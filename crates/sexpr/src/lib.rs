@@ -1,0 +1,243 @@
+//! A minimal S-expression reader.
+//!
+//! The CDG constraint language of Helzerman & Harper (1992) is written in a
+//! Lisp-like surface syntax, e.g.
+//!
+//! ```text
+//! (if (and (eq (cat (word (pos x))) verb)
+//!          (eq (role x) governor))
+//!     (and (eq (lab x) ROOT)
+//!          (eq (mod x) nil)))
+//! ```
+//!
+//! This crate provides the reader for that syntax: a lexer and parser that
+//! produce a [`Sexpr`] tree with byte-span information for error reporting,
+//! plus a pretty printer. It knows nothing about the constraint language
+//! itself; semantic analysis lives in `cdg-grammar`.
+
+mod lexer;
+mod parser;
+mod print;
+
+pub use lexer::{Token, TokenKind};
+pub use parser::{parse, parse_many};
+pub use print::pretty;
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extract the spanned slice of `src`, if in bounds.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A parsed S-expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexpr {
+    /// A bare symbol such as `eq`, `x`, `SUBJ`, or `nil`.
+    Symbol(String, Span),
+    /// A decimal integer literal such as `3`.
+    Int(i64, Span),
+    /// A parenthesized list of sub-expressions.
+    List(Vec<Sexpr>, Span),
+}
+
+impl Sexpr {
+    pub fn span(&self) -> Span {
+        match self {
+            Sexpr::Symbol(_, s) | Sexpr::Int(_, s) | Sexpr::List(_, s) => *s,
+        }
+    }
+
+    /// The symbol text if this node is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Sexpr::Symbol(s, _) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The integer value if this node is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Sexpr::Int(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The child list if this node is a list.
+    pub fn as_list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::List(items, _) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if this node is the symbol `sym` (case-sensitive).
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        self.as_symbol() == Some(sym)
+    }
+
+    /// Count of nodes in the tree, including this one.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Sexpr::List(items, _) => 1 + items.iter().map(Sexpr::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Sexpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexpr::Symbol(s, _) => write!(f, "{s}"),
+            Sexpr::Int(v, _) => write!(f, "{v}"),
+            Sexpr::List(items, _) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An error produced while reading an S-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the error with a caret line pointing into `src`.
+    pub fn render(&self, src: &str) -> String {
+        let mut line_start = 0;
+        let mut line_no = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.span.start {
+                break;
+            }
+            if ch == '\n' {
+                line_start = i + 1;
+                line_no += 1;
+            }
+        }
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(src.len());
+        let line = &src[line_start..line_end];
+        let col = self.span.start.saturating_sub(line_start);
+        let width = (self.span.end.min(line_end)).saturating_sub(self.span.start).max(1);
+        format!(
+            "{msg} at line {line_no}, column {col}\n  {line}\n  {pad}{carets}",
+            msg = self.message,
+            col = col + 1,
+            pad = " ".repeat(col),
+            carets = "^".repeat(width),
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(b.join(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_slice() {
+        let src = "hello world";
+        assert_eq!(Span::new(0, 5).slice(src), Some("hello"));
+        assert_eq!(Span::new(6, 11).slice(src), Some("world"));
+        assert_eq!(Span::new(6, 99).slice(src), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = parse("(eq 3 x)").unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_symbol("eq"));
+        assert_eq!(items[1].as_int(), Some(3));
+        assert_eq!(items[2].as_symbol(), Some("x"));
+        assert_eq!(e.as_symbol(), None);
+        assert_eq!(e.as_int(), None);
+        assert_eq!(items[0].as_list(), None);
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let e = parse("(if (and a b) c)").unwrap();
+        // (if ...) + if + (and a b) + and + a + b + c = 7
+        assert_eq!(e.node_count(), 7);
+    }
+
+    #[test]
+    fn display_roundtrips_canonical_form() {
+        let src = "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT)) (and (eq (mod x) (pos y)) (lt (pos x) (pos y))))";
+        let e = parse(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+
+    #[test]
+    fn error_render_points_at_offender() {
+        let src = "(eq x\n  ))";
+        let err = parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+}

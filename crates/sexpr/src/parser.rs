@@ -1,0 +1,167 @@
+//! Recursive-descent parser from tokens to [`Sexpr`] trees.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{ParseError, Sexpr, Span};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.src_len, self.src_len)
+    }
+
+    fn expr(&mut self) -> Result<Sexpr, ParseError> {
+        let token = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| ParseError::new("unexpected end of input", self.eof_span()))?;
+        self.pos += 1;
+        match token.kind {
+            TokenKind::Symbol(s) => Ok(Sexpr::Symbol(s, token.span)),
+            TokenKind::Int(v) => Ok(Sexpr::Int(v, token.span)),
+            TokenKind::RParen => Err(ParseError::new("unexpected `)`", token.span)),
+            TokenKind::LParen => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        None => {
+                            return Err(ParseError::new(
+                                "unclosed `(`",
+                                token.span,
+                            ))
+                        }
+                        Some(t) if t.kind == TokenKind::RParen => {
+                            let close = t.span;
+                            self.pos += 1;
+                            return Ok(Sexpr::List(items, token.span.join(close)));
+                        }
+                        Some(_) => items.push(self.expr()?),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parse exactly one S-expression from `src`; trailing content is an error.
+pub fn parse(src: &str) -> Result<Sexpr, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(src)?,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let expr = parser.expr()?;
+    if let Some(extra) = parser.peek() {
+        return Err(ParseError::new(
+            "trailing content after expression",
+            extra.span,
+        ));
+    }
+    Ok(expr)
+}
+
+/// Parse zero or more S-expressions from `src` until input is exhausted.
+pub fn parse_many(src: &str) -> Result<Vec<Sexpr>, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(src)?,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let mut out = Vec::new();
+    while parser.peek().is_some() {
+        out.push(parser.expr()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom() {
+        assert_eq!(parse("x").unwrap(), Sexpr::Symbol("x".into(), Span::new(0, 1)));
+    }
+
+    #[test]
+    fn empty_list() {
+        let e = parse("()").unwrap();
+        assert_eq!(e.as_list().unwrap().len(), 0);
+        assert_eq!(e.span(), Span::new(0, 2));
+    }
+
+    #[test]
+    fn nested() {
+        let e = parse("(a (b c) 4)").unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unclosed_paren_is_error() {
+        let err = parse("(a (b)").unwrap_err();
+        assert!(err.message.contains("unclosed"));
+        assert_eq!(err.span.start, 0);
+    }
+
+    #[test]
+    fn stray_rparen_is_error() {
+        let err = parse(")").unwrap_err();
+        assert!(err.message.contains("unexpected `)`"));
+    }
+
+    #[test]
+    fn trailing_content_is_error() {
+        let err = parse("(a) b").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let err = parse("   ").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn parse_many_collects_all() {
+        let es = parse_many("(a) (b c)\n(d)").unwrap();
+        assert_eq!(es.len(), 3);
+    }
+
+    #[test]
+    fn parse_many_empty_ok() {
+        assert_eq!(parse_many("; only a comment").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn full_constraint_parses() {
+        let src = "(if (and (eq (cat (word (pos x))) verb)\n         (eq (role x) governor))\n    (and (eq (lab x) ROOT) (eq (mod x) nil)))";
+        let e = parse(src).unwrap();
+        let items = e.as_list().unwrap();
+        assert!(items[0].is_symbol("if"));
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut src = String::new();
+        for _ in 0..200 {
+            src.push('(');
+        }
+        src.push('x');
+        for _ in 0..200 {
+            src.push(')');
+        }
+        let e = parse(&src).unwrap();
+        assert_eq!(e.node_count(), 201);
+    }
+}

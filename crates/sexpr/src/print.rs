@@ -1,0 +1,79 @@
+//! Pretty printer: renders an [`Sexpr`] with indentation so long constraints
+//! stay readable in diagnostics and generated documentation.
+
+use crate::Sexpr;
+
+/// Width beyond which a list is broken across lines.
+const WRAP: usize = 60;
+
+/// Render `expr` as indented text.
+pub fn pretty(expr: &Sexpr) -> String {
+    let mut out = String::new();
+    render(expr, 0, &mut out);
+    out
+}
+
+fn flat_width(expr: &Sexpr) -> usize {
+    match expr {
+        Sexpr::Symbol(s, _) => s.len(),
+        Sexpr::Int(v, _) => v.to_string().len(),
+        Sexpr::List(items, _) => {
+            let inner: usize = items.iter().map(flat_width).sum::<usize>();
+            let spaces = items.len().saturating_sub(1);
+            2 + inner + spaces
+        }
+    }
+}
+
+fn render(expr: &Sexpr, indent: usize, out: &mut String) {
+    match expr {
+        Sexpr::Symbol(..) | Sexpr::Int(..) => out.push_str(&expr.to_string()),
+        Sexpr::List(items, _) => {
+            if flat_width(expr) + indent <= WRAP || items.len() <= 1 {
+                out.push_str(&expr.to_string());
+                return;
+            }
+            out.push('(');
+            // Head stays on the opening line; arguments are indented below.
+            render(&items[0], indent + 1, out);
+            let child_indent = indent + 2;
+            for item in &items[1..] {
+                out.push('\n');
+                out.push_str(&" ".repeat(child_indent));
+                render(item, child_indent, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn short_exprs_stay_flat() {
+        let e = parse("(eq (lab x) SUBJ)").unwrap();
+        assert_eq!(pretty(&e), "(eq (lab x) SUBJ)");
+    }
+
+    #[test]
+    fn long_exprs_wrap() {
+        let src = "(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor)) (and (eq (lab x) ROOT) (eq (mod x) nil)))";
+        let e = parse(src).unwrap();
+        let p = pretty(&e);
+        assert!(p.contains('\n'), "{p}");
+        // Pretty output re-parses to the same tree (modulo spans).
+        let e2 = parse(&p).unwrap();
+        assert_eq!(e.to_string(), e2.to_string());
+    }
+
+    #[test]
+    fn pretty_roundtrip_on_nested() {
+        let src = "(a (b (c (d (e (f (g (h 1 2 3 4 5 6 7 8 9 10 11 12 13)))))) x y z) tail1 tail2)";
+        let e = parse(src).unwrap();
+        let e2 = parse(&pretty(&e)).unwrap();
+        assert_eq!(e.to_string(), e2.to_string());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: printing and re-parsing are mutually inverse.
+
+use proptest::prelude::*;
+use sexpr::{parse, pretty, Sexpr, Span};
+
+/// Strategy for arbitrary S-expression trees (symbols avoid characters the
+/// lexer treats specially).
+fn arb_sexpr() -> impl Strategy<Value = Sexpr> {
+    let leaf = prop_oneof![
+        "[A-Za-z][A-Za-z0-9_-]{0,8}".prop_map(|s| Sexpr::Symbol(s, Span::default())),
+        any::<i32>().prop_map(|v| Sexpr::Int(v as i64, Span::default())),
+    ];
+    leaf.prop_recursive(5, 64, 6, |inner| {
+        proptest::collection::vec(inner, 0..6)
+            .prop_map(|items| Sexpr::List(items, Span::default()))
+    })
+}
+
+/// Structural equality ignoring spans (parsing assigns real spans).
+fn same_shape(a: &Sexpr, b: &Sexpr) -> bool {
+    match (a, b) {
+        (Sexpr::Symbol(x, _), Sexpr::Symbol(y, _)) => x == y,
+        (Sexpr::Int(x, _), Sexpr::Int(y, _)) => x == y,
+        (Sexpr::List(xs, _), Sexpr::List(ys, _)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| same_shape(x, y))
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_then_parse_is_identity(tree in arb_sexpr()) {
+        let printed = tree.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert!(same_shape(&tree, &reparsed), "printed: {printed}");
+    }
+
+    #[test]
+    fn pretty_then_parse_is_identity(tree in arb_sexpr()) {
+        let printed = pretty(&tree);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert!(same_shape(&tree, &reparsed), "pretty: {printed}");
+    }
+
+    #[test]
+    fn node_count_is_stable_across_roundtrip(tree in arb_sexpr()) {
+        let reparsed = parse(&tree.to_string()).unwrap();
+        prop_assert_eq!(tree.node_count(), reparsed.node_count());
+    }
+
+    #[test]
+    fn spans_nest_properly(tree in arb_sexpr()) {
+        // After a real parse, every child's span lies within its parent's.
+        let parsed = parse(&tree.to_string()).unwrap();
+        fn check(node: &Sexpr) -> Result<(), TestCaseError> {
+            if let Sexpr::List(items, span) = node {
+                for item in items {
+                    let s = item.span();
+                    prop_assert!(span.start <= s.start && s.end <= span.end);
+                    check(item)?;
+                }
+            }
+            Ok(())
+        }
+        check(&parsed)?;
+    }
+
+    #[test]
+    fn garbage_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+        let _ = sexpr::parse_many(&s);
+    }
+}

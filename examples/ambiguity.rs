@@ -1,0 +1,76 @@
+//! Ambiguity management — the paper's §1.4–1.5 workflow.
+//!
+//! Two kinds of ambiguity are demonstrated on the English grammar:
+//!
+//! 1. **Structural** (PP attachment): "the dog runs in the park" has two
+//!    precedence graphs; the network stores both compactly, the ambiguity
+//!    is detected (some role holds more than one value), and a contextual
+//!    constraint set — compiled against the same grammar and propagated
+//!    incrementally — settles it, exactly the paper's "additional
+//!    constraints can be applied as needed" strategy.
+//! 2. **Lexical** ("watch" as noun or verb): the parser explores both
+//!    category hypotheses and syntax eliminates one.
+//!
+//! ```text
+//! cargo run --example ambiguity
+//! ```
+
+use parsec::grammar::grammars::english;
+use parsec::prelude::*;
+
+fn main() {
+    let grammar = english::grammar();
+    let lexicon = english::lexicon(&grammar);
+
+    // --- Structural ambiguity ---
+    let sentence = lexicon.sentence("the dog runs in the park").unwrap();
+    let mut outcome = parse(&grammar, &sentence, ParseOptions::default());
+    println!("`{sentence}`:");
+    println!("  ambiguous: {}", outcome.ambiguous());
+    let graphs = outcome.parses(10);
+    println!("  {} parses before contextual constraints:", graphs.len());
+    for (i, graph) in graphs.iter().enumerate() {
+        let pp = graph.assignment[3 * grammar.num_roles()]; // word 4 = "in", governor
+        println!(
+            "  parse {}: `in` attaches to word {} ({})",
+            i + 1,
+            pp.modifiee,
+            match pp.modifiee.position() {
+                Some(p) => sentence.word_at(p).unwrap().text.clone(),
+                None => "nothing".to_string(),
+            }
+        );
+    }
+
+    // A contextually-determined constraint set (§1.5): in this context PPs
+    // modify the verb.
+    let contextual = grammar
+        .compile_extra_constraint(
+            "pp-attaches-to-verb",
+            "(if (eq (lab x) PP) (eq (cat (word (mod x))) verb))",
+        )
+        .unwrap();
+    outcome.propagate_extra(&[contextual]);
+    println!("  after the contextual constraint:");
+    println!("  ambiguous: {}", outcome.ambiguous());
+    for graph in outcome.parses(10) {
+        println!("{}", graph.render(&grammar, &sentence));
+    }
+
+    // --- Lexical ambiguity ---
+    let sentence = lexicon.sentence("the watch runs").unwrap();
+    println!("`{sentence}` (watch: noun or verb):");
+    let outcome = parse(&grammar, &sentence, ParseOptions::default());
+    assert!(outcome.accepted());
+    for graph in outcome.parses(10) {
+        let cat = graph.assignment[1 * grammar.num_roles()].cat;
+        println!("  `watch` resolved to category `{}`", grammar.cat_name(cat));
+        println!("{}", graph.render(&grammar, &sentence));
+    }
+
+    // --- Rejection ---
+    let bad = lexicon.sentence("dog the runs").unwrap();
+    let outcome = parse(&grammar, &bad, ParseOptions::default());
+    println!("`{bad}`: accepted = {}", outcome.accepted());
+    assert!(!outcome.accepted());
+}

@@ -1,0 +1,89 @@
+//! CDG's expressivity beyond context-free grammars (§1.5).
+//!
+//! The paper states that CDG expresses a strict superset of the CFLs,
+//! naming `ww` as a language CDG accepts that no CFG can. This example
+//! runs three formal-language CDG grammars:
+//!
+//! * aⁿbⁿ and balanced brackets — context-free; the CDG parser's verdicts
+//!   are cross-checked against the CKY baseline on the very same strings;
+//! * ww — **not** context-free; CDG accepts exactly {ww}, and no CKY row
+//!   exists to compare against (that absence is the point).
+//!
+//! ```text
+//! cargo run --example beyond_cfg
+//! ```
+
+use parsec::cfg::{cky_recognize, gen};
+use parsec::grammar::grammars::formal;
+use parsec::prelude::*;
+
+fn verdict(accepted: bool) -> &'static str {
+    if accepted {
+        "accept"
+    } else {
+        "reject"
+    }
+}
+
+fn main() {
+    // --- aⁿbⁿ: CDG and CKY must agree ---
+    let cdg = formal::anbn_grammar();
+    let cfg = gen::anbn_cfg();
+    println!("a^n b^n  (CDG vs CKY vs ground truth):");
+    for s in ["ab", "aabb", "aaabbb", "aab", "abab", "ba", "bbaa"] {
+        let sentence = formal::anbn_sentence(&cdg, s);
+        let cdg_ok = parse(&cdg, &sentence, ParseOptions::default()).accepted();
+        let spaced: String = s.chars().map(|c| format!("{c} ")).collect();
+        let tokens = cfg.tokenize(spaced.trim()).unwrap();
+        let (cky_ok, _) = cky_recognize(&cfg, &tokens);
+        let truth = formal::is_anbn(s);
+        assert_eq!(cdg_ok, truth);
+        assert_eq!(cky_ok, truth);
+        println!("  {s:<8} cdg={:<7} cky={:<7} truth={}", verdict(cdg_ok), verdict(cky_ok), verdict(truth));
+    }
+
+    // --- Balanced brackets (two pair kinds on the CDG side) ---
+    let cdg = formal::brackets_grammar();
+    println!("\nbalanced brackets (CDG over ()[], truth by stack machine):");
+    for s in ["()", "([])", "()[]", "([)]", "(()", "][", "[()]()"] {
+        let sentence = formal::brackets_sentence(&cdg, s);
+        let cdg_ok = parse(&cdg, &sentence, ParseOptions::default()).accepted();
+        let truth = formal::is_brackets(s);
+        assert_eq!(cdg_ok, truth, "`{s}`");
+        println!("  {s:<8} cdg={:<7} truth={}", verdict(cdg_ok), verdict(truth));
+    }
+
+    // --- ww: beyond context-free ---
+    let cdg = formal::ww_grammar();
+    println!("\nww over {{0,1}} (NOT context-free — no CKY baseline can exist):");
+    for s in ["00", "0101", "110110", "01", "0110", "010", "10011001"] {
+        let sentence = formal::ww_sentence(&cdg, s);
+        let outcome = parse(&cdg, &sentence, ParseOptions::default());
+        let truth = formal::is_ww(s);
+        assert_eq!(outcome.accepted(), truth, "`{s}`");
+        println!("  {s:<10} cdg={:<7} truth={}", verdict(outcome.accepted()), verdict(truth));
+        if outcome.accepted() {
+            // The precedence graph links each symbol to its copy.
+            let graph = &outcome.parses(1)[0];
+            let links: Vec<String> = graph
+                .edges(&cdg)
+                .iter()
+                .filter(|e| e.role.0 == 0 && e.word as usize <= s.len() / 2)
+                .map(|e| format!("{}->{}", e.word, e.modifiee))
+                .collect();
+            println!("             copy links: {}", links.join(" "));
+        }
+    }
+    // --- www: beyond even tree-adjoining grammars ---
+    let cdg = formal::www_grammar();
+    println!("\nwww over {{0,1}} (beyond TAG; both CDG roles carry structure):");
+    for s in ["000", "010101", "011011011", "0101", "010011", "0110"] {
+        let sentence = formal::ww_sentence(&cdg, s);
+        let ok = parse(&cdg, &sentence, ParseOptions::default()).accepted();
+        let truth = formal::is_www(s);
+        assert_eq!(ok, truth, "`{s}`");
+        println!("  {s:<10} cdg={:<7} truth={}", verdict(ok), verdict(truth));
+    }
+
+    println!("\nall verdicts match ground truth.");
+}

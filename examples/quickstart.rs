@@ -1,0 +1,60 @@
+//! Quickstart: parse the paper's example sentence and watch the
+//! constraint network settle, reproducing Figures 1–7.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use parsec::core::consistency::{filter, maintain};
+use parsec::core::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
+use parsec::core::snapshot::{render_arc, render_network};
+use parsec::core::Network;
+use parsec::grammar::grammars::paper;
+use parsec::prelude::*;
+
+fn main() {
+    let grammar = paper::grammar();
+    let sentence = paper::example_sentence(&grammar);
+    println!("grammar:\n{grammar}");
+    println!("sentence: {sentence}\n");
+
+    // Walk the pipeline by hand, printing each figure's state.
+    let mut net = Network::build(&grammar, &sentence);
+    println!("--- initial network (Figure 1) ---");
+    println!("{}", render_network(&net));
+
+    let removed = apply_unary(&mut net, &grammar.unary_constraints()[0]);
+    println!("--- after `{}` removed {removed} role values (Figure 2) ---",
+        grammar.unary_constraints()[0].name);
+    println!("{}", render_network(&net));
+
+    apply_all_unary(&mut net);
+    println!("--- after all unary constraints (Figure 3) ---");
+    println!("{}", render_network(&net));
+
+    net.init_arcs();
+    apply_binary(&mut net, &grammar.binary_constraints()[0]);
+    let governor = grammar.role_id("governor").unwrap();
+    println!("--- arc matrix after the first binary constraint (Figure 4) ---");
+    println!(
+        "{}",
+        render_arc(&net, net.slot_id(1, governor), net.slot_id(2, governor))
+    );
+
+    let removed = maintain(&mut net);
+    println!("--- consistency maintenance removed {removed} value(s) (Figure 5) ---");
+    println!("{}", render_network(&net));
+
+    apply_all_binary(&mut net);
+    let (removed, passes, _) = filter(&mut net, usize::MAX);
+    println!("--- all binary constraints + filtering: {removed} removed in {passes} pass(es) (Figure 6) ---");
+    println!("{}", render_network(&net));
+
+    // The same thing through the high-level API, plus extraction.
+    let outcome = parse(&grammar, &sentence, ParseOptions::default());
+    assert!(outcome.accepted());
+    println!("--- precedence graph (Figure 7) ---");
+    for graph in outcome.parses(10) {
+        println!("{}", graph.render(&grammar, &sentence));
+    }
+}

@@ -1,0 +1,209 @@
+//! `parsec` — command-line CDG parsing.
+//!
+//! ```text
+//! parsec [OPTIONS] <sentence...>
+//!
+//! OPTIONS:
+//!   --grammar <paper|english|anbn|brackets|ww|www>  grammar (default: english)
+//!   --grammar-file <path.cdg>                    load a grammar file instead
+//!   --engine  <serial|pram|maspar>               engine (default: serial)
+//!   --parses <N>                                 max parses to print (default 4)
+//!   --network                                    print the settled network
+//!   --dot                                        emit Graphviz instead of text
+//!   --stats                                      print engine statistics
+//!
+//! EXAMPLES:
+//!   parsec --grammar paper the program runs
+//!   parsec --engine maspar --stats the dog sees a cat in the park
+//!   parsec --grammar ww --dot 0101
+//! ```
+
+use cdg_core::parser::{parse, ParseOptions};
+use cdg_grammar::grammars::{english, formal, paper};
+use cdg_grammar::{Grammar, Sentence};
+use std::process::ExitCode;
+
+struct Args {
+    grammar: String,
+    grammar_file: Option<String>,
+    engine: String,
+    parses: usize,
+    network: bool,
+    dot: bool,
+    stats: bool,
+    words: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
+         [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] <sentence...>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        grammar: "english".into(),
+        grammar_file: None,
+        engine: "serial".into(),
+        parses: 4,
+        network: false,
+        dot: false,
+        stats: false,
+        words: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grammar" => args.grammar = it.next().unwrap_or_else(|| usage()),
+            "--grammar-file" => args.grammar_file = Some(it.next().unwrap_or_else(|| usage())),
+            "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
+            "--parses" => {
+                args.parses = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--network" => args.network = true,
+            "--dot" => args.dot = true,
+            "--stats" => args.stats = true,
+            "--help" | "-h" => usage(),
+            w if !w.starts_with("--") => args.words.push(w.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.words.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
+    let text = args.words.join(" ");
+    if let Some(path) = &args.grammar_file {
+        let (g, lex) = cdg_grammar::file::load_path(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        if lex.is_empty() {
+            return Err(format!("grammar file `{path}` has no lexicon; add a (lexicon ...) clause"));
+        }
+        let s = lex.sentence(&text).map_err(|e| e.to_string())?;
+        return Ok((g, s));
+    }
+    match args.grammar.as_str() {
+        "paper" => {
+            let g = paper::grammar();
+            let s = paper::lexicon(&g).sentence(&text).map_err(|e| e.to_string())?;
+            Ok((g, s))
+        }
+        "english" => {
+            let g = english::grammar();
+            let s = english::lexicon(&g).sentence(&text).map_err(|e| e.to_string())?;
+            Ok((g, s))
+        }
+        "anbn" => {
+            let g = formal::anbn_grammar();
+            let s = formal::anbn_sentence(&g, &text.replace(' ', ""));
+            Ok((g, s))
+        }
+        "brackets" => {
+            let g = formal::brackets_grammar();
+            let s = formal::brackets_sentence(&g, &text.replace(' ', ""));
+            Ok((g, s))
+        }
+        "ww" => {
+            let g = formal::ww_grammar();
+            let s = formal::ww_sentence(&g, &text.replace(' ', ""));
+            Ok((g, s))
+        }
+        "www" => {
+            let g = formal::www_grammar();
+            let s = formal::ww_sentence(&g, &text.replace(' ', ""));
+            Ok((g, s))
+        }
+        other => Err(format!("unknown grammar `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (grammar, sentence) = match build_input(&args) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // All engines funnel into a settled sequential-format network so the
+    // printing pipeline is shared.
+    let outcome = match args.engine.as_str() {
+        "serial" => parse(&grammar, &sentence, ParseOptions::default()),
+        "pram" => {
+            let pram = cdg_parallel::parse_pram(&grammar, &sentence, ParseOptions::default());
+            if args.stats {
+                eprintln!(
+                    "pram: {} steps, max width {}, {} removals",
+                    pram.stats.steps, pram.stats.max_width, pram.stats.removals
+                );
+            }
+            // Re-run serially for the shared outcome type (identical by
+            // the equivalence guarantee).
+            parse(&grammar, &sentence, ParseOptions::default())
+        }
+        "maspar" => {
+            let out = parsec_maspar::parse_maspar(
+                &grammar,
+                &sentence,
+                &parsec_maspar::MasparOptions::default(),
+            );
+            if args.stats {
+                eprintln!(
+                    "maspar: {} virtual PEs (factor {}x), {} plural ops, {} scans, est {:.3}s on an MP-1",
+                    out.layout.virt_pes(),
+                    out.virt_factor,
+                    out.stats.plural_ops,
+                    out.stats.scan_calls,
+                    out.estimated_seconds
+                );
+            }
+            parse(&grammar, &sentence, ParseOptions::default())
+        }
+        other => {
+            eprintln!("error: unknown engine `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.stats {
+        let st = outcome.network.stats;
+        eprintln!(
+            "serial: {} unary checks, {} binary checks, {} removals, {} maintain passes",
+            st.unary_checks, st.binary_checks, st.removals, st.maintain_passes
+        );
+    }
+
+    if args.network {
+        println!("{}", cdg_core::snapshot::render_network(&outcome.network));
+    }
+
+    let graphs = outcome.parses(args.parses);
+    if graphs.is_empty() {
+        println!("REJECT: `{sentence}` is not in the language of grammar `{}`", args.grammar);
+        return ExitCode::from(1);
+    }
+    println!(
+        "ACCEPT: `{sentence}` — {}{} parse(s)",
+        graphs.len(),
+        if outcome.ambiguous() { " (ambiguous)" } else { "" }
+    );
+    for (i, graph) in graphs.iter().enumerate() {
+        if args.dot {
+            println!("{}", cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence));
+        } else {
+            println!("--- parse {} ---", i + 1);
+            println!("{}", graph.render(&grammar, &sentence));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `parsec` command-line binary.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_parsec"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn accepts_the_paper_sentence() {
+    let out = run(&["--grammar", "paper", "the", "program", "runs"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("ACCEPT"));
+    assert!(text.contains("G = SUBJ-3"));
+}
+
+#[test]
+fn rejects_with_exit_code_1() {
+    let out = run(&["--grammar", "paper", "program", "the", "runs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("REJECT"));
+}
+
+#[test]
+fn usage_on_no_sentence() {
+    let out = run(&["--grammar", "paper"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_grammar_is_an_error() {
+    let out = run(&["--grammar", "klingon", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown grammar"));
+}
+
+#[test]
+fn unknown_word_is_reported() {
+    let out = run(&["--grammar", "paper", "the", "zebra", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("zebra"));
+}
+
+#[test]
+fn formal_grammars_take_symbol_strings() {
+    let out = run(&["--grammar", "ww", "0101"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ACCEPT"));
+    let out = run(&["--grammar", "www", "010101"]);
+    assert!(out.status.success());
+    let out = run(&["--grammar", "anbn", "aabb"]);
+    assert!(out.status.success());
+    let out = run(&["--grammar", "brackets", "([)]"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn dot_output_is_well_formed() {
+    let out = run(&["--grammar", "paper", "--dot", "the", "program", "runs"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("digraph precedence"));
+    assert!(text.contains("w1 -> w2"));
+}
+
+#[test]
+fn stats_flags_engines() {
+    let out = run(&["--engine", "maspar", "--stats", "the", "dog", "runs"]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("virtual PEs"));
+    let out = run(&["--engine", "pram", "--stats", "the", "dog", "runs"]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("steps"));
+}
+
+#[test]
+fn network_flag_prints_roles() {
+    let out = run(&["--grammar", "paper", "--network", "the", "program", "runs"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("governor"));
+    assert!(stdout(&out).contains("{DET-2}"));
+}
+
+#[test]
+fn grammar_file_loading() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/grammars/paper.cdg");
+    let out = run(&["--grammar-file", path, "the", "program", "runs"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ACCEPT"));
+    let out = run(&["--grammar-file", "/nonexistent.cdg", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn ambiguity_is_flagged() {
+    let out = run(&["the", "dog", "runs", "in", "the", "park"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("(ambiguous)"), "{text}");
+    assert!(text.contains("parse 2"));
+}

@@ -1,0 +1,42 @@
+//! Guard: the shipped `grammars/paper.cdg` stays in sync with the
+//! built-in paper grammar (they are the same grammar in two forms).
+
+use cdg_core::parser::{parse, ParseOptions};
+use cdg_grammar::grammars::paper;
+use cdg_grammar::RoleId;
+
+#[test]
+fn shipped_grammar_file_matches_builtin() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/grammars/paper.cdg");
+    let (from_file, lex_file) =
+        cdg_grammar::file::load_path(std::path::Path::new(path)).expect("shipped file loads");
+    let builtin = paper::grammar();
+
+    assert_eq!(from_file.cat_names(), builtin.cat_names());
+    assert_eq!(from_file.label_names(), builtin.label_names());
+    assert_eq!(from_file.role_names(), builtin.role_names());
+    for r in 0..builtin.num_roles() {
+        assert_eq!(
+            from_file.allowed_labels(RoleId(r as u16)),
+            builtin.allowed_labels(RoleId(r as u16))
+        );
+    }
+    assert_eq!(from_file.num_constraints(), builtin.num_constraints());
+    for (a, b) in from_file
+        .unary_constraints()
+        .iter()
+        .chain(from_file.binary_constraints())
+        .zip(builtin.unary_constraints().iter().chain(builtin.binary_constraints()))
+    {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.expr, b.expr, "constraint {} drifted from the built-in", a.name);
+    }
+
+    // Same behaviour end to end.
+    let s = lex_file.sentence("the program runs").unwrap();
+    let outcome = parse(&from_file, &s, ParseOptions::default());
+    assert!(outcome.accepted());
+    assert_eq!(outcome.parses(10).len(), 1);
+    let s = lex_file.sentence("program the runs").unwrap();
+    assert!(!parse(&from_file, &s, ParseOptions::default()).accepted());
+}

@@ -1,0 +1,113 @@
+//! Golden test: the complete worked example of the paper (Figures 1–7),
+//! exercised through the facade crate the way a downstream user would.
+
+use parsec::core::consistency::{filter, maintain};
+use parsec::core::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
+use parsec::core::snapshot::alive_values;
+use parsec::core::Network;
+use parsec::grammar::grammars::paper;
+use parsec::grammar::Modifiee;
+use parsec::prelude::*;
+
+fn governor(g: &Grammar) -> parsec::grammar::RoleId {
+    g.role_id("governor").unwrap()
+}
+
+fn needs(g: &Grammar) -> parsec::grammar::RoleId {
+    g.role_id("needs").unwrap()
+}
+
+#[test]
+fn figures_1_through_7() {
+    let g = paper::grammar();
+    let s = paper::example_sentence(&g);
+    let mut net = Network::build(&g, &s);
+
+    // Figure 1: 9 role values in every role.
+    for w in 0..3u16 {
+        assert_eq!(alive_values(&net, w, governor(&g)).len(), 9);
+        assert_eq!(alive_values(&net, w, needs(&g)).len(), 9);
+    }
+
+    // Figure 2: the first unary constraint pins runs/governor to ROOT-nil.
+    apply_unary(&mut net, &g.unary_constraints()[0]);
+    assert_eq!(alive_values(&net, 2, governor(&g)), vec!["ROOT-nil"]);
+    assert_eq!(alive_values(&net, 0, governor(&g)).len(), 9);
+
+    // Figure 3.
+    apply_all_unary(&mut net);
+    assert_eq!(alive_values(&net, 0, governor(&g)), vec!["DET-2", "DET-3"]);
+    assert_eq!(alive_values(&net, 0, needs(&g)), vec!["BLANK-nil"]);
+    assert_eq!(alive_values(&net, 1, governor(&g)), vec!["SUBJ-1", "SUBJ-3"]);
+    assert_eq!(alive_values(&net, 1, needs(&g)), vec!["NP-1", "NP-3"]);
+    assert_eq!(alive_values(&net, 2, needs(&g)), vec!["S-1", "S-2"]);
+
+    // Figure 4: the zero lands at (SUBJ-1, ROOT-nil).
+    net.init_arcs();
+    apply_binary(&mut net, &g.binary_constraints()[0]);
+    let pg = net.slot_id(1, governor(&g));
+    let rg = net.slot_id(2, governor(&g));
+    let subj1 = net.slot(pg).domain.iter().position(|rv| {
+        g.label_name(rv.label) == "SUBJ" && rv.modifiee == Modifiee::Word(1)
+    });
+    let root_nil = net.slot(rg).domain.iter().position(|rv| {
+        g.label_name(rv.label) == "ROOT" && rv.modifiee == Modifiee::Nil
+    });
+    assert!(!net.arc_entry(pg, subj1.unwrap(), rg, root_nil.unwrap()));
+
+    // Figure 5.
+    assert_eq!(maintain(&mut net), 1);
+    assert_eq!(alive_values(&net, 1, governor(&g)), vec!["SUBJ-3"]);
+
+    // Figure 6.
+    apply_all_binary(&mut net);
+    filter(&mut net, usize::MAX);
+    assert_eq!(alive_values(&net, 0, governor(&g)), vec!["DET-2"]);
+    assert_eq!(alive_values(&net, 1, needs(&g)), vec!["NP-1"]);
+    assert_eq!(alive_values(&net, 2, needs(&g)), vec!["S-2"]);
+    assert_eq!(net.total_alive(), 6);
+
+    // Figure 7, through the high-level API.
+    let outcome = parse(&g, &s, ParseOptions::default());
+    assert!(outcome.accepted());
+    assert!(!outcome.ambiguous());
+    let graphs = outcome.parses(10);
+    assert_eq!(graphs.len(), 1);
+    let rendered = graphs[0].render(&g, &s);
+    for expected in [
+        "Word = The",
+        "G = DET-2",
+        "N = BLANK-nil",
+        "Word = program",
+        "G = SUBJ-3",
+        "N = NP-1",
+        "Word = runs",
+        "G = ROOT-nil",
+        "N = S-2",
+    ] {
+        assert!(rendered.contains(expected), "missing `{expected}` in:\n{rendered}");
+    }
+}
+
+#[test]
+fn paper_complexity_counts() {
+    // §1.2–1.4's counting claims on the example: p·n role values per role,
+    // O(n²) total, C(nq, 2) arcs of O(n²) entries each.
+    let g = paper::grammar();
+    let s = paper::example_sentence(&g);
+    let mut net = Network::build(&g, &s);
+    assert_eq!(net.stats.role_values_generated, 54); // 6 roles × 9
+    net.init_arcs();
+    assert_eq!(net.arc_pairs().len(), 15); // C(6,2)
+    assert_eq!(net.stats.arc_entries_initialized, 15 * 81);
+}
+
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    // The README's five-line quickstart.
+    let grammar = parsec::grammar::grammars::paper::grammar();
+    let sentence = parsec::grammar::grammars::paper::example_sentence(&grammar);
+    let outcome = parse(&grammar, &sentence, ParseOptions::default());
+    assert!(outcome.accepted());
+    assert_eq!(outcome.parses(10).len(), 1);
+}
