@@ -169,7 +169,9 @@ fn fig8() {
     ]);
 
     // Collect per-engine series.
-    let mut series: Vec<(&str, &str, &str, &str, Vec<f64>, u64)> = Vec::new();
+    // (architecture, paper PEs, paper time, measured quantity, values, PEs at n=12)
+    type Series = (&'static str, &'static str, &'static str, &'static str, Vec<f64>, u64);
+    let mut series: Vec<Series> = Vec::new();
     {
         let mut serial_ops = Vec::new();
         let mut pram_steps = Vec::new();

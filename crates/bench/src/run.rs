@@ -40,6 +40,7 @@ pub fn comparable_options() -> ParseOptions {
     ParseOptions {
         arcs_before_unary: false,
         filter: FilterMode::Bounded(10),
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,192 @@
+//! Typed engine errors and resource budgets.
+//!
+//! Shared by the serial engine (this crate) and the MasPar engine
+//! (`parsec-maspar`): both report unrecoverable conditions as
+//! [`EngineError`] values — never a silently wrong network — and both
+//! honor a [`ParseBudget`] by returning a *partial, clearly flagged*
+//! outcome (`degraded: Some(BudgetExceeded)`) instead of running
+//! open-ended.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Wall time: host-measured for the serial engine, estimated MP-1
+    /// seconds (deterministic) for the MasPar engine.
+    WallTime,
+    /// Consistency-maintenance (filtering) passes.
+    FilterIterations,
+    /// Total arc-matrix cells the parse would materialize.
+    ArcCells,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetResource::WallTime => "wall time",
+            BudgetResource::FilterIterations => "filter iterations",
+            BudgetResource::ArcCells => "arc cells",
+        })
+    }
+}
+
+/// An engine-level failure with enough structure for callers to react
+/// (retry with relaxation, raise the budget, report which PEs died)
+/// instead of parsing a message string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Physical PEs failed and could not be retired away (probing kept
+    /// finding new dead PEs, or no healthy PEs remain).
+    PeFailure {
+        /// Physical PE ids detected dead when recovery gave up.
+        dead: Vec<usize>,
+        detail: String,
+    },
+    /// A [`ParseBudget`] limit was reached before the parse settled.
+    /// When this appears as `ParseOutcome::degraded` the accompanying
+    /// network is a usable partial result; when returned as an `Err` no
+    /// result could be produced at all.
+    BudgetExceeded {
+        resource: BudgetResource,
+        limit: String,
+        spent: String,
+    },
+    /// Redundant executions of a phase kept disagreeing — corruption was
+    /// detected but bounded retries never produced two matching runs.
+    Inconsistent { phase: String, attempts: usize },
+    /// The grammar or sentence cannot run on the engine at all (e.g.
+    /// lexical ambiguity on the MasPar layout, or a label set too wide
+    /// for its bit-packing).
+    GrammarError(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::PeFailure { dead, detail } => {
+                write!(f, "PE failure: {detail} (dead physical PEs: {dead:?})")
+            }
+            EngineError::BudgetExceeded {
+                resource,
+                limit,
+                spent,
+            } => write!(f, "parse budget exceeded: {resource} limit {limit}, spent {spent}"),
+            EngineError::Inconsistent { phase, attempts } => write!(
+                f,
+                "inconsistent redundant execution in phase `{phase}` after {attempts} attempt(s)"
+            ),
+            EngineError::GrammarError(msg) => write!(f, "grammar error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Resource limits for one parse. `Default` is unlimited.
+///
+/// Semantics of `max_wall_time` differ by engine on purpose: the serial
+/// engine measures *host* time (checked between pipeline stages and
+/// filter passes, so a stage in progress completes), while the MasPar
+/// engine compares its deterministic *estimated MP-1 seconds* — the same
+/// budget spec therefore reproduces bit-identically on the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseBudget {
+    pub max_wall_time: Option<Duration>,
+    pub max_filter_iterations: Option<usize>,
+    pub max_arc_cells: Option<u64>,
+}
+
+impl ParseBudget {
+    pub const UNLIMITED: ParseBudget = ParseBudget {
+        max_wall_time: None,
+        max_filter_iterations: None,
+        max_arc_cells: None,
+    };
+
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::UNLIMITED
+    }
+
+    /// Parse a CLI-style spec: comma-separated `ms=N` (wall-time
+    /// milliseconds), `iters=N` (filter passes), `cells=N` (arc cells),
+    /// e.g. `"ms=50,iters=3"`.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let mut budget = ParseBudget::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("budget clause `{part}` is not key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("budget clause `{part}`: `{value}` is not a number"))?;
+            match key.trim() {
+                "ms" => budget.max_wall_time = Some(Duration::from_millis(n)),
+                "iters" => budget.max_filter_iterations = Some(n as usize),
+                "cells" => budget.max_arc_cells = Some(n),
+                other => {
+                    return Err(format!(
+                        "unknown budget key `{other}` (expected ms, iters or cells)"
+                    ))
+                }
+            }
+        }
+        Ok(budget)
+    }
+
+    /// The error for an exceeded limit, with both sides rendered.
+    pub fn exceeded(resource: BudgetResource, limit: impl fmt::Display, spent: impl fmt::Display) -> EngineError {
+        EngineError::BudgetExceeded {
+            resource,
+            limit: limit.to_string(),
+            spent: spent.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(ParseBudget::default().is_unlimited());
+        assert!(!ParseBudget {
+            max_filter_iterations: Some(3),
+            ..Default::default()
+        }
+        .is_unlimited());
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let b = ParseBudget::parse_spec("ms=50, iters=3,cells=100000").unwrap();
+        assert_eq!(b.max_wall_time, Some(Duration::from_millis(50)));
+        assert_eq!(b.max_filter_iterations, Some(3));
+        assert_eq!(b.max_arc_cells, Some(100_000));
+        assert!(ParseBudget::parse_spec("").unwrap().is_unlimited());
+        assert!(ParseBudget::parse_spec("iters").is_err());
+        assert!(ParseBudget::parse_spec("iters=lots").is_err());
+        assert!(ParseBudget::parse_spec("fuel=9").is_err());
+    }
+
+    #[test]
+    fn errors_render_their_structure() {
+        let e = EngineError::PeFailure {
+            dead: vec![3, 7],
+            detail: "probing never converged".into(),
+        };
+        assert!(e.to_string().contains("[3, 7]"));
+        let e = ParseBudget::exceeded(BudgetResource::FilterIterations, 3, 4);
+        assert!(e.to_string().contains("filter iterations"));
+        let e = EngineError::Inconsistent {
+            phase: "binary:subj-precedes-its-verb".into(),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("binary:subj-precedes-its-verb"));
+        let e = EngineError::GrammarError("l*l > 64".into());
+        assert!(e.to_string().contains("l*l > 64"));
+    }
+}

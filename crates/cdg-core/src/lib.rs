@@ -31,14 +31,18 @@
 
 pub mod consistency;
 pub mod dot;
+pub mod error;
 pub mod extract;
 pub mod network;
 pub mod parser;
 pub mod propagate;
+pub mod relax;
 pub mod snapshot;
 pub mod stats;
 
+pub use error::{BudgetResource, EngineError, ParseBudget};
 pub use extract::PrecedenceGraph;
 pub use network::{Network, SlotId};
 pub use parser::{parse, FilterMode, ParseOptions, ParseOutcome};
+pub use relax::{parse_relaxed, RelaxLadder, RelaxOutcome};
 pub use stats::NetStats;

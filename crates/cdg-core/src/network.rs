@@ -79,7 +79,7 @@ impl<'g> Network<'g> {
         let n = sentence.len();
         let q = grammar.num_roles();
         assert!(n >= 1, "a sentence must contain at least one word");
-        assert!(n <= u16::MAX as usize - 1, "sentence too long");
+        assert!(n < u16::MAX as usize, "sentence too long");
         let mut stats = NetStats::default();
         let mut slots = Vec::with_capacity(n * q);
         for w in 0..n as u16 {

@@ -1,10 +1,12 @@
 //! The high-level sequential parse driver.
 
 use crate::consistency::{filter, is_locally_consistent};
+use crate::error::{BudgetResource, EngineError, ParseBudget};
 use crate::extract::{has_parse, precedence_graphs, PrecedenceGraph};
 use crate::network::Network;
 use crate::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
 use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
+use std::time::Instant;
 
 /// How much filtering to run after propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +27,9 @@ pub struct ParseOptions {
     /// The final network is the same; the work differs.
     pub arcs_before_unary: bool,
     pub filter: FilterMode,
+    /// Resource limits; when one is hit the parse returns a partial,
+    /// clearly flagged outcome (`degraded` set) instead of running on.
+    pub budget: ParseBudget,
 }
 
 impl Default for ParseOptions {
@@ -32,6 +37,7 @@ impl Default for ParseOptions {
         ParseOptions {
             arcs_before_unary: false,
             filter: FilterMode::Fixpoint,
+            budget: ParseBudget::UNLIMITED,
         }
     }
 }
@@ -47,12 +53,19 @@ pub struct ParseOutcome<'g> {
     pub locally_consistent: bool,
     /// Filtering passes actually run.
     pub filter_passes: usize,
+    /// `Some` when a [`ParseBudget`] limit cut the pipeline short: the
+    /// network is a usable partial result (filtering incomplete, or — for
+    /// an arc-cell budget — unary-only with no arcs at all), and this
+    /// records exactly which limit bound. `None` for a full parse.
+    pub degraded: Option<EngineError>,
 }
 
 impl<'g> ParseOutcome<'g> {
-    /// Constructive acceptance: at least one complete parse exists.
+    /// Constructive acceptance: at least one complete parse exists. A
+    /// degraded outcome whose arcs were never built cannot certify a
+    /// parse and reports `false`.
     pub fn accepted(&self) -> bool {
-        self.roles_nonempty && has_parse(&self.network)
+        self.roles_nonempty && self.network.arcs_ready() && has_parse(&self.network)
     }
 
     /// Is the settled network still ambiguous (some role with > 1 value)?
@@ -60,8 +73,12 @@ impl<'g> ParseOutcome<'g> {
         self.network.slots().iter().any(|s| s.alive_count() > 1)
     }
 
-    /// Enumerate up to `limit` parses.
+    /// Enumerate up to `limit` parses (empty for an arc-less degraded
+    /// outcome — extraction needs the arc matrices).
     pub fn parses(&self, limit: usize) -> Vec<PrecedenceGraph> {
+        if !self.network.arcs_ready() {
+            return Vec::new();
+        }
         precedence_graphs(&self.network, limit)
     }
 
@@ -107,37 +124,108 @@ pub fn parse<'g>(
     sentence: &Sentence,
     options: ParseOptions,
 ) -> ParseOutcome<'g> {
+    let start = Instant::now();
+    let budget = options.budget;
+    let mut degraded: Option<EngineError> = None;
+    let over_time = |start: &Instant| -> Option<EngineError> {
+        let cap = budget.max_wall_time?;
+        let spent = start.elapsed();
+        (spent > cap).then(|| {
+            ParseBudget::exceeded(
+                BudgetResource::WallTime,
+                format!("{cap:?}"),
+                format!("{spent:?}"),
+            )
+        })
+    };
+
     let mut net = Network::build(grammar, sentence);
-    if options.arcs_before_unary {
+
+    // An arc-cell budget is checked *before* materializing the O(n⁴)
+    // matrices: if they would not fit, the parse degrades to the unary
+    // (O(n²)) pipeline — role alive-sets only, no extraction.
+    let arc_cells = predicted_arc_cells(&net);
+    let build_arcs = match budget.max_arc_cells {
+        Some(cap) if arc_cells > cap => {
+            degraded = Some(ParseBudget::exceeded(BudgetResource::ArcCells, cap, arc_cells));
+            false
+        }
+        _ => true,
+    };
+
+    if build_arcs && options.arcs_before_unary {
         net.init_arcs();
         apply_all_unary(&mut net);
     } else {
         apply_all_unary(&mut net);
-        net.init_arcs();
+        if build_arcs && degraded.is_none() {
+            if let Some(e) = over_time(&start) {
+                degraded = Some(e);
+            } else {
+                net.init_arcs();
+            }
+        }
     }
-    apply_all_binary(&mut net);
-    let (passes, fixpoint) = match options.filter {
-        FilterMode::None => (0, false),
-        FilterMode::Bounded(max) => {
-            let (_, p, fx) = filter(&mut net, max);
-            (p, fx)
-        }
-        FilterMode::Fixpoint => {
-            let (_, p, fx) = filter(&mut net, usize::MAX);
-            (p, fx)
-        }
+    if net.arcs_ready() {
+        apply_all_binary(&mut net);
+    }
+
+    // Filtering runs one pass at a time so both the iteration and the
+    // wall-time budget can bind *between* passes (a pass in progress
+    // always completes — the network is never left mid-maintenance).
+    let mode_max = match options.filter {
+        FilterMode::None => 0,
+        FilterMode::Bounded(max) => max,
+        FilterMode::Fixpoint => usize::MAX,
     };
+    let mut passes = 0usize;
+    let mut fixpoint = false;
+    while net.arcs_ready() && passes < mode_max {
+        if degraded.is_none() {
+            if let Some(cap) = budget.max_filter_iterations {
+                if passes >= cap {
+                    degraded =
+                        Some(ParseBudget::exceeded(BudgetResource::FilterIterations, cap, passes + 1));
+                    break;
+                }
+            }
+            if let Some(e) = over_time(&start) {
+                degraded = Some(e);
+                break;
+            }
+        } else {
+            break;
+        }
+        let (_, p, fx) = filter(&mut net, 1);
+        passes += p;
+        if fx || p == 0 {
+            fixpoint = fx;
+            break;
+        }
+    }
+
     let locally_consistent = if fixpoint {
         true
-    } else {
+    } else if net.arcs_ready() {
         is_locally_consistent(&net)
+    } else {
+        false
     };
     ParseOutcome {
         roles_nonempty: net.all_roles_nonempty(),
         locally_consistent,
         filter_passes: passes,
+        degraded,
         network: net,
     }
+}
+
+/// Arc-matrix cells `init_arcs` would allocate: Σ_{i<j} |dom i|·|dom j|.
+fn predicted_arc_cells(net: &Network<'_>) -> u64 {
+    let sizes: Vec<u64> = net.slots().iter().map(|s| s.domain.len() as u64).collect();
+    let total: u64 = sizes.iter().sum();
+    let squares: u64 = sizes.iter().map(|d| d * d).sum();
+    (total * total - squares) / 2
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! Constraint-relaxation retry ladder.
+//!
+//! The paper (§1.5) treats the constraint set as *data*: contextually
+//! chosen constraint sets can be applied to a network, and errorful
+//! sentences — the transcribed speech PARSEC targeted is full of them —
+//! should still yield a structure rather than a bare REJECT. This module
+//! implements the recovery direction: when the strict grammar rejects a
+//! sentence, re-parse under grammars with progressively more constraints
+//! *removed* (via [`cdg_grammar::Grammar::retain_constraints`]) until one
+//! rung accepts, and report exactly which constraints had to be dropped.
+//!
+//! Relaxation only ever *removes* constraints, so every rung's language is
+//! a superset of the previous one; the first accepting rung is therefore
+//! the minimal relaxation along the ladder.
+
+use crate::error::EngineError;
+use crate::extract::PrecedenceGraph;
+use crate::parser::{parse, ParseOptions};
+use cdg_grammar::{Grammar, Sentence};
+
+/// An ordered sequence of rungs; each rung names the constraints dropped
+/// at that level (cumulative: rung r drops the union of rungs 1..=r).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxLadder {
+    rungs: Vec<Vec<String>>,
+}
+
+impl RelaxLadder {
+    pub fn new(rungs: Vec<Vec<String>>) -> Self {
+        RelaxLadder { rungs }
+    }
+
+    /// Number of rungs *above* strict parsing.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// All constraint names dropped at rung `r` (1-based; rung 0 = strict).
+    pub fn dropped_at(&self, rung: usize) -> Vec<String> {
+        let mut out: Vec<String> = self.rungs.iter().take(rung).flatten().cloned().collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The default ladder for the shipped English grammar, ordered from
+    /// most to least innocuous error class:
+    ///
+    /// 1. dropped determiners ("dog runs in the park");
+    /// 2. dangling determiners/modifiers (disfluent restarts);
+    /// 3. scrambled word order.
+    pub fn english_default() -> Self {
+        RelaxLadder::new(vec![
+            vec!["sing-noun-needs-det-left".into()],
+            vec!["det-needs-blank".into(), "adj-needs-blank".into(), "adv-needs-blank".into()],
+            vec![
+                "subj-precedes-its-verb".into(),
+                "obj-follows-its-verb".into(),
+                "pobj-follows-its-prep".into(),
+            ],
+        ])
+    }
+}
+
+/// A successful parse found somewhere on the ladder.
+#[derive(Debug, Clone)]
+pub struct RelaxOutcome {
+    /// Rung that accepted: 0 = the strict grammar, `r > 0` = after
+    /// dropping [`RelaxOutcome::dropped`].
+    pub rung: usize,
+    /// Constraint names dropped at the accepting rung (empty for strict).
+    pub dropped: Vec<String>,
+    /// Parses extracted at the accepting rung. Role-value ids reference
+    /// the *original* grammar's symbol tables (relaxation never renumbers
+    /// labels or categories), so rendering against it is valid.
+    pub parses: Vec<PrecedenceGraph>,
+    /// Whether the accepting network still held multiple readings.
+    pub ambiguous: bool,
+    /// Filter passes spent at the accepting rung.
+    pub filter_passes: usize,
+    /// Budget degradation at the accepting rung, if any.
+    pub degraded: Option<EngineError>,
+}
+
+/// Parse strictly, then climb `ladder` until some rung accepts. Returns
+/// `None` when even the most relaxed rung rejects the sentence. `limit`
+/// caps the parses extracted per rung.
+pub fn parse_relaxed(
+    grammar: &Grammar,
+    sentence: &Sentence,
+    options: ParseOptions,
+    ladder: &RelaxLadder,
+    limit: usize,
+) -> Option<RelaxOutcome> {
+    for rung in 0..=ladder.len() {
+        let dropped = ladder.dropped_at(rung);
+        let relaxed;
+        let g = if rung == 0 {
+            grammar
+        } else {
+            relaxed = grammar.retain_constraints(|name| !dropped.iter().any(|d| d == name));
+            &relaxed
+        };
+        let outcome = parse(g, sentence, options);
+        if outcome.accepted() {
+            return Some(RelaxOutcome {
+                rung,
+                dropped,
+                parses: outcome.parses(limit),
+                ambiguous: outcome.ambiguous(),
+                filter_passes: outcome.filter_passes,
+                degraded: outcome.degraded,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_grammar::grammars::english;
+
+    #[test]
+    fn strict_sentences_accept_at_rung_zero() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the dog runs").unwrap();
+        let r = parse_relaxed(&g, &s, ParseOptions::default(), &RelaxLadder::english_default(), 8)
+            .expect("grammatical sentence must parse");
+        assert_eq!(r.rung, 0);
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.parses.len(), 1);
+    }
+
+    #[test]
+    fn missing_determiner_recovers_at_rung_one() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("dog runs in the park").unwrap();
+        let ladder = RelaxLadder::english_default();
+        let r = parse_relaxed(&g, &s, ParseOptions::default(), &ladder, 8)
+            .expect("relaxation must recover the dropped determiner");
+        assert_eq!(r.rung, 1);
+        assert_eq!(r.dropped, vec!["sing-noun-needs-det-left".to_string()]);
+        assert!(!r.parses.is_empty());
+        // The recovered structure still has `dog` as the subject of `runs`.
+        let core = g.role_id("governor").unwrap();
+        let graph = &r.parses[0];
+        let dog = graph.value(&g, 0, core);
+        assert_eq!(g.label_name(dog.label), "SUBJ");
+    }
+
+    #[test]
+    fn word_salad_stays_rejected() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex.sentence("the the the").unwrap();
+        let ladder = RelaxLadder::english_default();
+        assert!(parse_relaxed(&g, &s, ParseOptions::default(), &ladder, 8).is_none());
+    }
+
+    #[test]
+    fn dropped_sets_are_cumulative_and_sorted() {
+        let ladder = RelaxLadder::new(vec![
+            vec!["b".into()],
+            vec!["a".into(), "b".into()],
+        ]);
+        assert_eq!(ladder.dropped_at(0), Vec::<String>::new());
+        assert_eq!(ladder.dropped_at(1), vec!["b".to_string()]);
+        assert_eq!(ladder.dropped_at(2), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -189,7 +189,12 @@ pub fn load_path(path: &std::path::Path) -> Result<(Grammar, Lexicon), FileError
 
 /// Render a grammar (and lexicon) to the file format. The output parses
 /// back to an equivalent grammar ([`load_str`] ∘ [`save`] round-trips).
-pub fn save(grammar: &Grammar, lexicon: &Lexicon) -> String {
+///
+/// Fails with [`FileError::Malformed`] if a constraint's stored source no
+/// longer parses (possible only for grammars assembled outside
+/// [`GrammarBuilder`]'s validation) — rendering must not panic on behalf
+/// of its caller.
+pub fn save(grammar: &Grammar, lexicon: &Lexicon) -> Result<String, FileError> {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "(grammar {}", grammar.name());
@@ -210,7 +215,9 @@ pub fn save(grammar: &Grammar, lexicon: &Lexicon) -> String {
         .chain(grammar.binary_constraints())
     {
         // Re-parse the stored source to normalize whitespace.
-        let expr = sexpr::parse(&c.source).expect("stored constraint source parses");
+        let expr = sexpr::parse(&c.source).map_err(|e| {
+            malformed(format!("constraint `{}` has unparseable stored source: {e}", c.name))
+        })?;
         let _ = writeln!(out, "  (constraint {} {})", c.name, expr);
     }
     if !lexicon.is_empty() {
@@ -222,7 +229,7 @@ pub fn save(grammar: &Grammar, lexicon: &Lexicon) -> String {
         let _ = writeln!(out, "  )");
     }
     out.push_str(")\n");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -274,7 +281,7 @@ mod tests {
             (formal::www_grammar(), Lexicon::new()),
         ];
         for (g, lex) in cases {
-            let text = save(&g, &lex);
+            let text = save(&g, &lex).expect("shipped grammars always render");
             let (g2, lex2) = load_str(&text).unwrap_or_else(|e| {
                 panic!("round-trip of {} failed: {e}\n{text}", g.name())
             });
@@ -287,7 +294,7 @@ mod tests {
     fn loaded_grammar_parses_like_the_original() {
         let g = paper::grammar();
         let lex = paper::lexicon(&g);
-        let (g2, lex2) = load_str(&save(&g, &lex)).unwrap();
+        let (g2, lex2) = load_str(&save(&g, &lex).unwrap()).unwrap();
         let s = lex2.sentence("the program runs").unwrap();
         // Check acceptance through raw constraint evaluation (cdg-core is
         // not a dependency here): the loaded constraints behave the same.
@@ -343,7 +350,35 @@ mod tests {
             ("(grammar g (allow r))", "takes two arguments"),
             ("(grammar g (constraint only-name))", "takes two arguments"),
             ("(grammar g (categories a) (labels L) (roles r) (lexicon (w)))", "needs (word cat...)"),
+            // Truncated s-expressions at every nesting depth.
             ("(grammar g", "syntax error"),
+            ("(grammar g (categories a) (labels L", "syntax error"),
+            ("(grammar g (constraint c (if (eq (lab x) L)", "syntax error"),
+            ("", "syntax error"),
+            // Bad role tables.
+            ("(grammar g (categories a) (labels L) (roles r) (allow r ())
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "no allowed labels"),
+            ("(grammar g (categories a) (labels L) (roles r) (allow ghost (L))
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "unknown role"),
+            ("(grammar g (categories a) (labels L) (roles r) (allow r (GHOST))
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "unknown label"),
+            ("(grammar g (categories a) (labels L) (roles r) (allow r L)
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "must be a label list"),
+            // Duplicate names, within and across namespaces.
+            ("(grammar g (categories a) (labels L L) (roles r)
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "declared more than once"),
+            ("(grammar g (categories same) (labels same) (roles r)
+               (constraint c (if (eq (lab x) same) (eq (mod x) nil))))",
+             "declared more than once"),
+            ("(grammar g (categories a) (labels L) (roles r)
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil)))
+               (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
+             "declared more than once"),
         ] {
             let err = load_str(src).unwrap_err().to_string();
             assert!(err.contains(needle), "`{src}` → `{err}` (wanted `{needle}`)");

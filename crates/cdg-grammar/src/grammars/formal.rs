@@ -352,7 +352,7 @@ pub fn ww_sentence(grammar: &Grammar, s: &str) -> Sentence {
 /// Direct predicate: is `s` of the form www with w nonempty?
 pub fn is_www(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || n % 3 != 0 {
+    if n == 0 || !n.is_multiple_of(3) {
         return false;
     }
     let third = n / 3;
@@ -364,7 +364,7 @@ pub fn is_www(s: &str) -> bool {
 /// Direct predicate: is `s` in {aⁿbⁿ : n ≥ 1}?
 pub fn is_anbn(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return false;
     }
     let half = n / 2;
@@ -399,7 +399,7 @@ pub fn is_brackets(s: &str) -> bool {
 /// Direct predicate: is `s` of the form ww with w nonempty?
 pub fn is_ww(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return false;
     }
     let (u, v) = s.split_at(n / 2);

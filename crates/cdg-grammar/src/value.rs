@@ -20,6 +20,9 @@ pub enum Truth {
 }
 
 impl Truth {
+    // Kleene negation; deliberately a plain method, not `ops::Not`, so the
+    // three-valued table reads next to `and`/`or` below.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -84,7 +84,8 @@ proptest! {
         }
         let grammar = b.build().expect("generated grammar is well-formed");
 
-        let text = file::save(&grammar, &cdg_grammar::Lexicon::new());
+        let text = file::save(&grammar, &cdg_grammar::Lexicon::new())
+            .expect("generated grammar renders");
         let (reloaded, _) = file::load_str(&text)
             .unwrap_or_else(|e| panic!("round-trip failed: {e}\n{text}"));
 

@@ -84,7 +84,7 @@ pub fn english_cfg() -> CnfGrammar {
 /// rules, and `terminals` terminal symbols. Every nonterminal gets at
 /// least one lexical rule so derivations terminate.
 pub fn random_cnf<R: Rng>(rng: &mut R, nts: usize, rules: usize, terminals: usize) -> CnfGrammar {
-    assert!(nts >= 1 && nts <= 64 && terminals >= 1);
+    assert!((1..=64).contains(&nts) && terminals >= 1);
     let mut b = CnfBuilder::new("random");
     let nt_name = |i: usize| format!("N{i}");
     let t_name = |i: usize| format!("t{i}");

@@ -141,6 +141,6 @@ mod tests {
     #[test]
     fn empty_input() {
         let g = gen::anbn_cfg();
-        assert_eq!(mesh_recognize(&g, &[]).0, false);
+        assert!(!mesh_recognize(&g, &[]).0);
     }
 }

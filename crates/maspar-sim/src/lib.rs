@@ -38,13 +38,27 @@
 //! Everything is deterministic: no randomness, no dependence on rayon's
 //! scheduling (each PE writes only its own slot; reductions are
 //! order-independent).
+//!
+//! # Fault injection
+//!
+//! A real 16,384-PE array fails in parts, not as a whole. The [`fault`]
+//! module provides a seeded, deterministic [`FaultPlan`] — dead PEs,
+//! transient router-payload corruption, PE-memory bit flips — that a
+//! [`Machine`] can arm ([`Machine::arm_faults`]); every injected event is
+//! counted in [`MachineStats`], and programs detect and recover using
+//! [`Machine::probe_pes`] / [`Machine::retire_pes`] plus their own
+//! redundant execution (see `parsec-maspar`'s checked engine). With no
+//! plan armed the simulator's behaviour and costs are bit-identical to
+//! the fault-free original.
 
+pub mod fault;
 pub mod machine;
 pub mod plural;
 pub mod scan;
 pub mod stats;
 pub mod xnet;
 
+pub use fault::{Fault, FaultPlan, FaultWord};
 pub use machine::{Machine, MachineConfig, TraceEntry};
 pub use plural::Plural;
 pub use scan::SegmentMap;

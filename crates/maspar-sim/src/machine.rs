@@ -1,10 +1,12 @@
 //! The Machine: PE array, ACU activity control, plural operations, scans,
 //! and the global router.
 
+use crate::fault::{FaultPlan, FaultWord};
 use crate::plural::Plural;
 use crate::scan::SegmentMap;
 use crate::stats::{CostModel, MachineStats};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Static machine parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,29 @@ impl Default for MachineConfig {
 /// ones, every broadcast instruction is executed ⌈virt/phys⌉ times — the
 /// paper's processor virtualization (design decision 6), and the origin of
 /// the 0.15 s → 0.45 s staircase in its time trials.
+///
+/// # Fault injection
+///
+/// Arming a [`FaultPlan`] (see [`Machine::arm_faults`]) switches the
+/// machine onto a fault-checked execution path:
+///
+/// * every broadcast instruction advances a global instruction counter
+///   ([`Machine::op_count`]) that transient faults are keyed to;
+/// * virtual PEs are explicitly mapped onto physical PEs
+///   (`phys = healthy[virt mod healthy.len()]`); a virtual PE whose
+///   physical home is dead silently skips broadcast instructions — its
+///   local memory goes stale, exactly the failure the paper's machine
+///   could suffer;
+/// * router/X-Net/scan payloads and freshly written memory words can be
+///   corrupted per the plan; out-of-range router targets (possible once
+///   an index plural has been corrupted) are *dropped and counted*
+///   instead of killing the program;
+/// * [`Machine::probe_pes`] is the PE self-test programs use to detect
+///   dead PEs, and [`Machine::retire_pes`] remaps virtual PEs onto the
+///   remaining healthy physical PEs.
+///
+/// Without an armed plan none of this costs anything and the instruction
+/// counts are bit-identical to the pre-fault-injection simulator.
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
@@ -46,6 +71,19 @@ pub struct Machine {
     /// Optional instruction trace (the paper singles out the MP-1's
     /// "extensive debugging support"; this is ours).
     trace: Option<Vec<TraceEntry>>,
+    /// Armed fault schedule (`None` = fault-free fast path).
+    faults: Option<FaultPlan>,
+    /// Global broadcast-instruction counter; transient faults key on it.
+    op_count: u64,
+    /// Physical PEs the program has retired (detected dead and remapped
+    /// away from). Only populated while faults are armed.
+    retired: Vec<bool>,
+    /// Healthy (non-retired) physical PEs, ascending; the virtual→physical
+    /// map is `healthy[virt mod healthy.len()]`. Empty when unarmed.
+    healthy: Vec<usize>,
+    /// Cached per-virtual-PE deadness under the current mapping. Empty
+    /// when unarmed (so the fault-free path never consults it).
+    virt_dead: Vec<bool>,
     pub stats: MachineStats,
 }
 
@@ -87,6 +125,11 @@ impl Machine {
             activity_stack: Vec::new(),
             pe_memory_used: 0,
             trace: None,
+            faults: None,
+            op_count: 0,
+            retired: Vec::new(),
+            healthy: Vec::new(),
+            virt_dead: Vec::new(),
             stats: MachineStats::default(),
         }
     }
@@ -139,7 +182,9 @@ impl Machine {
     fn record(&mut self, op: &'static str) {
         if self.trace.is_some() {
             let active = self.active_count();
-            self.trace.as_mut().expect("checked above").push(TraceEntry { op, active });
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEntry { op, active });
+            }
         }
     }
 
@@ -150,6 +195,203 @@ impl Machine {
         for &pe in pes {
             self.enabled[pe] = false;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Arm a fault schedule. From here on, broadcast instructions consult
+    /// the plan: dead physical PEs freeze their virtual PEs' memory, and
+    /// transient faults fire at their scheduled instruction counts.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.retired = vec![false; self.config.phys_pes];
+        self.healthy = (0..self.config.phys_pes).collect();
+        self.faults = Some(plan);
+        self.recompute_virt_dead();
+    }
+
+    /// Is a fault plan armed (even an empty one)?
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Broadcast instructions executed so far (plural ops, activity
+    /// narrowings, scans, router and X-Net operations all count).
+    pub fn op_count(&self) -> u64 {
+        self.op_count
+    }
+
+    /// The physical PE hosting virtual PE `virt` (first virtualization
+    /// layer) under the current mapping.
+    pub fn phys_of(&self, virt: usize) -> usize {
+        if self.healthy.is_empty() {
+            virt % self.config.phys_pes
+        } else {
+            self.healthy[virt % self.healthy.len()]
+        }
+    }
+
+    /// Physical PEs not yet retired.
+    pub fn healthy_count(&self) -> usize {
+        if self.healthy.is_empty() {
+            self.config.phys_pes
+        } else {
+            self.healthy.len()
+        }
+    }
+
+    fn recompute_virt_dead(&mut self) {
+        match &self.faults {
+            Some(plan) => {
+                self.virt_dead = (0..self.n_virt)
+                    .map(|v| {
+                        let phys = self.healthy[v % self.healthy.len()];
+                        plan.is_dead(phys)
+                    })
+                    .collect();
+            }
+            None => self.virt_dead.clear(),
+        }
+    }
+
+    /// Retire physical PEs (detected dead): remap every virtual PE onto
+    /// the remaining healthy physical array. Returns the new healthy
+    /// count; returns 0 — and changes nothing — if retiring would leave no
+    /// healthy PE. The remap itself is charged as one routed copy.
+    pub fn retire_pes(&mut self, pes: &[usize]) -> usize {
+        assert!(self.faults.is_some(), "retire_pes requires an armed fault plan");
+        let mut retired = self.retired.clone();
+        for &p in pes {
+            if p < retired.len() {
+                retired[p] = true;
+            }
+        }
+        let healthy: Vec<usize> = (0..self.config.phys_pes).filter(|&p| !retired[p]).collect();
+        if healthy.is_empty() {
+            return 0;
+        }
+        self.retired = retired;
+        self.healthy = healthy;
+        // Moving each virtual PE's state to its new physical home costs
+        // one routed permutation.
+        self.charge_router();
+        self.recompute_virt_dead();
+        self.healthy.len()
+    }
+
+    /// PE self-test: every active PE writes a nonce-derived pattern into a
+    /// scratch word; the host reads the array back and reports, by
+    /// *physical* id, every PE whose write did not land. One broadcast
+    /// instruction. Use a fresh `nonce` per probe so a PE that died between
+    /// probes cannot alias a stale pattern. Detects persistent (dead-PE)
+    /// faults, which time redundancy cannot; a transient fault striking
+    /// the probe itself at worst yields a false positive, and retiring a
+    /// healthy PE is conservative, never incorrect.
+    pub fn probe_pes(&mut self, nonce: u64) -> Vec<usize> {
+        let expected = move |pe: usize| (nonce ^ (pe as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let mut scratch = self.alloc(0u64);
+        self.par_map(&mut scratch, move |pe, w| *w = expected(pe));
+        let values = scratch.as_slice().to_vec();
+        self.free(scratch);
+        let mut dead = std::collections::BTreeSet::new();
+        for (pe, &v) in values.iter().enumerate() {
+            if self.enabled[pe] && v != expected(pe) {
+                dead.insert(self.phys_of(pe));
+            }
+        }
+        dead.into_iter().collect()
+    }
+
+    /// Does virtual PE `pe` execute broadcast instructions right now
+    /// (active *and* physically alive)?
+    pub(crate) fn is_live(&self, pe: usize) -> bool {
+        self.enabled[pe] && self.virt_dead.get(pe).is_none_or(|&d| !d)
+    }
+
+    /// Count the enabled-but-dead slots one data-carrying broadcast
+    /// instruction skipped (no-op on the fault-free path).
+    pub(crate) fn count_dead_skips(&mut self) {
+        if self.virt_dead.is_empty() {
+            return;
+        }
+        let skips = self
+            .enabled
+            .iter()
+            .zip(&self.virt_dead)
+            .filter(|(&e, &d)| e && d)
+            .count();
+        self.stats.dead_pe_skips += skips as u64;
+    }
+
+    /// Apply the memory flips scheduled for instruction `op` to the plural
+    /// the instruction just wrote.
+    fn apply_memory_flips<T: FaultWord>(&mut self, op: u64, data: &mut [T]) {
+        let hits: Vec<(usize, u32)> = match &self.faults {
+            Some(plan) => plan
+                .memory_faults_at(op)
+                .filter(|&(phys, _)| !plan.is_dead(phys)) // dead memory is inert
+                .collect(),
+            None => return,
+        };
+        for (phys, bit) in hits {
+            if let Some(v) = self.lowest_virt_on(phys) {
+                if v < data.len() {
+                    data[v] = data[v].fault_flip(bit);
+                    self.stats.memory_flips += 1;
+                }
+            }
+        }
+    }
+
+    /// Apply the router-payload corruptions scheduled for instruction `op`
+    /// to a communication result.
+    pub(crate) fn apply_router_corruption<T: FaultWord>(&mut self, op: u64, data: &mut [T]) {
+        let hits: Vec<(usize, u64)> = match &self.faults {
+            Some(plan) => plan
+                .router_faults_at(op)
+                .filter(|&(phys, _)| !plan.is_dead(phys))
+                .collect(),
+            None => return,
+        };
+        for (phys, mask) in hits {
+            if let Some(v) = self.lowest_virt_on(phys) {
+                if v < data.len() {
+                    data[v] = data[v].fault_xor(mask);
+                    self.stats.router_corruptions += 1;
+                }
+            }
+        }
+    }
+
+    /// Corrupt a scalar reduction result if a router fault fires on this
+    /// instruction (the reduction's single payload travels to the ACU).
+    fn corrupt_reduction<T: FaultWord>(&mut self, op: u64, value: T) -> T {
+        let masks: Vec<u64> = match &self.faults {
+            Some(plan) => plan.router_faults_at(op).map(|(_, mask)| mask).collect(),
+            None => return value,
+        };
+        let mut value = value;
+        for mask in masks {
+            value = value.fault_xor(mask);
+            self.stats.router_corruptions += 1;
+        }
+        value
+    }
+
+    /// The lowest virtual PE currently mapped onto physical PE `phys`.
+    fn lowest_virt_on(&self, phys: usize) -> Option<usize> {
+        let idx = if self.healthy.is_empty() {
+            if phys < self.config.phys_pes { phys } else { return None }
+        } else {
+            self.healthy.iter().position(|&h| h == phys)?
+        };
+        (idx < self.n_virt).then_some(idx)
     }
 
     // ------------------------------------------------------------------
@@ -182,31 +424,36 @@ impl Machine {
     // Broadcast plural instructions
     // ------------------------------------------------------------------
 
-    fn charge_plural_op(&mut self) {
+    fn charge_plural_op(&mut self) -> u64 {
         self.record("plural");
         self.stats.plural_ops += 1;
         self.stats.plural_slices += self.virt_factor;
+        self.op_count += 1;
+        self.op_count
     }
 
     /// One broadcast instruction: every active PE updates its slot of `p`
     /// from its PE id. Runs data-parallel on the host.
-    pub fn par_map<T: Send>(&mut self, p: &mut Plural<T>, f: impl Fn(usize, &mut T) + Sync) {
+    pub fn par_map<T: Send + FaultWord>(&mut self, p: &mut Plural<T>, f: impl Fn(usize, &mut T) + Sync) {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
-        self.charge_plural_op();
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
         let enabled = &self.enabled;
+        let dead: &[bool] = &self.virt_dead;
         p.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] {
+                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
                     f(pe, slot);
                 }
             });
+        self.apply_memory_flips(op, p.as_mut_slice());
     }
 
     /// One broadcast instruction reading a second plural: `dst[pe] =
     /// f(pe, dst[pe], src[pe])` on active PEs.
-    pub fn par_zip<T: Send, U: Sync>(
+    pub fn par_zip<T: Send + FaultWord, U: Sync>(
         &mut self,
         dst: &mut Plural<T>,
         src: &Plural<U>,
@@ -214,22 +461,25 @@ impl Machine {
     ) {
         assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
         assert_eq!(src.len(), self.n_virt, "plural size mismatch");
-        self.charge_plural_op();
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
         let enabled = &self.enabled;
+        let dead: &[bool] = &self.virt_dead;
         let src = src.as_slice();
         dst.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] {
+                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
                     f(pe, slot, &src[pe]);
                 }
             });
+        self.apply_memory_flips(op, dst.as_mut_slice());
     }
 
     /// One broadcast instruction reading two plurals: `dst[pe] =
     /// f(pe, dst[pe], a[pe], b[pe])` on active PEs.
-    pub fn par_zip2<T: Send, U: Sync, V: Sync>(
+    pub fn par_zip2<T: Send + FaultWord, U: Sync, V: Sync>(
         &mut self,
         dst: &mut Plural<T>,
         a: &Plural<U>,
@@ -239,23 +489,26 @@ impl Machine {
         assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
         assert_eq!(a.len(), self.n_virt, "plural size mismatch");
         assert_eq!(b.len(), self.n_virt, "plural size mismatch");
-        self.charge_plural_op();
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
         let enabled = &self.enabled;
+        let dead: &[bool] = &self.virt_dead;
         let a = a.as_slice();
         let b = b.as_slice();
         dst.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] {
+                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
                     f(pe, slot, &a[pe], &b[pe]);
                 }
             });
+        self.apply_memory_flips(op, dst.as_mut_slice());
     }
 
     /// Build a fresh plural from PE ids in one instruction (active PEs run
     /// `f`; inactive PEs hold `fill`).
-    pub fn par_init<T: Clone + Send + Sync>(
+    pub fn par_init<T: Clone + Send + Sync + FaultWord>(
         &mut self,
         fill: T,
         f: impl Fn(usize) -> T + Sync,
@@ -294,7 +547,7 @@ impl Machine {
     // Reductions and scans
     // ------------------------------------------------------------------
 
-    fn charge_scan(&mut self) {
+    fn charge_scan(&mut self) -> u64 {
         self.record("scan");
         self.stats.scan_calls += 1;
         // ⌈log₂ (PEs in use)⌉ router passes — the paper's logarithmic
@@ -303,40 +556,48 @@ impl Machine {
         let in_use = self.n_virt.min(self.config.phys_pes).max(2);
         let log = (in_use as f64).log2().ceil() as u64;
         self.stats.scan_passes += log + (self.virt_factor - 1);
+        self.op_count += 1;
+        self.op_count
     }
 
     /// Global OR over active PEs (the MP-1's `globalor`).
     pub fn reduce_or(&mut self, p: &Plural<bool>) -> bool {
         assert_eq!(p.len(), self.n_virt);
-        self.charge_scan();
-        let enabled = &self.enabled;
-        p.as_slice()
+        let op = self.charge_scan();
+        self.count_dead_skips();
+        let result = p
+            .as_slice()
             .par_iter()
             .enumerate()
-            .any(|(pe, &v)| enabled[pe] && v)
+            .any(|(pe, &v)| self.is_live(pe) && v);
+        self.corrupt_reduction(op, result)
     }
 
     /// Global AND over active PEs (identity `true` when none active).
     pub fn reduce_and(&mut self, p: &Plural<bool>) -> bool {
         assert_eq!(p.len(), self.n_virt);
-        self.charge_scan();
-        let enabled = &self.enabled;
-        p.as_slice()
+        let op = self.charge_scan();
+        self.count_dead_skips();
+        let result = p
+            .as_slice()
             .par_iter()
             .enumerate()
-            .all(|(pe, &v)| !enabled[pe] || v)
+            .all(|(pe, &v)| !self.is_live(pe) || v);
+        self.corrupt_reduction(op, result)
     }
 
     /// Global sum of a u64 plural over active PEs.
     pub fn reduce_sum(&mut self, p: &Plural<u64>) -> u64 {
         assert_eq!(p.len(), self.n_virt);
-        self.charge_scan();
-        let enabled = &self.enabled;
-        p.as_slice()
+        let op = self.charge_scan();
+        self.count_dead_skips();
+        let result = p
+            .as_slice()
             .par_iter()
             .enumerate()
-            .map(|(pe, &v)| if enabled[pe] { v } else { 0 })
-            .sum()
+            .map(|(pe, &v)| if self.is_live(pe) { v } else { 0 })
+            .sum();
+        self.corrupt_reduction(op, result)
     }
 
     /// Segmented `scanOr`: OR of each segment's *active* PEs, deposited at
@@ -362,9 +623,9 @@ impl Machine {
     pub fn scan_add(&mut self, p: &Plural<u64>, segs: &SegmentMap) -> Plural<u64> {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         assert_eq!(segs.len(), self.n_virt, "segment map size mismatch");
-        self.charge_scan();
+        let op = self.charge_scan();
+        self.count_dead_skips();
         let mut out = self.alloc(0u64);
-        let enabled = &self.enabled;
         let src = p.as_slice();
         let results: Vec<(usize, Vec<u64>)> = (0..segs.num_segments())
             .into_par_iter()
@@ -374,7 +635,7 @@ impl Machine {
                 let prefix: Vec<u64> = range
                     .clone()
                     .map(|pe| {
-                        if enabled[pe] {
+                        if self.is_live(pe) {
                             acc += src[pe];
                         }
                         acc
@@ -386,11 +647,14 @@ impl Machine {
         let slice = out.as_mut_slice();
         for (start, prefix) in results {
             for (offset, v) in prefix.into_iter().enumerate() {
-                if enabled[start + offset] {
+                if self.enabled[start + offset]
+                    && self.virt_dead.get(start + offset).is_none_or(|&d| !d)
+                {
                     slice[start + offset] = v;
                 }
             }
         }
+        self.apply_router_corruption(op, out.as_mut_slice());
         out
     }
 
@@ -403,25 +667,34 @@ impl Machine {
     ) -> Plural<bool> {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         assert_eq!(segs.len(), self.n_virt, "segment map size mismatch");
-        self.charge_scan();
+        let op_id = self.charge_scan();
+        self.count_dead_skips();
         let mut out = self.alloc(identity);
-        let enabled = &self.enabled;
         let src = p.as_slice();
         let results: Vec<(usize, bool)> = (0..segs.num_segments())
             .into_par_iter()
             .map(|s| {
                 let mut acc = identity;
                 for pe in segs.range_of(s) {
-                    if enabled[pe] {
+                    if self.is_live(pe) {
                         acc = op(acc, src[pe]);
                     }
                 }
                 (segs.start_of(s), acc)
             })
             .collect();
+        let mut dead_boundaries = 0u64;
         for (boundary, value) in results {
-            out.as_mut_slice()[boundary] = value;
+            // A dead boundary PE cannot receive the deposit: its slot
+            // keeps the identity and the loss is counted.
+            if self.virt_dead.get(boundary).is_none_or(|&d| !d) {
+                out.as_mut_slice()[boundary] = value;
+            } else {
+                dead_boundaries += 1;
+            }
         }
+        self.stats.dead_pe_skips += dead_boundaries;
+        self.apply_router_corruption(op_id, out.as_mut_slice());
         out
     }
 
@@ -431,11 +704,11 @@ impl Machine {
     pub fn select_first(&mut self, p: &Plural<bool>) -> Option<usize> {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         self.charge_scan();
-        let enabled = &self.enabled;
+        self.count_dead_skips();
         p.as_slice()
             .iter()
             .enumerate()
-            .find(|&(pe, &v)| enabled[pe] && v)
+            .find(|&(pe, &v)| self.is_live(pe) && v)
             .map(|(pe, _)| pe)
     }
 
@@ -443,23 +716,30 @@ impl Machine {
     // Global router
     // ------------------------------------------------------------------
 
-    pub(crate) fn charge_xnet(&mut self, hops: usize) {
+    pub(crate) fn charge_xnet(&mut self, hops: usize) -> u64 {
         self.record("xnet");
         self.stats.xnet_shifts += hops as u64 * self.virt_factor;
         self.stats.plural_ops += 1;
         self.stats.plural_slices += self.virt_factor;
+        self.op_count += 1;
+        self.op_count
     }
 
-    fn charge_router(&mut self) {
+    fn charge_router(&mut self) -> u64 {
         self.record("router");
         self.stats.router_ops += 1;
         self.stats.router_slices += self.virt_factor;
+        self.op_count += 1;
+        self.op_count
     }
 
     /// Routed gather: every active PE fetches `src[index[pe]]`. One router
     /// operation (the MP-1 router resolves an arbitrary permutation;
-    /// many-to-one reads are fine — common read).
-    pub fn gather<T: Copy + Send + Sync>(
+    /// many-to-one reads are fine — common read). With faults armed, an
+    /// out-of-range index (a corrupted index plural) drops that PE's fetch
+    /// and counts it in [`MachineStats::oob_routes`]; without faults it is
+    /// a program bug and asserts.
+    pub fn gather<T: Copy + Send + Sync + FaultWord>(
         &mut self,
         src: &Plural<T>,
         index: &Plural<usize>,
@@ -468,27 +748,37 @@ impl Machine {
         assert_eq!(src.len(), self.n_virt);
         assert_eq!(index.len(), self.n_virt);
         assert_eq!(dst.len(), self.n_virt);
-        self.charge_router();
-        let enabled = &self.enabled;
-        let s = src.as_slice();
-        let idx = index.as_slice();
-        dst.as_mut_slice()
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(pe, slot)| {
-                if enabled[pe] {
-                    let target = idx[pe];
-                    assert!(target < s.len(), "router gather out of range: PE {pe} -> {target}");
-                    *slot = s[target];
-                }
-            });
+        let op = self.charge_router();
+        self.count_dead_skips();
+        let armed = self.faults.is_some();
+        let oob = AtomicU64::new(0);
+        {
+            let s = src.as_slice();
+            let idx = index.as_slice();
+            dst.as_mut_slice()
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(pe, slot)| {
+                    if self.is_live(pe) {
+                        let target = idx[pe];
+                        if target >= s.len() {
+                            assert!(armed, "router gather out of range: PE {pe} -> {target}");
+                            oob.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        *slot = s[target];
+                    }
+                });
+        }
+        self.stats.oob_routes += oob.into_inner();
+        self.apply_router_corruption(op, dst.as_mut_slice());
     }
 
     /// Routed scatter: every active PE sends its value to `dst[index[pe]]`.
     /// Write conflicts resolve deterministically: the lowest-numbered
     /// sending PE wins (the CRCW "a single processor succeeds" rule made
-    /// reproducible).
-    pub fn scatter<T: Copy + Send + Sync>(
+    /// reproducible). Out-of-range targets behave as in [`Machine::gather`].
+    pub fn scatter<T: Copy + Send + Sync + FaultWord>(
         &mut self,
         src: &Plural<T>,
         index: &Plural<usize>,
@@ -497,21 +787,35 @@ impl Machine {
         assert_eq!(src.len(), self.n_virt);
         assert_eq!(index.len(), self.n_virt);
         assert_eq!(dst.len(), self.n_virt);
-        self.charge_router();
+        let op = self.charge_router();
+        self.count_dead_skips();
+        let armed = self.faults.is_some();
         // Deterministic serial application in ascending PE order; the
         // lowest sender's write lands last... no: lowest wins means apply
         // in descending order so the lowest overwrites.
-        let enabled = &self.enabled;
-        let idx = index.as_slice();
-        let s = src.as_slice();
-        let d = dst.as_mut_slice();
-        for pe in (0..s.len()).rev() {
-            if enabled[pe] {
-                let target = idx[pe];
-                assert!(target < d.len(), "router scatter out of range: PE {pe} -> {target}");
-                d[target] = s[pe];
+        let mut oob = 0u64;
+        {
+            let idx = index.as_slice();
+            let s = src.as_slice();
+            let d = dst.as_mut_slice();
+            for pe in (0..s.len()).rev() {
+                if self.enabled[pe] && self.virt_dead.get(pe).is_none_or(|&dd| !dd) {
+                    let target = idx[pe];
+                    if target >= d.len() {
+                        assert!(armed, "router scatter out of range: PE {pe} -> {target}");
+                        oob += 1;
+                        continue;
+                    }
+                    // A dead receiving PE's memory cannot be written.
+                    if self.virt_dead.get(target).is_some_and(|&dd| dd) {
+                        continue;
+                    }
+                    d[target] = s[pe];
+                }
             }
         }
+        self.stats.oob_routes += oob;
+        self.apply_router_corruption(op, dst.as_mut_slice());
     }
 }
 
@@ -717,5 +1021,162 @@ mod tests {
         let sv = SegmentMap::global(40_000);
         let _ = virt.scan_or(&pv, &sv);
         assert_eq!(virt.stats.scan_passes, 16); // 14 + (3 - 1)
+    }
+
+    // --------------------------------------------------------------
+    // Fault injection
+    // --------------------------------------------------------------
+
+    /// A small machine with an armed plan, for fault tests.
+    fn faulty(n_virt: usize, phys: usize, plan: FaultPlan) -> Machine {
+        let mut m = Machine::new(
+            MachineConfig {
+                phys_pes: phys,
+                ..Default::default()
+            },
+            n_virt,
+        );
+        m.arm_faults(plan);
+        m
+    }
+
+    #[test]
+    fn op_counter_advances_on_every_broadcast() {
+        let mut m = Machine::mp1(4);
+        assert_eq!(m.op_count(), 0);
+        let mut p = m.alloc(0u32);
+        m.par_map(&mut p, |_, _| {}); // 1
+        let b = m.alloc(false);
+        let _ = m.reduce_or(&b); // 2
+        let segs = SegmentMap::global(4);
+        let _ = m.scan_or(&b, &segs); // 3
+        let idx = m.par_init(0usize, |pe| pe); // 4
+        let mut dst = m.alloc(0u32);
+        m.gather(&p, &idx, &mut dst); // 5
+        assert_eq!(m.op_count(), 5);
+    }
+
+    #[test]
+    fn dead_pe_freezes_its_slot() {
+        // 8 virtual PEs on 4 physical: phys 1 hosts virts 1 and 5.
+        let mut m = faulty(8, 4, FaultPlan::new().with_dead_pe(1));
+        let mut p = m.alloc(0u32);
+        m.par_map(&mut p, |pe, v| *v = pe as u32 + 10);
+        assert_eq!(p.as_slice(), &[10, 0, 12, 13, 14, 0, 16, 17]);
+        assert_eq!(m.stats.dead_pe_skips, 2);
+    }
+
+    #[test]
+    fn dead_pe_contributes_identity_to_scans() {
+        let mut m = faulty(4, 4, FaultPlan::new().with_dead_pe(3));
+        let p = m.par_init(false, |pe| pe == 3);
+        // The only set flag lives on the dead PE: the OR must miss it.
+        assert!(!m.reduce_or(&p));
+        let sums = m.par_init(0u64, |_| 1);
+        assert_eq!(m.reduce_sum(&sums), 3);
+    }
+
+    #[test]
+    fn probe_detects_dead_pes_and_retire_remaps() {
+        let mut m = faulty(8, 4, FaultPlan::new().with_dead_pe(1).with_dead_pe(2));
+        assert_eq!(m.probe_pes(0xDEAD), vec![1, 2]);
+        assert_eq!(m.retire_pes(&[1, 2]), 2);
+        // All virtual PEs now live on phys {0, 3}.
+        assert!(m.probe_pes(0xBEEF).is_empty());
+        assert_eq!(m.phys_of(0), 0);
+        assert_eq!(m.phys_of(1), 3);
+        assert_eq!(m.phys_of(2), 0);
+        let mut p = m.alloc(0u32);
+        m.par_map(&mut p, |pe, v| *v = pe as u32 + 1);
+        assert_eq!(p.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn retire_refuses_to_empty_the_array() {
+        let mut m = faulty(2, 2, FaultPlan::new().with_dead_pe(0).with_dead_pe(1));
+        assert_eq!(m.retire_pes(&[0, 1]), 0);
+        assert_eq!(m.healthy_count(), 2, "mapping unchanged after refusal");
+    }
+
+    #[test]
+    fn memory_flip_fires_once_at_its_op() {
+        // Flip bit 0 of phys 2's write during op 2.
+        let mut m = faulty(4, 4, FaultPlan::new().with_memory_flip(2, 2, 0));
+        let mut p = m.alloc(0u64);
+        m.par_map(&mut p, |_, v| *v = 8); // op 1: untouched
+        assert_eq!(p.as_slice(), &[8, 8, 8, 8]);
+        m.par_map(&mut p, |_, v| *v = 8); // op 2: flip hits virt 2
+        assert_eq!(p.as_slice(), &[8, 8, 9, 8]);
+        assert_eq!(m.stats.memory_flips, 1);
+        m.par_map(&mut p, |_, v| *v = 8); // op 3: transient is spent
+        assert_eq!(p.as_slice(), &[8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn router_corruption_hits_gather_payload() {
+        // Ops: alloc'd plurals cost nothing; par_init ×2 = ops 1-2;
+        // gather = op 3.
+        let mut m = faulty(4, 4, FaultPlan::new().with_router_corrupt(3, 1, 0xF0));
+        let src = m.par_init(0u64, |pe| pe as u64);
+        let idx = m.par_init(0usize, |pe| pe);
+        let mut dst = m.alloc(0u64);
+        m.gather(&src, &idx, &mut dst);
+        assert_eq!(dst.as_slice(), &[0, 1 ^ 0xF0, 2, 3]);
+        assert_eq!(m.stats.router_corruptions, 1);
+    }
+
+    #[test]
+    fn oob_routes_drop_gracefully_under_faults() {
+        let mut m = faulty(4, 4, FaultPlan::new());
+        let src = m.par_init(0u64, |pe| pe as u64 + 1);
+        let idx = m.par_init(0usize, |pe| if pe == 2 { 999 } else { pe });
+        let mut dst = m.alloc(0u64);
+        m.gather(&src, &idx, &mut dst);
+        assert_eq!(dst.as_slice(), &[1, 2, 0, 4], "PE 2's fetch dropped");
+        assert_eq!(m.stats.oob_routes, 1);
+        let mut out = m.alloc(0u64);
+        m.scatter(&src, &idx, &mut out);
+        assert_eq!(m.stats.oob_routes, 2);
+    }
+
+    #[test]
+    fn oob_routes_still_assert_without_faults() {
+        let mut m = Machine::mp1(4);
+        let src = m.par_init(0u64, |pe| pe as u64);
+        let idx = m.par_init(0usize, |_| 999);
+        let mut dst = m.alloc(0u64);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.gather(&src, &idx, &mut dst);
+        }));
+        assert!(r.is_err(), "fault-free OOB gather is a program bug");
+    }
+
+    #[test]
+    fn empty_armed_plan_changes_no_results() {
+        let run = |m: &mut Machine| {
+            let p = m.par_init(0u64, |pe| pe as u64);
+            let segs = SegmentMap::uniform(8, 4);
+            let f = m.par_init(false, |pe| pe % 3 == 0);
+            let or = m.scan_or(&f, &segs);
+            let sum = m.reduce_sum(&p);
+            (p.as_slice().to_vec(), or.as_slice().to_vec(), sum)
+        };
+        let mut plain = Machine::mp1(8);
+        let mut armed = Machine::mp1(8);
+        armed.arm_faults(FaultPlan::new());
+        let a = run(&mut plain);
+        let b = run(&mut armed);
+        assert_eq!(a, b);
+        assert_eq!(plain.stats, armed.stats, "an empty plan costs nothing");
+    }
+
+    #[test]
+    fn fault_counters_flow_into_delta() {
+        let mut m = faulty(4, 4, FaultPlan::new().with_dead_pe(0));
+        let before = m.stats;
+        let mut p = m.alloc(0u32);
+        m.par_map(&mut p, |_, v| *v = 1);
+        let d = m.stats.delta_since(&before);
+        assert_eq!(d.dead_pe_skips, 1);
     }
 }

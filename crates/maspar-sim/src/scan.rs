@@ -31,7 +31,7 @@ impl SegmentMap {
 
     /// Uniform segments of `seg_len` covering `total` PEs exactly.
     pub fn uniform(total: usize, seg_len: usize) -> Self {
-        assert!(seg_len > 0 && total % seg_len == 0, "uniform segments must tile exactly: {total} / {seg_len}");
+        assert!(seg_len > 0 && total.is_multiple_of(seg_len), "uniform segments must tile exactly: {total} / {seg_len}");
         SegmentMap {
             starts: (0..total / seg_len).map(|s| s * seg_len).collect(),
             len: total,

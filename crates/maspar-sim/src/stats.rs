@@ -67,6 +67,17 @@ pub struct MachineStats {
     pub router_slices: u64,
     /// Peak simulated PE-local memory in use, bytes per *physical* PE.
     pub peak_pe_memory_bytes: usize,
+    /// Broadcast-instruction slots skipped because the virtual PE's
+    /// physical home is dead (fault injection only).
+    pub dead_pe_skips: u64,
+    /// Router/scan payloads corrupted by an injected transient fault.
+    pub router_corruptions: u64,
+    /// Freshly written PE-memory words corrupted by an injected bit flip.
+    pub memory_flips: u64,
+    /// Router sends/fetches dropped because a (corrupted) index plural
+    /// pointed out of range. Only possible with faults armed; fault-free
+    /// programs assert instead.
+    pub oob_routes: u64,
 }
 
 impl MachineStats {
@@ -94,7 +105,16 @@ impl MachineStats {
             xnet_shifts: self.xnet_shifts - earlier.xnet_shifts,
             router_slices: self.router_slices - earlier.router_slices,
             peak_pe_memory_bytes: self.peak_pe_memory_bytes,
+            dead_pe_skips: self.dead_pe_skips - earlier.dead_pe_skips,
+            router_corruptions: self.router_corruptions - earlier.router_corruptions,
+            memory_flips: self.memory_flips - earlier.memory_flips,
+            oob_routes: self.oob_routes - earlier.oob_routes,
         }
+    }
+
+    /// Total injected-fault events observed (for recovery reports).
+    pub fn fault_events(&self) -> u64 {
+        self.dead_pe_skips + self.router_corruptions + self.memory_flips + self.oob_routes
     }
 }
 
@@ -120,6 +140,7 @@ mod tests {
             router_slices: 2,
             xnet_shifts: 7,
             peak_pe_memory_bytes: 0,
+            ..Default::default()
         };
         assert_eq!(stats.cycles(&cost), 6.0 * 10.0 + 4.0 * 5.0 + 2.0 * 20.0 + 7.0);
         assert!((stats.estimated_seconds(&cost) - 127.0 / 1e6).abs() < 1e-12);
@@ -136,6 +157,8 @@ mod tests {
             router_slices: 4,
             xnet_shifts: 9,
             peak_pe_memory_bytes: 100,
+            dead_pe_skips: 5,
+            ..Default::default()
         };
         let b = MachineStats {
             plural_ops: 4,
@@ -146,12 +169,16 @@ mod tests {
             router_slices: 2,
             xnet_shifts: 4,
             peak_pe_memory_bytes: 100,
+            dead_pe_skips: 2,
+            ..Default::default()
         };
         let d = a.delta_since(&b);
         assert_eq!(d.plural_ops, 6);
         assert_eq!(d.scan_passes, 6);
         assert_eq!(d.router_slices, 2);
         assert_eq!(d.xnet_shifts, 5);
+        assert_eq!(d.dead_pe_skips, 3);
+        assert_eq!(d.fault_events(), 3);
     }
 
     #[test]

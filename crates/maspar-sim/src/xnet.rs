@@ -28,7 +28,7 @@ impl Machine {
     /// Shift a plural by `offset` PEs (positive = toward higher ids):
     /// `dst[pe] = src[pe - offset]`, with edges per `edge`. Active PEs
     /// receive; inactive PEs keep their old `dst`.
-    pub fn xnet_shift<T: Copy + Send + Sync>(
+    pub fn xnet_shift<T: Copy + Send + Sync + crate::fault::FaultWord>(
         &mut self,
         src: &Plural<T>,
         offset: isize,
@@ -38,16 +38,19 @@ impl Machine {
     ) {
         assert_eq!(src.len(), self.n_virt(), "plural size mismatch");
         assert_eq!(dst.len(), self.n_virt(), "plural size mismatch");
-        self.charge_xnet(offset.unsigned_abs());
+        let op = self.charge_xnet(offset.unsigned_abs());
+        self.count_dead_skips();
         let n = self.n_virt() as isize;
         let s = src.as_slice();
-        let enabled: Vec<bool> = (0..self.n_virt()).map(|pe| self.is_enabled(pe)).collect();
+        // Dead PEs neither receive (their memory is frozen) nor matter as
+        // senders here: a dead sender's stale word travels like any other.
+        let live: Vec<bool> = (0..self.n_virt()).map(|pe| self.is_live(pe)).collect();
         use rayon::prelude::*;
         dst.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if !enabled[pe] {
+                if !live[pe] {
                     return;
                 }
                 let from = pe as isize - offset;
@@ -60,6 +63,7 @@ impl Machine {
                     }
                 };
             });
+        self.apply_router_corruption(op, dst.as_mut_slice());
     }
 
     /// Global OR implemented as a shift-and-fold tree over the X-Net —

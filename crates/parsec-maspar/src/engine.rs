@@ -1,9 +1,42 @@
 //! The SIMD parsing kernels and host driver.
+//!
+//! Two entry points: [`parse_maspar`] is the paper's fault-free engine;
+//! [`parse_maspar_checked`] additionally runs under an optional injected
+//! [`FaultPlan`] and a [`ParseBudget`], detecting corruption and either
+//! *recovering* (retiring dead PEs, re-executing corrupted phases) or
+//! returning a typed [`EngineError`] — never a silently wrong network.
+//!
+//! The recovery protocol (see DESIGN.md, "Failure model & budgets"):
+//!
+//! 1. **Probe & retire** — before any data is laid out, every PE writes a
+//!    nonce-derived self-test pattern; PEs whose writes never land are
+//!    retired and the virtual→physical map is rebuilt over the healthy
+//!    array. Repeat until a probe comes back clean (bounded). Persistent
+//!    faults are thereby removed *up front*, which time redundancy alone
+//!    cannot do.
+//! 2. **Verified phases** — every mutating phase (each constraint, each
+//!    maintenance iteration) is executed **twice** from a host-held golden
+//!    checkpoint of the machine state; the two readbacks (and scalar
+//!    results) must agree bit-for-bit or the phase is rolled back and
+//!    retried, up to `max_recovery_retries`. A transient fault is keyed to
+//!    the machine's monotonically increasing instruction counter and so
+//!    fires in at most one of the executions — detection is guaranteed,
+//!    and retries execute past the fault. The redundancy is charged
+//!    honestly: under faults every phase costs double.
+//!
+//! Fault-free runs take none of these paths and their instruction counts
+//! are bit-identical to the original engine.
 
 use crate::layout::Layout;
+use cdg_core::error::{BudgetResource, EngineError, ParseBudget};
 use cdg_core::network::Network;
 use cdg_grammar::{Constraint, Grammar, Sentence};
-use maspar_sim::{Machine, MachineConfig, MachineStats, Plural};
+use maspar_sim::{FaultPlan, Machine, MachineConfig, MachineStats, Plural};
+
+/// Conservative peak working set per virtual-PE layer, bytes (all plurals
+/// the driver ever holds at once). Used to reject programs that would
+/// overflow the 16 KB PE memory with a typed error instead of a panic.
+const WORKING_SET_BYTES: usize = 96;
 
 /// Options for a MasPar parse.
 #[derive(Debug, Clone)]
@@ -20,6 +53,16 @@ pub struct MasparOptions {
     /// Record a machine instruction trace (op kind + active PE count per
     /// broadcast) — the simulator's answer to the MP-1's debugging tools.
     pub trace: bool,
+    /// Inject this fault schedule and run the detect-and-recover protocol
+    /// ([`parse_maspar_checked`] only; [`parse_maspar`] refuses it).
+    pub faults: Option<FaultPlan>,
+    /// Resource limits; `max_wall_time` compares against the deterministic
+    /// estimated MP-1 seconds, so budgeted runs reproduce exactly.
+    pub budget: ParseBudget,
+    /// How many times a verified phase may be re-executed after a
+    /// detected corruption before giving up with
+    /// [`EngineError::Inconsistent`].
+    pub max_recovery_retries: usize,
 }
 
 impl Default for MasparOptions {
@@ -29,7 +72,30 @@ impl Default for MasparOptions {
             filter_iterations: 10,
             early_exit: true,
             trace: false,
+            faults: None,
+            budget: ParseBudget::UNLIMITED,
+            max_recovery_retries: 4,
         }
+    }
+}
+
+/// What the detect-and-recover machinery did during a checked parse.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// PE self-test probes issued.
+    pub probes: usize,
+    /// Physical PEs detected dead and retired (virtual PEs remapped).
+    pub retired_pes: Vec<usize>,
+    /// Phases executed under double-execution verification.
+    pub verified_phases: usize,
+    /// Verified phases that disagreed and were rolled back and re-run.
+    pub phase_retries: u64,
+}
+
+impl RecoveryReport {
+    /// Did recovery actually have to intervene?
+    pub fn intervened(&self) -> bool {
+        !self.retired_pes.is_empty() || self.phase_retries > 0
     }
 }
 
@@ -45,9 +111,9 @@ pub struct PhaseStats {
 pub struct MasparOutcome {
     pub layout: Layout,
     /// Final alive mask per group (readback of the boundary PEs).
-    alive: Vec<u64>,
+    pub alive: Vec<u64>,
     /// Final submatrices, one u64 per virtual PE (readback).
-    bits: Vec<u64>,
+    pub bits: Vec<u64>,
     /// Machine counters for the whole run.
     pub stats: MachineStats,
     /// Estimated MP-1 wall time for the whole run, seconds.
@@ -64,6 +130,12 @@ pub struct MasparOutcome {
     pub virt_factor: u64,
     /// Machine instruction trace (empty unless `MasparOptions::trace`).
     pub trace: Vec<maspar_sim::TraceEntry>,
+    /// What fault detection and recovery did (all zero for fault-free runs).
+    pub recovery: RecoveryReport,
+    /// `Some` when a [`ParseBudget`] limit cut filtering or propagation
+    /// short: the readback is a usable partial network and this records
+    /// which limit bound. `None` for a complete parse.
+    pub degraded: Option<EngineError>,
 }
 
 impl MasparOutcome {
@@ -184,11 +256,99 @@ pub fn parse_maspar(
     sentence: &Sentence,
     opts: &MasparOptions,
 ) -> MasparOutcome {
-    let lay = Layout::new(grammar, sentence);
+    assert!(
+        opts.faults.is_none(),
+        "parse_maspar cannot recover from injected faults; call parse_maspar_checked"
+    );
+    match parse_maspar_checked(grammar, sentence, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("MasPar parse failed: {e} (parse_maspar_checked returns this as a value)"),
+    }
+}
+
+/// [`parse_maspar`] with fault detection/recovery and budget enforcement.
+///
+/// With `opts.faults` armed, the engine probes and retires dead PEs,
+/// double-executes every phase against golden checkpoints, and retries
+/// corrupted phases — a recovered parse is **bit-identical** to the
+/// fault-free one (property-tested in `tests/fault_injection.rs`). When
+/// recovery is impossible the result is a typed [`EngineError`]; there is
+/// no third outcome.
+pub fn parse_maspar_checked(
+    grammar: &Grammar,
+    sentence: &Sentence,
+    opts: &MasparOptions,
+) -> Result<MasparOutcome, EngineError> {
+    let lay = Layout::try_new(grammar, sentence).map_err(EngineError::GrammarError)?;
+
+    // The engine's data layout IS the arc matrix set (one l×l submatrix
+    // per virtual PE), so an arc-cell budget it cannot meet is a hard
+    // typed error — there is no arc-less partial mode here.
+    if let Some(cap) = opts.budget.max_arc_cells {
+        let cells = lay.virt_pes() as u64 * (lay.l * lay.l) as u64;
+        if cells > cap {
+            return Err(ParseBudget::exceeded(BudgetResource::ArcCells, cap, cells));
+        }
+    }
+    // Reject programs that would blow the 16 KB PE memory with a typed
+    // error before touching the machine.
+    let factor = lay.virt_pes().div_ceil(opts.machine.phys_pes.max(1));
+    if factor * WORKING_SET_BYTES > opts.machine.pe_memory_bytes {
+        return Err(EngineError::GrammarError(format!(
+            "sentence needs {} virtual PEs (×{factor} virtualization): working set \
+             exceeds the {} B PE memory",
+            lay.virt_pes(),
+            opts.machine.pe_memory_bytes
+        )));
+    }
+
     let mut machine = Machine::new(opts.machine.clone(), lay.virt_pes());
+    if let Some(plan) = &opts.faults {
+        machine.arm_faults(plan.clone());
+    }
     if opts.trace {
         machine.enable_trace();
     }
+    let mut recovery = RecoveryReport::default();
+
+    // --- Probe & retire: clear persistent faults before laying out data.
+    if machine.faults_armed() {
+        let mut nonce = 0x5EED_C0DE_0000_0001u64;
+        loop {
+            recovery.probes += 1;
+            let dead = machine.probe_pes(nonce);
+            nonce = nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            if dead.is_empty() {
+                break;
+            }
+            if recovery.probes > 16 {
+                return Err(EngineError::PeFailure {
+                    dead,
+                    detail: "probing kept finding dead PEs after 16 rounds".into(),
+                });
+            }
+            if machine.retire_pes(&dead) == 0 {
+                return Err(EngineError::PeFailure {
+                    dead,
+                    detail: "no healthy physical PEs remain".into(),
+                });
+            }
+            recovery.retired_pes.extend(dead);
+        }
+    }
+
+    let over_time = |machine: &Machine| -> Option<EngineError> {
+        let cap = opts.budget.max_wall_time?;
+        let spent = machine.estimated_seconds();
+        (spent > cap.as_secs_f64()).then(|| {
+            ParseBudget::exceeded(
+                BudgetResource::WallTime,
+                format!("{cap:?}"),
+                format!("{spent:.4}s estimated MP-1 time"),
+            )
+        })
+    };
+
     let mut phases: Vec<PhaseStats> = Vec::new();
     let mut mark = machine.stats;
     let phase = |machine: &Machine, phases: &mut Vec<PhaseStats>, mark: &mut MachineStats, name: String| {
@@ -199,65 +359,161 @@ pub fn parse_maspar(
         *mark = machine.stats;
     };
 
+    // --- Init: every plural is a pure function of the PE id, so the host
+    // verifies it directly against expected values (no double execution
+    // needed). Fault-free, init_exact is exactly alloc + one par_map —
+    // the same instructions as the original engine.
+    //
     // Validity mask: everything but the self-arc diagonal (Figure 11's
     // disabled PEs). Computed once from PE ids — design decision 2: no
     // broadcast needed.
-    let valid: Plural<bool> = machine.par_init(false, |pe| !lay.is_diagonal(pe));
-    let block_boundary: Plural<bool> =
-        machine.par_init(false, |pe| !lay.is_diagonal(pe) && pe % lay.m == 0);
+    let retries = opts.max_recovery_retries.max(1);
+    let n_virt = lay.virt_pes();
+    let expect = |f: &dyn Fn(usize) -> u64| -> Vec<u64> { (0..n_virt).map(f).collect() };
+    let valid: Plural<bool> = init_exact(
+        &mut machine,
+        "valid",
+        retries,
+        &mut recovery,
+        &(0..n_virt).map(|pe| !lay.is_diagonal(pe)).collect::<Vec<_>>(),
+    )?;
+    let block_boundary: Plural<bool> = init_exact(
+        &mut machine,
+        "block-boundary",
+        retries,
+        &mut recovery,
+        &(0..n_virt)
+            .map(|pe| !lay.is_diagonal(pe) && pe % lay.m == 0)
+            .collect::<Vec<_>>(),
+    )?;
 
     // Design decision 1: arc matrices first, all ones (Figure 9).
-    let mut bits: Plural<u64> = machine.par_init(0u64, |pe| lay.init_bits(pe));
-    let mut alive: Plural<u64> = machine.par_init(0u64, |pe| lay.init_alive(pe));
+    let mut bits: Plural<u64> =
+        init_exact(&mut machine, "bits", retries, &mut recovery, &expect(&|pe| lay.init_bits(pe)))?;
+    let mut alive: Plural<u64> =
+        init_exact(&mut machine, "alive", retries, &mut recovery, &expect(&|pe| lay.init_alive(pe)))?;
 
     // Router index plurals for the alive-mask gathers (phase D).
-    let col_boundary_idx: Plural<usize> =
-        machine.par_init(0usize, |pe| lay.decode_pe(pe).0 * lay.groups);
-    let row_boundary_idx: Plural<usize> =
-        machine.par_init(0usize, |pe| lay.decode_pe(pe).1 * lay.groups);
+    let col_boundary_idx: Plural<usize> = init_exact(
+        &mut machine,
+        "col-idx",
+        retries,
+        &mut recovery,
+        &(0..n_virt).map(|pe| lay.decode_pe(pe).0 * lay.groups).collect::<Vec<_>>(),
+    )?;
+    let row_boundary_idx: Plural<usize> = init_exact(
+        &mut machine,
+        "row-idx",
+        retries,
+        &mut recovery,
+        &(0..n_virt).map(|pe| lay.decode_pe(pe).1 * lay.groups).collect::<Vec<_>>(),
+    )?;
     phase(&machine, &mut phases, &mut mark, "init".into());
+
+    let mut degraded: Option<EngineError> = over_time(&machine);
 
     // --- Unary propagation on the matrices (design decisions 1 & 4) ---
     for c in grammar.unary_constraints() {
-        apply_unary(&mut machine, &lay, sentence, c, &valid, &mut bits, &mut alive);
+        if degraded.is_some() {
+            break;
+        }
+        run_phase(
+            &mut machine,
+            retries,
+            &mut recovery,
+            &format!("unary:{}", c.name),
+            &mut bits,
+            &mut alive,
+            |m, bits, alive| {
+                apply_unary(m, &lay, sentence, c, &valid, bits, alive);
+                0
+            },
+        )?;
         phase(&machine, &mut phases, &mut mark, format!("unary:{}", c.name));
+        degraded = over_time(&machine);
     }
     // Immediately zero rows/cols of values the unary pass killed, so the
     // matrices agree with the alive masks before binary propagation.
-    mask_dead(&mut machine, &lay, &valid, &mut bits, &alive, &col_boundary_idx, &row_boundary_idx);
-    phase(&machine, &mut phases, &mut mark, "unary:mask".into());
+    if degraded.is_none() {
+        run_phase(
+            &mut machine,
+            retries,
+            &mut recovery,
+            "unary:mask",
+            &mut bits,
+            &mut alive,
+            |m, bits, alive| {
+                mask_dead(m, &lay, &valid, bits, alive, &col_boundary_idx, &row_boundary_idx);
+                0
+            },
+        )?;
+        phase(&machine, &mut phases, &mut mark, "unary:mask".into());
+    }
 
     // --- Binary propagation ---
     for c in grammar.binary_constraints() {
-        apply_binary(&mut machine, &lay, sentence, c, &valid, &mut bits);
+        if degraded.is_some() {
+            break;
+        }
+        run_phase(
+            &mut machine,
+            retries,
+            &mut recovery,
+            &format!("binary:{}", c.name),
+            &mut bits,
+            &mut alive,
+            |m, bits, _alive| {
+                apply_binary(m, &lay, sentence, c, &valid, bits);
+                0
+            },
+        )?;
         phase(&machine, &mut phases, &mut mark, format!("binary:{}", c.name));
+        degraded = over_time(&machine);
     }
 
     // --- Consistency maintenance + bounded filtering (decisions 3 & 5) ---
     let mut iterations = 0;
-    let mut removals_per_iteration = Vec::new();
+    let mut removals_per_iteration: Vec<u64> = Vec::new();
     for _ in 0..opts.filter_iterations {
+        if degraded.is_some() {
+            break;
+        }
+        if let Some(cap) = opts.budget.max_filter_iterations {
+            if iterations >= cap {
+                // Only a degradation if filtering had not already settled.
+                if removals_per_iteration.last().is_none_or(|&r| r > 0) {
+                    degraded = Some(ParseBudget::exceeded(
+                        BudgetResource::FilterIterations,
+                        cap,
+                        iterations + 1,
+                    ));
+                }
+                break;
+            }
+        }
         iterations += 1;
-        let removed = maintain(
+        let removed = run_phase(
             &mut machine,
-            &lay,
-            &valid,
-            &block_boundary,
+            retries,
+            &mut recovery,
+            &format!("maintain:{iterations}"),
             &mut bits,
             &mut alive,
-            &col_boundary_idx,
-            &row_boundary_idx,
-        );
+            |m, bits, alive| {
+                maintain(m, &lay, &valid, &block_boundary, bits, alive, &col_boundary_idx, &row_boundary_idx)
+            },
+        )?;
         removals_per_iteration.push(removed);
         phase(&machine, &mut phases, &mut mark, format!("maintain:{iterations}"));
         if opts.early_exit && removed == 0 {
             break;
         }
+        degraded = over_time(&machine);
     }
 
     let estimated_seconds = machine.estimated_seconds();
     let trace = machine.trace().to_vec();
-    MasparOutcome {
+    Ok(MasparOutcome {
         alive: alive.as_slice()[..].iter().step_by(lay.groups).copied().collect(),
         bits: bits.as_slice().to_vec(),
         stats: machine.stats,
@@ -267,8 +523,94 @@ pub fn parse_maspar(
         removals_per_iteration,
         virt_factor: machine.virt_factor(),
         trace,
+        recovery,
+        degraded,
         layout: lay,
+    })
+}
+
+/// Allocate a plural and write `expected` into it, re-issuing the write
+/// until the readback matches (the values are pure functions of the PE id,
+/// so the host can verify them directly). Fault-free this is exactly one
+/// alloc + one broadcast, identical to the original `par_init`.
+fn init_exact<T>(
+    machine: &mut Machine,
+    name: &str,
+    max_retries: usize,
+    recovery: &mut RecoveryReport,
+    expected: &[T],
+) -> Result<Plural<T>, EngineError>
+where
+    T: Copy + Default + PartialEq + Send + Sync + maspar_sim::FaultWord,
+{
+    let mut p = machine.alloc(T::default());
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        machine.par_map(&mut p, |pe, v| *v = expected[pe]);
+        if !machine.faults_armed() || p.as_slice() == expected {
+            return Ok(p);
+        }
+        recovery.phase_retries += 1;
+        if attempts > max_retries {
+            return Err(EngineError::Inconsistent {
+                phase: format!("init:{name}"),
+                attempts,
+            });
+        }
     }
+}
+
+/// Execute one mutating phase. Fault-free: run it once. Under faults:
+/// checkpoint `bits`/`alive` on the host, run the phase **twice** (rolling
+/// back in between), and accept only two bit-identical executions; retry
+/// from the checkpoint otherwise. Returns the phase's scalar result.
+#[allow(clippy::too_many_arguments)]
+fn run_phase<F>(
+    machine: &mut Machine,
+    max_retries: usize,
+    recovery: &mut RecoveryReport,
+    name: &str,
+    bits: &mut Plural<u64>,
+    alive: &mut Plural<u64>,
+    f: F,
+) -> Result<u64, EngineError>
+where
+    F: Fn(&mut Machine, &mut Plural<u64>, &mut Plural<u64>) -> u64,
+{
+    if !machine.faults_armed() {
+        return Ok(f(machine, bits, alive));
+    }
+    recovery.verified_phases += 1;
+    let golden_bits = bits.as_slice().to_vec();
+    let golden_alive = alive.as_slice().to_vec();
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let r1 = f(machine, bits, alive);
+        let run1_bits = bits.as_slice().to_vec();
+        let run1_alive = alive.as_slice().to_vec();
+        restore(machine, bits, &golden_bits);
+        restore(machine, alive, &golden_alive);
+        let r2 = f(machine, bits, alive);
+        if r1 == r2 && run1_bits == bits.as_slice() && run1_alive == alive.as_slice() {
+            return Ok(r2);
+        }
+        recovery.phase_retries += 1;
+        if attempts >= max_retries {
+            return Err(EngineError::Inconsistent {
+                phase: name.to_string(),
+                attempts,
+            });
+        }
+        restore(machine, bits, &golden_bits);
+        restore(machine, alive, &golden_alive);
+    }
+}
+
+/// Roll a plural back to a host-held golden copy (one broadcast).
+fn restore(machine: &mut Machine, p: &mut Plural<u64>, golden: &[u64]) {
+    machine.par_map(p, |pe, v| *v = golden[pe]);
 }
 
 /// One unary constraint: every PE zeroes the submatrix columns/rows of its
@@ -624,6 +966,179 @@ mod tests {
     impl MasparOutcome {
         fn stats_cost(&self) -> maspar_sim::CostModel {
             maspar_sim::CostModel::default()
+        }
+    }
+
+    /// A small physical array so the paper example (324 virtual PEs)
+    /// actually lands multiple virtual PEs per physical PE and injected
+    /// faults hit occupied hardware.
+    fn small_machine() -> MachineConfig {
+        MachineConfig {
+            phys_pes: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn checked_equals_unchecked_without_faults() {
+        let (g, s) = example();
+        let plain = parse_maspar(&g, &s, &MasparOptions::default());
+        let checked = parse_maspar_checked(&g, &s, &MasparOptions::default()).unwrap();
+        assert_eq!(plain.bits, checked.bits);
+        assert_eq!(plain.alive, checked.alive);
+        assert_eq!(plain.stats, checked.stats, "checked path must cost nothing extra");
+        assert!(checked.degraded.is_none());
+        assert!(!checked.recovery.intervened());
+    }
+
+    #[test]
+    fn dead_pes_are_probed_retired_and_recovered_from() {
+        let (g, s) = example();
+        let clean = parse_maspar(
+            &g,
+            &s,
+            &MasparOptions {
+                machine: small_machine(),
+                ..Default::default()
+            },
+        );
+        let opts = MasparOptions {
+            machine: small_machine(),
+            faults: Some(FaultPlan::new().with_dead_pe(3).with_dead_pe(40)),
+            ..Default::default()
+        };
+        let out = parse_maspar_checked(&g, &s, &opts).expect("dead PEs must be recoverable");
+        assert_eq!(out.recovery.retired_pes, vec![3, 40]);
+        assert!(out.recovery.probes >= 2, "a clean probe must confirm retirement");
+        assert_eq!(out.alive, clean.alive, "recovered parse must be bit-identical");
+        assert_eq!(out.bits, clean.bits);
+        assert!(out.roles_nonempty());
+    }
+
+    #[test]
+    fn transient_corruption_is_detected_and_retried() {
+        let (g, s) = example();
+        let clean = parse_maspar(
+            &g,
+            &s,
+            &MasparOptions {
+                machine: small_machine(),
+                ..Default::default()
+            },
+        );
+        // Several transients spread across the run; each fires once, so
+        // the double-execution protocol must catch and out-run them all.
+        let plan = FaultPlan::new()
+            .with_memory_flip(20, 7, 3)
+            .with_router_corrupt(60, 11, 0xFF)
+            .with_memory_flip(150, 30, 60)
+            .with_router_corrupt(300, 5, 1);
+        let opts = MasparOptions {
+            machine: small_machine(),
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let out = parse_maspar_checked(&g, &s, &opts).expect("transients must be recoverable");
+        assert_eq!(out.alive, clean.alive, "recovered parse must be bit-identical");
+        assert_eq!(out.bits, clean.bits);
+        assert!(out.degraded.is_none());
+    }
+
+    #[test]
+    fn all_pes_dead_is_a_typed_error() {
+        let (g, s) = example();
+        let mut plan = FaultPlan::new();
+        for pe in 0..4 {
+            plan = plan.with_dead_pe(pe);
+        }
+        let opts = MasparOptions {
+            machine: MachineConfig {
+                phys_pes: 4,
+                ..Default::default()
+            },
+            faults: Some(plan),
+            ..Default::default()
+        };
+        match parse_maspar_checked(&g, &s, &opts) {
+            Err(EngineError::PeFailure { dead, .. }) => assert_eq!(dead, vec![0, 1, 2, 3]),
+            other => panic!("expected PeFailure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_iteration_budget_degrades_partially() {
+        let (g, s) = example();
+        let opts = MasparOptions {
+            budget: ParseBudget {
+                max_filter_iterations: Some(1),
+                ..Default::default()
+            },
+            early_exit: false,
+            ..Default::default()
+        };
+        let out = parse_maspar_checked(&g, &s, &opts).unwrap();
+        assert_eq!(out.filter_iterations_run, 1);
+        match &out.degraded {
+            Some(EngineError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(*resource, BudgetResource::FilterIterations)
+            }
+            other => panic!("expected FilterIterations degradation, got {other:?}"),
+        }
+        // The partial network is still a usable superset of the settled one.
+        assert!(out.roles_nonempty());
+    }
+
+    #[test]
+    fn wall_time_budget_degrades_deterministically() {
+        use std::time::Duration;
+        let (g, s) = example();
+        let opts = MasparOptions {
+            budget: ParseBudget {
+                max_wall_time: Some(Duration::from_millis(20)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = parse_maspar_checked(&g, &s, &opts).unwrap();
+        match &out.degraded {
+            Some(EngineError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(*resource, BudgetResource::WallTime)
+            }
+            other => panic!("expected WallTime degradation, got {other:?}"),
+        }
+        // Estimated time is deterministic, so the cut point is too.
+        let again = parse_maspar_checked(&g, &s, &opts).unwrap();
+        assert_eq!(out.alive, again.alive);
+        assert_eq!(out.phases.len(), again.phases.len());
+    }
+
+    #[test]
+    fn arc_cell_budget_is_a_hard_error_on_this_engine() {
+        let (g, s) = example();
+        let opts = MasparOptions {
+            budget: ParseBudget {
+                max_arc_cells: Some(100),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        match parse_maspar_checked(&g, &s, &opts) {
+            Err(EngineError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, BudgetResource::ArcCells)
+            }
+            other => panic!("expected ArcCells error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_sentences_get_a_typed_grammar_error() {
+        // 40 words → q²n⁴ ≈ 10.2M virtual PEs: the working set cannot fit
+        // 16 KB per PE. Previously an allocator panic; now a typed error.
+        let g = paper::grammar();
+        let s = paper::cost_sweep_sentence(&g, 40);
+        match parse_maspar_checked(&g, &s, &MasparOptions::default()) {
+            Err(EngineError::GrammarError(msg)) => assert!(msg.contains("virtual PEs")),
+            other => panic!("expected GrammarError, got {other:?}"),
         }
     }
 }

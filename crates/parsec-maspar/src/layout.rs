@@ -34,20 +34,33 @@ pub struct Layout {
 
 impl Layout {
     pub fn new(grammar: &Grammar, sentence: &Sentence) -> Self {
-        assert!(
-            !sentence.has_lexical_ambiguity(),
-            "the MasPar engine requires lexically unambiguous sentences (as in the paper); \
-             use the sequential or P-RAM engine for category-ambiguous input"
-        );
+        match Layout::try_new(grammar, sentence) {
+            Ok(lay) => lay,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction — the checked engine maps these conditions to
+    /// typed [`cdg_core::EngineError::GrammarError`]s instead of panicking.
+    pub fn try_new(grammar: &Grammar, sentence: &Sentence) -> Result<Self, String> {
+        if sentence.has_lexical_ambiguity() {
+            return Err(
+                "the MasPar engine requires lexically unambiguous sentences (as in the paper); \
+                 use the sequential or P-RAM engine for category-ambiguous input"
+                    .to_string(),
+            );
+        }
         let n = sentence.len();
         let q = grammar.num_roles();
         let l = grammar.max_labels_per_role();
-        assert!(l * l <= 64, "PE submatrix must fit a 64-bit word: l = {l}");
+        if l * l > 64 {
+            return Err(format!("PE submatrix must fit a 64-bit word: l = {l}"));
+        }
         let cats = sentence.words().iter().map(|w| w.cats[0]).collect();
         let allowed = (0..q)
             .map(|r| grammar.allowed_labels(RoleId(r as u16)).to_vec())
             .collect();
-        Layout {
+        Ok(Layout {
             n,
             q,
             l,
@@ -55,7 +68,7 @@ impl Layout {
             groups: n * q * n,
             cats,
             allowed,
-        }
+        })
     }
 
     /// Total virtual PEs: G² = q²·n⁴.
@@ -84,7 +97,7 @@ impl Layout {
         }
         // Positions 1..=n excluding w+1, ascending; m_idx 1 picks the first.
         let mut pos = m_idx as u16;
-        if pos >= w as u16 + 1 {
+        if pos > w as u16 {
             pos += 1;
         }
         Modifiee::Word(pos)
@@ -179,7 +192,7 @@ impl Layout {
     /// Initial alive mask for the group whose column starts at this PE
     /// (all valid labels), or 0 for non-boundary PEs.
     pub fn init_alive(&self, pe: usize) -> u64 {
-        if pe % self.groups != 0 {
+        if !pe.is_multiple_of(self.groups) {
             return 0;
         }
         let g = pe / self.groups;

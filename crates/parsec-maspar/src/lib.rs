@@ -35,9 +35,17 @@
 //! The engine requires lexically unambiguous sentences (as does the
 //! paper); the sequential and P-RAM engines additionally support
 //! category-ambiguous words.
+//!
+//! [`engine::parse_maspar_checked`] additionally runs the parse under an
+//! injected fault schedule and/or a resource budget, detecting corruption
+//! by probing and double execution and recovering by retiring dead PEs
+//! and re-executing corrupted phases — or returning a typed
+//! [`cdg_core::EngineError`]; never a silently wrong network.
 
 pub mod engine;
 pub mod layout;
 
-pub use engine::{parse_maspar, MasparOptions, MasparOutcome, PhaseStats};
+pub use engine::{
+    parse_maspar, parse_maspar_checked, MasparOptions, MasparOutcome, PhaseStats, RecoveryReport,
+};
 pub use layout::Layout;

@@ -1,0 +1,199 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! bench-definition surface the workspace's `benches/` use: `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Instead of statistical sampling, each registered benchmark runs
+//! its routine a handful of times and reports the best observed wall time —
+//! enough for `cargo bench` to act as a smoke test and for relative
+//! comparisons; real measurement belongs to the genuine crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many times the stand-in executes each routine.
+const SMOKE_ITERS: u32 = 3;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Batch-size hint for `iter_batched`; ignored by the stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to bench closures; runs the routine and records timing.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..SMOKE_ITERS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.record(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.record(start.elapsed());
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration) {
+        self.best = Some(match self.best {
+            Some(best) => best.min(elapsed),
+            None => elapsed,
+        });
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sampling configuration: accepted, ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best: None };
+        routine(&mut b);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { best: None };
+        routine(&mut b, input);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    fn report(&self, id: &str, best: Option<Duration>) {
+        match best {
+            Some(d) => println!("{}/{id}: best of {SMOKE_ITERS} = {d:?}", self.name),
+            None => println!("{}/{id}: routine never ran", self.name),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} (offline criterion stand-in, smoke run)");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers compile; `std::hint` version.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0u32;
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * n
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(runs, SMOKE_ITERS);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! subset of the proptest API the workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`], `.prop_map(..)`, `.prop_recursive(..)`,
+//! * `any::<T>()` for the integer/bool types in use,
+//! * integer-range strategies (`1usize..12`, `0u64..=9`, …),
+//! * a mini regex-pattern string strategy (`"[01]{1,8}"`, `"\\PC{0,64}"`),
+//! * `proptest::collection::vec(strategy, len | range)`.
+//!
+//! Differences from the real crate are intentional and small: cases are
+//! generated from a seed derived **deterministically from the test name**
+//! (so failures reproduce run-over-run without a regression file), there is
+//! no shrinking (the failing inputs printed are the raw generated values),
+//! and the default case count is 64.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fail the current property case with a message (returns `Err` out of the
+/// generated case closure, like the real proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), left, right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: both sides are `{:?}`", format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test entry macro. Parses an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
+                let described = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        e,
+                        described,
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,127 @@
+//! Test-runner plumbing: configuration, per-case RNG, typed case failure.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator handed to strategies. SplitMix64: every case of
+/// every named test reproduces bit-for-bit across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Drives the generated test fn: owns the config and derives case seeds.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: stable, collision-irrelevant here.
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        TestRunner {
+            config,
+            base_seed: h,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(
+            self.base_seed ^ (case as u64).wrapping_mul(0xA24BAED4963EE407),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let r1 = TestRunner::new(ProptestConfig::default(), "some_test");
+        let r2 = TestRunner::new(ProptestConfig::default(), "some_test");
+        assert_eq!(r1.rng_for_case(3).next_u64(), r2.rng_for_case(3).next_u64());
+        let other = TestRunner::new(ProptestConfig::default(), "other_test");
+        assert_ne!(
+            r1.rng_for_case(0).next_u64(),
+            other.rng_for_case(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

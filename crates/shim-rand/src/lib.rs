@@ -1,0 +1,233 @@
+//! Offline stand-in for [rand 0.8](https://crates.io/crates/rand).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the rand 0.8 API it uses: `SmallRng`, `SeedableRng`, the
+//! `Rng` extension trait (`gen_range`, `gen_bool`, `gen`), and
+//! `seq::SliceRandom::shuffle`. The generator is SplitMix64-seeded
+//! xorshift64*: deterministic per seed, which is all the corpus generators
+//! and tests rely on — they fix every seed explicitly.
+
+/// Base trait: a source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from an integer range.
+pub trait SampleUniform: Copy {
+    fn sample_in(low: Self, high_exclusive: Self, rng: &mut dyn RngCore) -> Self;
+    fn checked_next(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(low: Self, high_exclusive: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(low < high_exclusive, "gen_range: empty range");
+                let span = (high_exclusive as i128 - low as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+            fn checked_next(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output: SampleUniform;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange for std::ops::Range<T> {
+    type Output = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange for std::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        let high = end
+            .checked_next()
+            .expect("gen_range: inclusive range ends at type maximum");
+        T::sample_in(start, high, rng)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard {
+    fn gen_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn gen_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn gen_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn gen_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing extension trait, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        // 53 bits of uniform mantissa, exactly as rand's Bernoulli does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::gen_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast generator: SplitMix64 seeding into xorshift64*.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 step decouples nearby seeds.
+            let mut z = state.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates), the only `seq` feature used here.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1 << 40)).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1 << 40)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1usize..=8);
+            assert!((1..=8).contains(&w));
+            let s = rng.gen_range(-10isize..10);
+            assert!((-10..10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

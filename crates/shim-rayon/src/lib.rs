@@ -1,0 +1,117 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *API surface* it actually uses. Every
+//! `par_iter`-style method here returns the corresponding **sequential**
+//! standard-library iterator; all the adapters the codebase chains on top
+//! (`map`, `zip`, `enumerate`, `for_each`, `sum`, `collect`, …) then come
+//! from `std::iter::Iterator` for free.
+//!
+//! This preserves the workspace's determinism guarantees (see
+//! `maspar-sim/src/lib.rs`: results never depend on rayon's scheduling) and
+//! keeps every call site source-compatible with the real crate, so swapping
+//! the genuine rayon back in is a one-line `Cargo.toml` change.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges: sequential here.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` over slices and vectors.
+    pub trait IntoParallelRefIterator {
+        type Item;
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    }
+    impl<T> IntoParallelRefIterator for [T] {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+    impl<T> IntoParallelRefIterator for Vec<T> {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` over slices and vectors.
+    pub trait IntoParallelRefMutIterator {
+        type Item;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+    }
+    impl<T> IntoParallelRefMutIterator for [T] {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+    impl<T> IntoParallelRefMutIterator for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// Rayon-only adapters that have no `std::iter` namesake.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Rayon's cheap flat-map over serial inner iterators; plain
+        /// `flat_map` sequentially.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+/// Sequential `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Mirrors `rayon::current_num_threads` for diagnostics: always 1 here.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_surface_behaves_like_serial() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut w = vec![0usize; 4];
+        w.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+
+        let total: usize = (0..10usize).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, 285);
+
+        let flat: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i, i * 10])
+            .collect();
+        assert_eq!(flat, vec![0, 0, 1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

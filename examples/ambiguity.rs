@@ -63,7 +63,7 @@ fn main() {
     let outcome = parse(&grammar, &sentence, ParseOptions::default());
     assert!(outcome.accepted());
     for graph in outcome.parses(10) {
-        let cat = graph.assignment[1 * grammar.num_roles()].cat;
+        let cat = graph.assignment[grammar.num_roles()].cat;
         println!("  `watch` resolved to category `{}`", grammar.cat_name(cat));
         println!("{}", graph.render(&grammar, &sentence));
     }

@@ -101,7 +101,7 @@ fn main() {
     }
 
     // Round-trip: save the hand-built grammar and reload it.
-    let dumped = file::save(&g_api, &lex_api);
+    let dumped = file::save(&g_api, &lex_api).expect("hand-built grammar renders");
     let (g_again, _) = file::load_str(&dumped).expect("saved grammar reloads");
     assert_eq!(g_again.num_constraints(), g_api.num_constraints());
     println!("\nround-trip through the file format preserved all {} constraints.", g_api.num_constraints());

@@ -7,21 +7,37 @@
 //!   --grammar <paper|english|anbn|brackets|ww|www>  grammar (default: english)
 //!   --grammar-file <path.cdg>                    load a grammar file instead
 //!   --engine  <serial|pram|maspar>               engine (default: serial)
-//!   --parses <N>                                 max parses to print (default 4)
+//!   --parses <N>                                 max parses to print (default 4, N >= 1)
 //!   --network                                    print the settled network
 //!   --dot                                        emit Graphviz instead of text
 //!   --stats                                      print engine statistics
+//!   --budget <spec>                              resource budget, e.g. ms=50,iters=3,cells=100000
+//!   --faults <spec>                              (maspar) fault plan: a seed, or seed=N,dead=N,...
+//!   --relax                                      retry rejected sentences with relaxed constraints
+//!   --version                                    print the version and exit
 //!
 //! EXAMPLES:
 //!   parsec --grammar paper the program runs
-//!   parsec --engine maspar --stats the dog sees a cat in the park
+//!   parsec --engine maspar --stats --faults 7 the dog sees a cat in the park
+//!   parsec --relax dog runs in the park
 //!   parsec --grammar ww --dot 0101
 //! ```
+//!
+//! Exit codes: 0 accept, 1 reject or engine error, 2 usage/input error,
+//! 3 budget-degraded partial outcome with no full parse.
 
 use cdg_core::parser::{parse, ParseOptions};
+use cdg_core::{parse_relaxed, ParseBudget, RelaxLadder};
 use cdg_grammar::grammars::{english, formal, paper};
+use cdg_grammar::sentence::LexiconError;
 use cdg_grammar::{Grammar, Sentence};
+use maspar_sim::{FaultPlan, MachineConfig};
 use std::process::ExitCode;
+
+/// Instruction-count horizon handed to `--faults` specs that schedule
+/// transients; a full checked parse of the shipped examples spans a few
+/// hundred broadcast instructions.
+const FAULT_HORIZON_OPS: u64 = 2_000;
 
 struct Args {
     grammar: String,
@@ -31,14 +47,23 @@ struct Args {
     network: bool,
     dot: bool,
     stats: bool,
+    budget: ParseBudget,
+    faults: Option<String>,
+    relax: bool,
     words: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
-         [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] <sentence...>"
+         [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
+         [--budget spec] [--faults spec] [--relax] [--version] <sentence...>"
     );
+    std::process::exit(2);
+}
+
+fn invalid(message: String) -> ! {
+    eprintln!("error: {message}");
     std::process::exit(2);
 }
 
@@ -51,6 +76,9 @@ fn parse_args() -> Args {
         network: false,
         dot: false,
         stats: false,
+        budget: ParseBudget::UNLIMITED,
+        faults: None,
+        relax: false,
         words: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -63,11 +91,29 @@ fn parse_args() -> Args {
                 args.parses = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
+                if args.parses == 0 {
+                    invalid(
+                        "--parses 0 would print nothing and report every sentence as rejected; \
+                         pass N >= 1"
+                            .into(),
+                    );
+                }
             }
             "--network" => args.network = true,
             "--dot" => args.dot = true,
             "--stats" => args.stats = true,
+            "--budget" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.budget = ParseBudget::parse_spec(&spec)
+                    .unwrap_or_else(|e| invalid(format!("bad --budget spec: {e}")));
+            }
+            "--faults" => args.faults = Some(it.next().unwrap_or_else(|| usage())),
+            "--relax" => args.relax = true,
+            "--version" => {
+                println!("parsec {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => usage(),
             w if !w.starts_with("--") => args.words.push(w.to_string()),
             _ => usage(),
@@ -76,7 +122,19 @@ fn parse_args() -> Args {
     if args.words.is_empty() {
         usage();
     }
+    if args.faults.is_some() && args.engine != "maspar" {
+        invalid("--faults injects faults into the simulated MasPar; pass --engine maspar".into());
+    }
     args
+}
+
+fn lexicon_error(e: LexiconError, source: &str) -> String {
+    match e {
+        LexiconError::UnknownWord(w) => {
+            format!("unknown word '{w}' not in lexicon (grammar `{source}`)")
+        }
+        other => other.to_string(),
+    }
 }
 
 fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
@@ -87,18 +145,22 @@ fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
         if lex.is_empty() {
             return Err(format!("grammar file `{path}` has no lexicon; add a (lexicon ...) clause"));
         }
-        let s = lex.sentence(&text).map_err(|e| e.to_string())?;
+        let s = lex.sentence(&text).map_err(|e| lexicon_error(e, path))?;
         return Ok((g, s));
     }
     match args.grammar.as_str() {
         "paper" => {
             let g = paper::grammar();
-            let s = paper::lexicon(&g).sentence(&text).map_err(|e| e.to_string())?;
+            let s = paper::lexicon(&g)
+                .sentence(&text)
+                .map_err(|e| lexicon_error(e, "paper"))?;
             Ok((g, s))
         }
         "english" => {
             let g = english::grammar();
-            let s = english::lexicon(&g).sentence(&text).map_err(|e| e.to_string())?;
+            let s = english::lexicon(&g)
+                .sentence(&text)
+                .map_err(|e| lexicon_error(e, "english"))?;
             Ok((g, s))
         }
         "anbn" => {
@@ -134,11 +196,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let options = ParseOptions {
+        budget: args.budget,
+        ..Default::default()
+    };
 
     // All engines funnel into a settled sequential-format network so the
     // printing pipeline is shared.
     let outcome = match args.engine.as_str() {
-        "serial" => parse(&grammar, &sentence, ParseOptions::default()),
+        "serial" => parse(&grammar, &sentence, options),
         "pram" => {
             let pram = cdg_parallel::parse_pram(&grammar, &sentence, ParseOptions::default());
             if args.stats {
@@ -149,14 +215,27 @@ fn main() -> ExitCode {
             }
             // Re-run serially for the shared outcome type (identical by
             // the equivalence guarantee).
-            parse(&grammar, &sentence, ParseOptions::default())
+            parse(&grammar, &sentence, options)
         }
         "maspar" => {
-            let out = parsec_maspar::parse_maspar(
-                &grammar,
-                &sentence,
-                &parsec_maspar::MasparOptions::default(),
-            );
+            let mut opts = parsec_maspar::MasparOptions {
+                budget: args.budget,
+                ..Default::default()
+            };
+            if let Some(spec) = &args.faults {
+                let phys = MachineConfig::default().phys_pes;
+                opts.faults = Some(
+                    FaultPlan::parse_spec(spec, phys, FAULT_HORIZON_OPS)
+                        .unwrap_or_else(|e| invalid(format!("bad --faults spec: {e}"))),
+                );
+            }
+            let out = match parsec_maspar::parse_maspar_checked(&grammar, &sentence, &opts) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("maspar engine error: {e}");
+                    return ExitCode::from(1);
+                }
+            };
             if args.stats {
                 eprintln!(
                     "maspar: {} virtual PEs (factor {}x), {} plural ops, {} scans, est {:.3}s on an MP-1",
@@ -166,8 +245,23 @@ fn main() -> ExitCode {
                     out.stats.scan_calls,
                     out.estimated_seconds
                 );
+                let r = &out.recovery;
+                if r.intervened() || out.stats.fault_events() > 0 {
+                    eprintln!(
+                        "maspar recovery: {} probe round(s), retired PEs {:?}, {} phase(s) \
+                         verified, {} retried, {} fault event(s) observed",
+                        r.probes,
+                        r.retired_pes,
+                        r.verified_phases,
+                        r.phase_retries,
+                        out.stats.fault_events()
+                    );
+                }
             }
-            parse(&grammar, &sentence, ParseOptions::default())
+            if let Some(d) = &out.degraded {
+                eprintln!("maspar DEGRADED: {d}");
+            }
+            parse(&grammar, &sentence, options)
         }
         other => {
             eprintln!("error: unknown engine `{other}`");
@@ -189,8 +283,51 @@ fn main() -> ExitCode {
 
     let graphs = outcome.parses(args.parses);
     if graphs.is_empty() {
+        if let Some(d) = &outcome.degraded {
+            // The budget cut the parse short before it could settle: the
+            // network above (with --network) is a usable partial result,
+            // but no complete parse can honestly be claimed.
+            println!("PARTIAL: {d}");
+            println!(
+                "`{sentence}` was not fully parsed within the budget; \
+                 raise --budget for a definitive answer"
+            );
+            return ExitCode::from(3);
+        }
+        if args.relax {
+            let ladder = RelaxLadder::english_default();
+            if let Some(r) = parse_relaxed(&grammar, &sentence, options, &ladder, args.parses) {
+                println!(
+                    "ACCEPT (relaxed, rung {}): `{sentence}` — {} parse(s) after dropping {} \
+                     constraint(s): {}",
+                    r.rung,
+                    r.parses.len(),
+                    r.dropped.len(),
+                    r.dropped.join(", ")
+                );
+                for (i, graph) in r.parses.iter().enumerate() {
+                    if args.dot {
+                        println!("{}", cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence));
+                    } else {
+                        println!("--- parse {} ---", i + 1);
+                        println!("{}", graph.render(&grammar, &sentence));
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "REJECT: `{sentence}` is not in the language of grammar `{}`, even after \
+                 relaxing: {}",
+                args.grammar,
+                ladder.dropped_at(ladder.len()).join(", ")
+            );
+            return ExitCode::from(1);
+        }
         println!("REJECT: `{sentence}` is not in the language of grammar `{}`", args.grammar);
         return ExitCode::from(1);
+    }
+    if let Some(d) = &outcome.degraded {
+        eprintln!("note: parse is budget-degraded ({d}); parses shown may be a superset");
     }
     println!(
         "ACCEPT: `{sentence}` — {}{} parse(s)",

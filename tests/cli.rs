@@ -112,3 +112,84 @@ fn ambiguity_is_flagged() {
     assert!(text.contains("(ambiguous)"), "{text}");
     assert!(text.contains("parse 2"));
 }
+
+#[test]
+fn version_prints_and_exits_zero() {
+    let out = run(&["--version"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("parsec "));
+}
+
+#[test]
+fn parses_zero_is_rejected_with_usage_exit() {
+    let out = run(&["--parses", "0", "the", "dog", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--parses 0"));
+}
+
+#[test]
+fn unknown_words_get_a_friendly_error() {
+    let out = run(&["the", "zebra", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown word 'zebra' not in lexicon"), "got: {err}");
+}
+
+#[test]
+fn arc_cell_budget_on_a_long_sentence_is_a_flagged_partial_outcome() {
+    // 48 words: the full arc matrices would hold hundreds of millions of
+    // cells, so a small cell budget forces the serial engine to stop after
+    // unary filtering and say so — not to claim a REJECT it never proved.
+    let clause = ["the", "dog", "sees", "a", "cat", "in", "the", "park"];
+    let mut args: Vec<&str> = vec!["--budget", "cells=10000"];
+    for _ in 0..6 {
+        args.extend_from_slice(&clause);
+    }
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PARTIAL: parse budget exceeded: arc cells"), "got: {text}");
+    assert!(!text.contains("REJECT"), "a budget cut must not be reported as a REJECT");
+}
+
+#[test]
+fn bad_budget_specs_are_usage_errors() {
+    let out = run(&["--budget", "fuel=9", "the", "dog", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("bad --budget spec"));
+}
+
+#[test]
+fn relax_recovers_a_determiner_dropping_sentence() {
+    let out = run(&["--relax", "dog", "runs", "in", "the", "park"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ACCEPT (relaxed, rung 1)"), "got: {text}");
+    assert!(text.contains("sing-noun-needs-det-left"), "got: {text}");
+    assert!(text.contains("SUBJ-2"), "dog must still attach as the subject: {text}");
+}
+
+#[test]
+fn relax_does_not_accept_word_salad() {
+    let out = run(&["--relax", "the", "the", "the"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("even after relaxing"));
+}
+
+#[test]
+fn faults_require_the_maspar_engine() {
+    let out = run(&["--faults", "7", "the", "dog", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--engine maspar"));
+}
+
+#[test]
+fn maspar_engine_accepts_a_fault_spec_and_still_parses() {
+    let out = run(&[
+        "--engine", "maspar", "--grammar", "paper", "--stats",
+        "--faults", "seed=3,dead=2", "the", "program", "runs",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("ACCEPT"));
+    assert!(stderr(&out).contains("maspar recovery:"), "stderr: {}", stderr(&out));
+}

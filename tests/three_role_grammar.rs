@@ -84,7 +84,7 @@ fn base_finite_ambiguity_resolved_by_context() {
     let outcome = parse(&g, &s, ParseOptions::default());
     assert!(outcome.accepted());
     let verb = g.cat_id("verb").unwrap();
-    assert_eq!(outcome.parses(4)[0].assignment[1 * 3].cat, verb);
+    assert_eq!(outcome.parses(4)[0].assignment[3].cat, verb);
 
     let s = lex.sentence("dogs can run").unwrap();
     let outcome = parse(&g, &s, ParseOptions::default());
