@@ -1,0 +1,165 @@
+//! `bench_compare` — the CI regression gate over two bench reports.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--max-regress 0.25]
+//!               [--min-wall-secs 0.002] [--no-normalize]
+//! ```
+//!
+//! Three checks, in order of severity:
+//!
+//! 1. **Determinism** — rows present in both reports must carry equal
+//!    output digests (parse results are machine- and thread-independent);
+//!    a mismatch is always fatal.
+//! 2. **Coverage** — every baseline row must exist in the current report
+//!    (keyed by engine|grammar|n|threads).
+//! 3. **Wall-clock** — a current row may not exceed its baseline twin by
+//!    more than `--max-regress` (default 25%). By default wall times are
+//!    first normalized by each report's host calibration constant, so a
+//!    slower CI runner is not mistaken for a regression; rows whose
+//!    baseline wall is under `--min-wall-secs` sit below the timer noise
+//!    floor and are skipped.
+//!
+//! Exit codes: 0 pass, 1 regression/mismatch, 2 usage or unreadable input.
+
+use bench::report::BenchReport;
+
+struct Args {
+    baseline: String,
+    current: String,
+    max_regress: f64,
+    min_wall_secs: f64,
+    normalize: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> \
+         [--max-regress FRACTION] [--min-wall-secs SECS] [--no-normalize]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut args = Args {
+        baseline: String::new(),
+        current: String::new(),
+        max_regress: 0.25,
+        min_wall_secs: 0.002,
+        normalize: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                args.max_regress = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--min-wall-secs" => {
+                args.min_wall_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-normalize" => args.normalize = false,
+            a if !a.starts_with("--") => positional.push(a.to_string()),
+            _ => usage(),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    args.baseline = positional.remove(0);
+    args.current = positional.remove(0);
+    args
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchReport::parse_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    let base_cal = if args.normalize {
+        baseline.calibration_secs
+    } else {
+        1.0
+    };
+    let cur_cal = if args.normalize {
+        current.calibration_secs
+    } else {
+        1.0
+    };
+    if base_cal <= 0.0 || cur_cal <= 0.0 {
+        eprintln!("error: non-positive calibration constant; rerun bench_json");
+        std::process::exit(2);
+    }
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    let mut skipped_noise = 0usize;
+
+    for base_row in &baseline.rows {
+        let key = base_row.key();
+        let Some(cur_row) = current.rows.iter().find(|r| r.key() == key) else {
+            failures.push(format!("MISSING  {key}: row absent from {}", args.current));
+            continue;
+        };
+        if base_row.digest != cur_row.digest {
+            failures.push(format!(
+                "DIGEST   {key}: output changed ({:016x} -> {:016x}) — parses are no \
+                 longer byte-identical to the baseline",
+                base_row.digest, cur_row.digest
+            ));
+            continue;
+        }
+        if cur_row.accepted != base_row.accepted {
+            failures.push(format!(
+                "ACCEPT   {key}: accepted flipped {} -> {}",
+                base_row.accepted, cur_row.accepted
+            ));
+            continue;
+        }
+        if base_row.wall_secs < args.min_wall_secs {
+            skipped_noise += 1;
+            continue;
+        }
+        let base_norm = base_row.wall_secs / base_cal;
+        let cur_norm = cur_row.wall_secs / cur_cal;
+        let ratio = cur_norm / base_norm;
+        compared += 1;
+        if ratio > 1.0 + args.max_regress {
+            failures.push(format!(
+                "REGRESS  {key}: {:.1}% slower than baseline \
+                 (normalized {cur_norm:.6} vs {base_norm:.6}, gate {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                args.max_regress * 100.0
+            ));
+        }
+    }
+
+    println!(
+        "bench_compare: {} baseline row(s): {compared} wall-compared, \
+         {skipped_noise} below noise floor, {} failure(s)",
+        baseline.rows.len(),
+        failures.len()
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

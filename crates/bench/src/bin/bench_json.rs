@@ -1,0 +1,259 @@
+//! `bench_json` — emit the machine-readable bench report (`BENCH_2.json`).
+//!
+//! ```text
+//! bench_json [--quick] [--out PATH] [--threads N]
+//! ```
+//!
+//! Three row families:
+//!
+//! 1. **Engine sweep** — every CDG engine (serial, PRAM, mesh, MasPar-sim)
+//!    on English corpus sentences of increasing length: wall-clock plus the
+//!    model quantities (ops / parallel steps).
+//! 2. **Formal grammars** — serial vs PRAM on the bundled a^n b^n and
+//!    balanced-brackets grammars (the CI bench-smoke inputs).
+//! 3. **Batch throughput** — `parse_batch` over an n-sentence corpus at 1
+//!    thread and at N threads, with the output digest proving the results
+//!    are byte-identical; `speedup_vs_1t` on the N-thread row is the
+//!    repo's headline multi-core trajectory number.
+//!
+//! Every row carries an FNV-1a digest of its parse output, so two reports
+//! (different thread counts, different machines) can be checked for
+//! byte-identical results by comparing digests — see `bench_compare`.
+
+use bench::report::{calibrate, fnv1a, BenchReport, BenchRow};
+use bench::run::{comparable_options, maspar_cdg, mesh_cdg, pram_cdg, serial_cdg, Measurement};
+use cdg_core::BatchOutcome;
+use cdg_grammar::grammars::{english, formal};
+use cdg_grammar::{Grammar, Sentence};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: String,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_2.json".into(),
+        threads: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_json [--quick] [--out PATH] [--threads N]");
+    std::process::exit(2);
+}
+
+/// Digest of a settled single-sentence network: every slot's alive set.
+fn digest_outcome(grammar: &Grammar, sentence: &Sentence) -> u64 {
+    let outcome = cdg_core::parse(grammar, sentence, comparable_options());
+    let mut buf = String::new();
+    for slot in outcome.network.slots() {
+        buf.push_str(&format!("{:?};", slot.alive_indices()));
+    }
+    fnv1a(buf.as_bytes())
+}
+
+/// Digest of a batch result: the full owned summaries, Debug-formatted
+/// (deterministic field order).
+fn digest_batch(outcomes: &[BatchOutcome]) -> u64 {
+    fnv1a(format!("{outcomes:?}").as_bytes())
+}
+
+/// Best-of-3 measurement (after one warm-up run): minimum wall-clock,
+/// noise-robust on contended hosts; the model quantities are identical
+/// across runs by determinism.
+fn best_of(run: impl Fn() -> Measurement) -> Measurement {
+    let _ = run();
+    let mut best = run();
+    for _ in 0..2 {
+        let m = run();
+        if m.wall_secs < best.wall_secs {
+            best = m;
+        }
+    }
+    best
+}
+
+fn row_from(m: Measurement, grammar: &str, threads: usize, digest: u64) -> BenchRow {
+    BenchRow {
+        engine: m.engine.into(),
+        grammar: grammar.into(),
+        n: m.n,
+        threads,
+        wall_secs: m.wall_secs,
+        ops: m.ops.unwrap_or(0),
+        steps: m.steps.unwrap_or(0),
+        speedup_vs_1t: 1.0,
+        accepted: m.accepted,
+        digest,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n_threads = if args.threads > 0 {
+        args.threads
+    } else {
+        host_threads
+    };
+
+    eprintln!("calibrating host ...");
+    let calibration_secs = calibrate();
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // --- 1. Engine sweep on English corpus sentences -----------------
+    let g = english::grammar();
+    let lex = english::lexicon(&g);
+    let lengths: &[usize] = if args.quick {
+        &[4, 6, 8]
+    } else {
+        &[4, 6, 8, 10, 12]
+    };
+    rayon::set_num_threads(n_threads);
+    for &n in lengths {
+        let s = corpus::english_sentence(&g, &lex, n, 11);
+        let digest = digest_outcome(&g, &s);
+        eprintln!("engine sweep: n={n}");
+        rows.push(row_from(
+            best_of(|| serial_cdg(&g, &s)),
+            "english",
+            1,
+            digest,
+        ));
+        rows.push(row_from(
+            best_of(|| pram_cdg(&g, &s)),
+            "english",
+            n_threads,
+            digest,
+        ));
+        rows.push(row_from(best_of(|| mesh_cdg(&g, &s)), "english", 1, digest));
+        rows.push(row_from(
+            best_of(|| maspar_cdg(&g, &s)),
+            "english",
+            n_threads,
+            digest,
+        ));
+    }
+
+    // --- 2. Formal grammars (the CI bench-smoke inputs) --------------
+    let formal_inputs: Vec<(&str, Grammar, Sentence)> = {
+        let anbn = formal::anbn_grammar();
+        let brackets = formal::brackets_grammar();
+        let depth = if args.quick { 3 } else { 5 };
+        let anbn_s = formal::anbn_sentence(&anbn, &("a".repeat(depth) + &"b".repeat(depth)));
+        let br_s = formal::brackets_sentence(&brackets, &("(".repeat(depth) + &")".repeat(depth)));
+        vec![("anbn", anbn, anbn_s), ("brackets", brackets, br_s)]
+    };
+    for (name, g, s) in &formal_inputs {
+        let digest = digest_outcome(g, s);
+        eprintln!("formal: {name} n={}", s.len());
+        rows.push(row_from(best_of(|| serial_cdg(g, s)), name, 1, digest));
+        rows.push(row_from(
+            best_of(|| pram_cdg(g, s)),
+            name,
+            n_threads,
+            digest,
+        ));
+    }
+
+    // --- 3. Batch throughput: 1 thread vs N threads ------------------
+    let batch_len = if args.quick { 32 } else { 64 };
+    let sentence_len = 8;
+    let sentences: Vec<Sentence> = (0..batch_len as u64)
+        .map(|seed| corpus::english_sentence(&g, &lex, sentence_len, seed))
+        .collect();
+    let options = comparable_options();
+
+    let batch_at = |threads: usize| -> (f64, Vec<BatchOutcome>) {
+        rayon::set_num_threads(threads);
+        // Warm-up run so thread spawn and lazy init don't pollute the
+        // measurement, then best-of-5 (minimum is the noise-robust
+        // estimator on a contended host).
+        let _ = cdg_parallel::parse_batch(&g, &sentences, options, 4);
+        let mut best = f64::INFINITY;
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            let start = Instant::now();
+            let out = cdg_parallel::parse_batch(&g, &sentences, options, 4);
+            best = best.min(start.elapsed().as_secs_f64());
+            outcomes = out;
+        }
+        (best, outcomes)
+    };
+
+    eprintln!("batch: {batch_len} sentences x {sentence_len} words, 1 thread");
+    let (wall_1t, out_1t) = batch_at(1);
+    eprintln!("batch: {batch_len} sentences x {sentence_len} words, {n_threads} threads");
+    let (wall_nt, out_nt) = batch_at(n_threads);
+    rayon::set_num_threads(0);
+    let digest_1t = digest_batch(&out_1t);
+    let digest_nt = digest_batch(&out_nt);
+    assert_eq!(
+        digest_1t, digest_nt,
+        "batch output diverged across thread counts — determinism bug"
+    );
+    let accepted_all = out_1t.iter().all(|o| o.accepted);
+    let mk_batch_row = |threads: usize, wall: f64, speedup: f64| BenchRow {
+        engine: "batch-pram".into(),
+        grammar: "english".into(),
+        n: batch_len,
+        threads,
+        wall_secs: wall,
+        ops: batch_len as u64,
+        steps: 0,
+        speedup_vs_1t: speedup,
+        accepted: accepted_all,
+        digest: digest_1t,
+    };
+    rows.push(mk_batch_row(1, wall_1t, 1.0));
+    if n_threads > 1 {
+        // On a 1-core host the N-thread row would duplicate the 1-thread
+        // key; the single row above is both.
+        rows.push(mk_batch_row(n_threads, wall_nt, wall_1t / wall_nt));
+    }
+
+    let report = BenchReport {
+        host_threads,
+        calibration_secs,
+        rows,
+    };
+    std::fs::write(&args.out, report.to_pretty()).unwrap_or_else(|e| {
+        eprintln!("error: writing {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    if n_threads > 1 {
+        eprintln!(
+            "wrote {} ({} rows); batch speedup {n_threads}t vs 1t = {:.2}x",
+            args.out,
+            report.rows.len(),
+            wall_1t / wall_nt
+        );
+    } else {
+        eprintln!(
+            "wrote {} ({} rows); single-core host, no multi-thread speedup row",
+            args.out,
+            report.rows.len()
+        );
+    }
+}

@@ -13,9 +13,7 @@
 //! Number-shape expectations are recorded in EXPERIMENTS.md; this binary
 //! prints the measured values next to the paper's claims.
 
-use bench::run::{
-    maspar_cdg, mesh_cdg, mesh_cky, par_cky, pram_cdg, serial_cdg, serial_cky,
-};
+use bench::run::{maspar_cdg, mesh_cdg, mesh_cky, par_cky, pram_cdg, serial_cdg, serial_cky};
 use bench::{fit_exponent, TextTable};
 use cdg_core::parser::{parse, ParseOptions};
 use cdg_grammar::grammars::paper;
@@ -104,7 +102,14 @@ fn ablation() {
         ("bounded-3", FilterMode::Bounded(3)),
         ("fixpoint", FilterMode::Fixpoint),
     ] {
-        let outcome = cdg_core::parse(&g, &s, ParseOptions { filter: mode, ..Default::default() });
+        let outcome = cdg_core::parse(
+            &g,
+            &s,
+            ParseOptions {
+                filter: mode,
+                ..Default::default()
+            },
+        );
         t.row(&[
             name.to_string(),
             outcome.network.total_alive().to_string(),
@@ -117,11 +122,17 @@ fn ablation() {
 
     // Decision 1: pipeline order.
     let mut t = TextTable::new(&["order", "unary checks", "entries zeroed", "total ops"]);
-    for (name, arcs_first) in [("unary-then-arcs (sequential §1.4)", false), ("arcs-then-unary (MasPar dd-1)", true)] {
+    for (name, arcs_first) in [
+        ("unary-then-arcs (sequential §1.4)", false),
+        ("arcs-then-unary (MasPar dd-1)", true),
+    ] {
         let outcome = cdg_core::parse(
             &g,
             &s,
-            ParseOptions { arcs_before_unary: arcs_first, ..Default::default() },
+            ParseOptions {
+                arcs_before_unary: arcs_first,
+                ..Default::default()
+            },
         );
         let st = outcome.network.stats;
         t.row(&[
@@ -140,7 +151,10 @@ fn ablation() {
     let mut t = TextTable::new(&["physical PEs", "virt factor", "est time (s)"]);
     for phys in [16_384usize, 4_096, 1_024, 256] {
         let opts = MasparOptions {
-            machine: maspar_sim::MachineConfig { phys_pes: phys, ..Default::default() },
+            machine: maspar_sim::MachineConfig {
+                phys_pes: phys,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = parse_maspar(&g2, &s2, &opts);
@@ -164,13 +178,24 @@ fn fig8() {
     let xs: Vec<f64> = lengths.iter().map(|&n| n as f64).collect();
 
     let mut table = TextTable::new(&[
-        "architecture", "paper PEs", "paper time", "measured quantity", "fit exp",
+        "architecture",
+        "paper PEs",
+        "paper time",
+        "measured quantity",
+        "fit exp",
         "PEs at n=12",
     ]);
 
     // Collect per-engine series.
     // (architecture, paper PEs, paper time, measured quantity, values, PEs at n=12)
-    type Series = (&'static str, &'static str, &'static str, &'static str, Vec<f64>, u64);
+    type Series = (
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        Vec<f64>,
+        u64,
+    );
     let mut series: Vec<Series> = Vec::new();
     {
         let mut serial_ops = Vec::new();
@@ -203,27 +228,61 @@ fn fig8() {
             cky_mesh_sweeps.push(mk.steps.unwrap() as f64);
             cky_mesh_pes.push(mk.processors.unwrap());
         }
-        series.push(("CFG sequential", "1", "O(k^3 n^3)", "CKY rule checks", cky_ops, 1));
         series.push((
-            "CFG wavefront (P-RAM rows)", "O(n^2)", "O(n) sweeps",
-            "parallel sweeps", cky_sweeps, 144,
+            "CFG sequential",
+            "1",
+            "O(k^3 n^3)",
+            "CKY rule checks",
+            cky_ops,
+            1,
         ));
         series.push((
-            "CFG 2D mesh/cellular automaton", "O(n^2)", "O(k n)",
-            "systolic sweeps", cky_mesh_sweeps, *cky_mesh_pes.last().unwrap(),
-        ));
-        series.push(("CDG sequential", "1", "O(k n^4)", "abstract ops", serial_ops, 1));
-        series.push((
-            "CDG CRCW P-RAM (rayon)", "O(n^4)", "O(k)",
-            "parallel steps", pram_steps, *pram_pes.last().unwrap(),
-        ));
-        series.push((
-            "CDG 2D mesh", "O(n^2)", "O(k + n^2)",
-            "mesh critical path", mesh_steps, *mesh_pes.last().unwrap(),
+            "CFG wavefront (P-RAM rows)",
+            "O(n^2)",
+            "O(n) sweeps",
+            "parallel sweeps",
+            cky_sweeps,
+            144,
         ));
         series.push((
-            "CDG MasPar MP-1 (tree/hypercube row)", "O(n^4)", "O(k + log n)",
-            "est MP-1 seconds", maspar_steps, *maspar_pes.last().unwrap(),
+            "CFG 2D mesh/cellular automaton",
+            "O(n^2)",
+            "O(k n)",
+            "systolic sweeps",
+            cky_mesh_sweeps,
+            *cky_mesh_pes.last().unwrap(),
+        ));
+        series.push((
+            "CDG sequential",
+            "1",
+            "O(k n^4)",
+            "abstract ops",
+            serial_ops,
+            1,
+        ));
+        series.push((
+            "CDG CRCW P-RAM (rayon)",
+            "O(n^4)",
+            "O(k)",
+            "parallel steps",
+            pram_steps,
+            *pram_pes.last().unwrap(),
+        ));
+        series.push((
+            "CDG 2D mesh",
+            "O(n^2)",
+            "O(k + n^2)",
+            "mesh critical path",
+            mesh_steps,
+            *mesh_pes.last().unwrap(),
+        ));
+        series.push((
+            "CDG MasPar MP-1 (tree/hypercube row)",
+            "O(n^4)",
+            "O(k + log n)",
+            "est MP-1 seconds",
+            maspar_steps,
+            *maspar_pes.last().unwrap(),
         ));
     }
 
@@ -252,8 +311,13 @@ fn timing() {
     let g = paper::grammar();
     let cost = CostModel::default();
     let mut table = TextTable::new(&[
-        "n", "virtual PEs", "virt factor", "est total (s)", "est / constraint (s)",
-        "scan passes", "paper",
+        "n",
+        "virtual PEs",
+        "virt factor",
+        "est total (s)",
+        "est / constraint (s)",
+        "scan passes",
+        "paper",
     ]);
     for n in 1..=14 {
         let s = paper::cost_sweep_sentence(&g, n);
@@ -287,8 +351,12 @@ fn speedup() {
     println!("   3 min per 7-word parse; MasPar ~1000x faster) ==\n");
     let (g, lex) = corpus::standard_setup();
     let mut table = TextTable::new(&[
-        "n", "serial wall (s)", "pram wall (s)", "maspar est (s)",
-        "serial ops", "pram steps",
+        "n",
+        "serial wall (s)",
+        "pram wall (s)",
+        "maspar est (s)",
+        "serial ops",
+        "pram steps",
     ]);
     for &n in &[4usize, 6, 8, 10, 12] {
         let s = corpus::english_sentence(&g, &lex, n, 7);

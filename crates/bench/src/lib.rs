@@ -7,9 +7,12 @@
 //! that return comparable measurements, a log–log exponent fit, and a
 //! plain-text table renderer.
 
+pub mod json;
+pub mod report;
 pub mod run;
 pub mod table;
 
+pub use report::{BenchReport, BenchRow};
 pub use run::Measurement;
 pub use table::TextTable;
 

@@ -191,6 +191,9 @@ mod tests {
         assert!(serial_cdg(&g, &s).ops.unwrap() > 0);
         assert!(pram_cdg(&g, &s).steps.unwrap() > 0);
         assert!(maspar_cdg(&g, &s).est_secs.unwrap() > 0.0);
-        assert_eq!(maspar_cdg(&g, &s).processors, Some(4 * 5usize.pow(4) as u64));
+        assert_eq!(
+            maspar_cdg(&g, &s).processors,
+            Some(4 * 5usize.pow(4) as u64)
+        );
     }
 }

@@ -8,7 +8,11 @@ fn run(arg: &str) -> String {
         .arg(arg)
         .output()
         .expect("tables binary runs");
-    assert!(out.status.success(), "tables {arg} failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "tables {arg} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 

@@ -50,13 +50,21 @@ impl BitVec {
 
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let word = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if value {

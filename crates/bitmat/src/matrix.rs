@@ -28,6 +28,28 @@ impl BitMatrix {
         }
     }
 
+    /// All-zero matrix reusing `buf`'s allocation (see [`BitMatrix::into_words`]).
+    /// The buffer is cleared and resized; its capacity is kept, so a
+    /// `zeros_from`/`into_words` cycle allocates only when the matrix grows
+    /// past every buffer it has recycled — the basis of the arc-matrix pool
+    /// used by batched parsing.
+    pub fn zeros_from(rows: usize, cols: usize, mut buf: Vec<u64>) -> Self {
+        let row_words = words_for(cols);
+        buf.clear();
+        buf.resize(rows * row_words, 0);
+        BitMatrix {
+            rows,
+            cols,
+            row_words,
+            words: buf,
+        }
+    }
+
+    /// Surrender the backing word buffer for reuse via [`BitMatrix::zeros_from`].
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
     /// All-one matrix (the initial state of every arc matrix: "nothing about
     /// one word's function prohibits another word's function").
     pub fn ones(rows: usize, cols: usize) -> Self {

@@ -20,7 +20,10 @@ use crate::network::Network;
 /// to match the P-RAM and MasPar formulations; cascades are handled by
 /// iterating the pass (see [`filter`]).
 pub fn maintain(net: &mut Network<'_>) -> usize {
-    assert!(net.arcs_ready(), "consistency maintenance needs arc matrices");
+    assert!(
+        net.arcs_ready(),
+        "consistency maintenance needs arc matrices"
+    );
     let mut doomed: Vec<(usize, usize)> = Vec::new();
     let mut support_checks = 0usize;
     let num = net.num_slots();
@@ -143,7 +146,10 @@ mod tests {
         apply_all_binary(&mut net);
         let (_, passes, fixpoint) = filter(&mut net, usize::MAX);
         assert!(fixpoint);
-        assert!(passes <= 10, "paper: typically fewer than 10 passes, got {passes}");
+        assert!(
+            passes <= 10,
+            "paper: typically fewer than 10 passes, got {passes}"
+        );
         assert_eq!(alive_strs(&net, 0, "governor"), vec!["DET-2"]);
         assert_eq!(alive_strs(&net, 0, "needs"), vec!["BLANK-nil"]);
         assert_eq!(alive_strs(&net, 1, "governor"), vec!["SUBJ-3"]);

@@ -74,12 +74,7 @@ pub fn network_dot(net: &Network<'_>) -> String {
         for idx in slot.alive.iter_ones() {
             if let Modifiee::Word(t) = slot.domain[idx].modifiee {
                 if seen.insert((slot.word, t)) {
-                    let _ = writeln!(
-                        out,
-                        "  w{} -> w{} [style=dashed];",
-                        slot.word + 1,
-                        t
-                    );
+                    let _ = writeln!(out, "  w{} -> w{} [style=dashed];", slot.word + 1, t);
                 }
             }
         }

@@ -72,7 +72,10 @@ impl fmt::Display for EngineError {
                 resource,
                 limit,
                 spent,
-            } => write!(f, "parse budget exceeded: {resource} limit {limit}, spent {spent}"),
+            } => write!(
+                f,
+                "parse budget exceeded: {resource} limit {limit}, spent {spent}"
+            ),
             EngineError::Inconsistent { phase, attempts } => write!(
                 f,
                 "inconsistent redundant execution in phase `{phase}` after {attempts} attempt(s)"
@@ -137,7 +140,11 @@ impl ParseBudget {
     }
 
     /// The error for an exceeded limit, with both sides rendered.
-    pub fn exceeded(resource: BudgetResource, limit: impl fmt::Display, spent: impl fmt::Display) -> EngineError {
+    pub fn exceeded(
+        resource: BudgetResource,
+        limit: impl fmt::Display,
+        spent: impl fmt::Display,
+    ) -> EngineError {
         EngineError::BudgetExceeded {
             resource,
             limit: limit.to_string(),

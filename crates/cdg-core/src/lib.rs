@@ -29,20 +29,24 @@
 //! counts every constraint check and matrix write so benchmarks can verify
 //! the n⁴ shape independently of wall-clock noise.
 
+pub mod batch;
 pub mod consistency;
 pub mod dot;
 pub mod error;
 pub mod extract;
 pub mod network;
 pub mod parser;
+pub mod pool;
 pub mod propagate;
 pub mod relax;
 pub mod snapshot;
 pub mod stats;
 
+pub use batch::{parse_batch, parse_batch_with_pool, BatchOutcome};
 pub use error::{BudgetResource, EngineError, ParseBudget};
 pub use extract::PrecedenceGraph;
 pub use network::{Network, SlotId};
-pub use parser::{parse, FilterMode, ParseOptions, ParseOutcome};
+pub use parser::{parse, parse_with_pool, FilterMode, ParseOptions, ParseOutcome};
+pub use pool::{ArcPool, PoolStats};
 pub use relax::{parse_relaxed, RelaxLadder, RelaxOutcome};
 pub use stats::NetStats;

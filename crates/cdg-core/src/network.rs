@@ -1,5 +1,6 @@
 //! The constraint network (CN): nodes, roles, role values, and arc matrices.
 
+use crate::pool::ArcPool;
 use crate::stats::NetStats;
 use bitmat::{BitMatrix, BitVec};
 use cdg_grammar::expr::Binding;
@@ -171,18 +172,24 @@ impl<'g> Network<'g> {
     /// differing category hypotheses for two roles of the same word (each
     /// word has one part of speech per reading).
     pub fn init_arcs(&mut self) {
+        self.init_arcs_with(&mut ArcPool::new());
+    }
+
+    /// [`Network::init_arcs`] drawing matrix storage from `pool` — the
+    /// batched-parsing path. Identical results; recycled buffers start
+    /// all-zero just like fresh ones.
+    pub fn init_arcs_with(&mut self, pool: &mut ArcPool) {
         assert!(!self.arcs_ready, "arcs already initialized");
         let num = self.num_slots();
         let mut arcs = Vec::with_capacity(num * (num - 1) / 2);
         for i in 0..num {
             for j in (i + 1)..num {
                 let (si, sj) = (&self.slots[i], &self.slots[j]);
-                let mut m = BitMatrix::zeros(si.domain.len(), sj.domain.len());
+                let mut m = pool.acquire(si.domain.len(), sj.domain.len());
                 self.stats.arc_entries_initialized += si.domain.len() * sj.domain.len();
                 for a in si.alive.iter_ones() {
                     for b in sj.alive.iter_ones() {
-                        let compatible = si.word != sj.word
-                            || si.domain[a].cat == sj.domain[b].cat;
+                        let compatible = si.word != sj.word || si.domain[a].cat == sj.domain[b].cat;
                         if compatible {
                             m.set(a, b, true);
                         }
@@ -287,7 +294,11 @@ impl<'g> Network<'g> {
                 if other == slot {
                     continue;
                 }
-                let (i, j) = if slot < other { (slot, other) } else { (other, slot) };
+                let (i, j) = if slot < other {
+                    (slot, other)
+                } else {
+                    (other, slot)
+                };
                 let a_idx = self.arc_index(i, j);
                 let m = &mut self.arcs[a_idx];
                 if slot < other {
@@ -309,6 +320,14 @@ impl<'g> Network<'g> {
         if self.slots[slot].alive.get(idx) {
             self.slots[slot].alive.set(idx, false);
             self.stats.removals += 1;
+        }
+    }
+
+    /// Dismantle the network, returning every arc matrix's backing buffer
+    /// to `pool` for the next sentence in a batch.
+    pub fn recycle(self, pool: &mut ArcPool) {
+        for m in self.arcs {
+            pool.release(m);
         }
     }
 

@@ -4,6 +4,7 @@ use crate::consistency::{filter, is_locally_consistent};
 use crate::error::{BudgetResource, EngineError, ParseBudget};
 use crate::extract::{has_parse, precedence_graphs, PrecedenceGraph};
 use crate::network::Network;
+use crate::pool::ArcPool;
 use crate::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
 use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
 use std::time::Instant;
@@ -124,6 +125,19 @@ pub fn parse<'g>(
     sentence: &Sentence,
     options: ParseOptions,
 ) -> ParseOutcome<'g> {
+    parse_with_pool(grammar, sentence, options, &mut ArcPool::new())
+}
+
+/// [`parse`] drawing arc-matrix storage from `pool` — the batched-parsing
+/// path ([`crate::batch::parse_batch`]). Results are byte-identical to the
+/// pool-less parse; only allocation traffic differs. Recycle the outcome's
+/// network back into the pool with [`Network::recycle`] when done with it.
+pub fn parse_with_pool<'g>(
+    grammar: &'g Grammar,
+    sentence: &Sentence,
+    options: ParseOptions,
+    pool: &mut ArcPool,
+) -> ParseOutcome<'g> {
     let start = Instant::now();
     let budget = options.budget;
     let mut degraded: Option<EngineError> = None;
@@ -147,14 +161,18 @@ pub fn parse<'g>(
     let arc_cells = predicted_arc_cells(&net);
     let build_arcs = match budget.max_arc_cells {
         Some(cap) if arc_cells > cap => {
-            degraded = Some(ParseBudget::exceeded(BudgetResource::ArcCells, cap, arc_cells));
+            degraded = Some(ParseBudget::exceeded(
+                BudgetResource::ArcCells,
+                cap,
+                arc_cells,
+            ));
             false
         }
         _ => true,
     };
 
     if build_arcs && options.arcs_before_unary {
-        net.init_arcs();
+        net.init_arcs_with(pool);
         apply_all_unary(&mut net);
     } else {
         apply_all_unary(&mut net);
@@ -162,7 +180,7 @@ pub fn parse<'g>(
             if let Some(e) = over_time(&start) {
                 degraded = Some(e);
             } else {
-                net.init_arcs();
+                net.init_arcs_with(pool);
             }
         }
     }
@@ -184,8 +202,11 @@ pub fn parse<'g>(
         if degraded.is_none() {
             if let Some(cap) = budget.max_filter_iterations {
                 if passes >= cap {
-                    degraded =
-                        Some(ParseBudget::exceeded(BudgetResource::FilterIterations, cap, passes + 1));
+                    degraded = Some(ParseBudget::exceeded(
+                        BudgetResource::FilterIterations,
+                        cap,
+                        passes + 1,
+                    ));
                     break;
                 }
             }
@@ -259,10 +280,7 @@ mod tests {
             },
         );
         assert_eq!(a.parses(100), b.parses(100));
-        assert_eq!(
-            a.network.total_alive(),
-            b.network.total_alive()
-        );
+        assert_eq!(a.network.total_alive(), b.network.total_alive());
     }
 
     #[test]
@@ -270,8 +288,22 @@ mod tests {
         let g = english::grammar();
         let lex = english::lexicon(&g);
         let s = lex.sentence("the big dog sees a cat in the park").unwrap();
-        let none = parse(&g, &s, ParseOptions { filter: FilterMode::None, ..Default::default() });
-        let bounded = parse(&g, &s, ParseOptions { filter: FilterMode::Bounded(2), ..Default::default() });
+        let none = parse(
+            &g,
+            &s,
+            ParseOptions {
+                filter: FilterMode::None,
+                ..Default::default()
+            },
+        );
+        let bounded = parse(
+            &g,
+            &s,
+            ParseOptions {
+                filter: FilterMode::Bounded(2),
+                ..Default::default()
+            },
+        );
         let full = parse(&g, &s, ParseOptions::default());
         // Filtering only ever shrinks alive sets, never changes the parses.
         assert!(none.network.total_alive() >= bounded.network.total_alive());
@@ -285,7 +317,7 @@ mod tests {
     fn ambiguity_detected_and_refined_by_extra_constraints() {
         // PP attachment: "the dog runs in the park" has two parses. A
         // contextual constraint pinning PP to the verb resolves it — the
-    // paper's §1.5 workflow.
+        // paper's §1.5 workflow.
         let g = english::grammar();
         let lex = english::lexicon(&g);
         let s = lex.sentence("the dog runs in the park").unwrap();

@@ -8,7 +8,11 @@ use cdg_grammar::{Arity, Constraint};
 /// removing violators. Returns the number of role values removed.
 /// O(n²) checks — the paper's per-unary-constraint cost.
 pub fn apply_unary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
-    assert_eq!(constraint.arity, Arity::Unary, "apply_unary needs a unary constraint");
+    assert_eq!(
+        constraint.arity,
+        Arity::Unary,
+        "apply_unary needs a unary constraint"
+    );
     let mut doomed: Vec<(usize, usize)> = Vec::new();
     let mut checks = 0usize;
     // Immutable pass first: collect violators, then remove (removal mutates
@@ -45,8 +49,15 @@ pub fn apply_all_unary(net: &mut Network<'_>) -> usize {
 /// entry on violation. Returns the number of entries zeroed. O(n⁴) checks —
 /// the paper's per-binary-constraint cost.
 pub fn apply_binary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
-    assert_eq!(constraint.arity, Arity::Binary, "apply_binary needs a binary constraint");
-    assert!(net.arcs_ready(), "init_arcs must run before binary propagation");
+    assert_eq!(
+        constraint.arity,
+        Arity::Binary,
+        "apply_binary needs a binary constraint"
+    );
+    assert!(
+        net.arcs_ready(),
+        "init_arcs must run before binary propagation"
+    );
     let mut zeroed: Vec<(usize, usize, usize, usize)> = Vec::new();
     let mut checks = 0usize;
     for (i, j, _) in net.arc_pairs() {
@@ -79,8 +90,15 @@ pub fn apply_binary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
 /// violation once `p`'s hypothesis is pinned by the paired value. On
 /// unambiguous sentences this never zeroes anything.
 pub fn apply_unary_pairwise(net: &mut Network<'_>, constraint: &Constraint) -> usize {
-    assert_eq!(constraint.arity, Arity::Unary, "apply_unary_pairwise needs a unary constraint");
-    assert!(net.arcs_ready(), "init_arcs must run before pairwise propagation");
+    assert_eq!(
+        constraint.arity,
+        Arity::Unary,
+        "apply_unary_pairwise needs a unary constraint"
+    );
+    assert!(
+        net.arcs_ready(),
+        "init_arcs must run before pairwise propagation"
+    );
     let mut zeroed: Vec<(usize, usize, usize, usize)> = Vec::new();
     let mut checks = 0usize;
     for (i, j, _) in net.arc_pairs() {

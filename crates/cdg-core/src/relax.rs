@@ -56,7 +56,11 @@ impl RelaxLadder {
     pub fn english_default() -> Self {
         RelaxLadder::new(vec![
             vec!["sing-noun-needs-det-left".into()],
-            vec!["det-needs-blank".into(), "adj-needs-blank".into(), "adv-needs-blank".into()],
+            vec![
+                "det-needs-blank".into(),
+                "adj-needs-blank".into(),
+                "adv-needs-blank".into(),
+            ],
             vec![
                 "subj-precedes-its-verb".into(),
                 "obj-follows-its-verb".into(),
@@ -130,8 +134,14 @@ mod tests {
         let g = english::grammar();
         let lex = english::lexicon(&g);
         let s = lex.sentence("the dog runs").unwrap();
-        let r = parse_relaxed(&g, &s, ParseOptions::default(), &RelaxLadder::english_default(), 8)
-            .expect("grammatical sentence must parse");
+        let r = parse_relaxed(
+            &g,
+            &s,
+            ParseOptions::default(),
+            &RelaxLadder::english_default(),
+            8,
+        )
+        .expect("grammatical sentence must parse");
         assert_eq!(r.rung, 0);
         assert!(r.dropped.is_empty());
         assert_eq!(r.parses.len(), 1);
@@ -166,10 +176,7 @@ mod tests {
 
     #[test]
     fn dropped_sets_are_cumulative_and_sorted() {
-        let ladder = RelaxLadder::new(vec![
-            vec!["b".into()],
-            vec!["a".into(), "b".into()],
-        ]);
+        let ladder = RelaxLadder::new(vec![vec!["b".into()], vec!["a".into(), "b".into()]]);
         assert_eq!(ladder.dropped_at(0), Vec::<String>::new());
         assert_eq!(ladder.dropped_at(1), vec!["b".to_string()]);
         assert_eq!(ladder.dropped_at(2), vec!["a".to_string(), "b".to_string()]);

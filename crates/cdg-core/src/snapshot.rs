@@ -62,12 +62,7 @@ pub fn render_arc(net: &Network<'_>, i: usize, j: usize) -> String {
         .iter()
         .map(|&b| role_value_str(net, sj.word as usize, sj.domain[b]))
         .collect();
-    let w = row_names
-        .iter()
-        .map(String::len)
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let w = row_names.iter().map(String::len).max().unwrap_or(1).max(1);
     let mut out = format!(
         "arc: word {} {} × word {} {}\n",
         si.word + 1,

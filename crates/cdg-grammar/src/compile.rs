@@ -145,7 +145,10 @@ fn compile_expr(scope: &SymbolScope<'_>, expr: &Sexpr) -> Result<CExpr, CompileE
                 }
                 "and" | "or" => {
                     if args.is_empty() {
-                        return Err(bad(format!("`{head_sym}` needs at least one argument"), *span));
+                        return Err(bad(
+                            format!("`{head_sym}` needs at least one argument"),
+                            *span,
+                        ));
                     }
                     let compiled = args
                         .iter()
@@ -238,7 +241,14 @@ mod tests {
     fn scope_data() -> (Vec<String>, Vec<String>, Vec<String>) {
         (
             vec!["det".into(), "noun".into(), "verb".into()],
-            vec!["SUBJ".into(), "ROOT".into(), "DET".into(), "NP".into(), "S".into(), "BLANK".into()],
+            vec![
+                "SUBJ".into(),
+                "ROOT".into(),
+                "DET".into(),
+                "NP".into(),
+                "S".into(),
+                "BLANK".into(),
+            ],
             vec!["governor".into(), "needs".into()],
         )
     }
@@ -294,7 +304,9 @@ mod tests {
     #[test]
     fn unknown_operator_rejected() {
         let err = compile("(xor (eq (lab x) DET) (eq (lab x) DET))").unwrap_err();
-        assert!(matches!(err, CompileError::BadForm { ref message, .. } if message.contains("xor")));
+        assert!(
+            matches!(err, CompileError::BadForm { ref message, .. } if message.contains("xor"))
+        );
     }
 
     #[test]
@@ -309,7 +321,9 @@ mod tests {
     #[test]
     fn bare_variable_rejected() {
         let err = compile("(eq x 3)").unwrap_err();
-        assert!(matches!(err, CompileError::BadForm { ref message, .. } if message.contains("access function")));
+        assert!(
+            matches!(err, CompileError::BadForm { ref message, .. } if message.contains("access function"))
+        );
     }
 
     #[test]
@@ -327,12 +341,17 @@ mod tests {
     #[test]
     fn y_only_rejected() {
         let err = compile("(eq (lab y) DET)").unwrap_err();
-        assert!(matches!(err, CompileError::BadVariables { ref message, .. } if message.contains("rename")));
+        assert!(
+            matches!(err, CompileError::BadVariables { ref message, .. } if message.contains("rename"))
+        );
     }
 
     #[test]
     fn parse_errors_propagate() {
-        assert!(matches!(compile("(eq (lab x) DET").unwrap_err(), CompileError::Parse(_)));
+        assert!(matches!(
+            compile("(eq (lab x) DET").unwrap_err(),
+            CompileError::Parse(_)
+        ));
     }
 
     #[test]

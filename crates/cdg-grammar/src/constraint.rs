@@ -39,8 +39,15 @@ impl Constraint {
     ///
     /// Must only be called on unary constraints (debug-asserted).
     pub fn check_unary(&self, sentence: &Sentence, x: Binding) -> bool {
-        debug_assert_eq!(self.arity, Arity::Unary, "check_unary on a binary constraint");
-        self.expr.eval(&EvalCtx::unary(sentence, x)).truth().not_false()
+        debug_assert_eq!(
+            self.arity,
+            Arity::Unary,
+            "check_unary on a binary constraint"
+        );
+        self.expr
+            .eval(&EvalCtx::unary(sentence, x))
+            .truth()
+            .not_false()
     }
 
     /// Check a unary constraint against `x` with a *witness* binding `y`:
@@ -48,8 +55,15 @@ impl Constraint {
     /// where `y`'s category hypothesis can turn an `Unknown` into a
     /// definite violation for the pair.
     pub fn check_unary_with_witness(&self, sentence: &Sentence, x: Binding, y: Binding) -> bool {
-        debug_assert_eq!(self.arity, Arity::Unary, "witness check on a binary constraint");
-        self.expr.eval(&EvalCtx::binary(sentence, x, y)).truth().not_false()
+        debug_assert_eq!(
+            self.arity,
+            Arity::Unary,
+            "witness check on a binary constraint"
+        );
+        self.expr
+            .eval(&EvalCtx::binary(sentence, x, y))
+            .truth()
+            .not_false()
     }
 
     /// Check a binary constraint against an *ordered* pair of role values.
@@ -57,8 +71,15 @@ impl Constraint {
     /// The parsing engines call this for both orderings of each pair, since
     /// the constraint's `x`/`y` are universally quantified over role values.
     pub fn check_binary(&self, sentence: &Sentence, x: Binding, y: Binding) -> bool {
-        debug_assert_eq!(self.arity, Arity::Binary, "check_binary on a unary constraint");
-        self.expr.eval(&EvalCtx::binary(sentence, x, y)).truth().not_false()
+        debug_assert_eq!(
+            self.arity,
+            Arity::Binary,
+            "check_binary on a unary constraint"
+        );
+        self.expr
+            .eval(&EvalCtx::binary(sentence, x, y))
+            .truth()
+            .not_false()
     }
 
     /// Check a binary constraint against an unordered pair: the pair
@@ -83,11 +104,8 @@ mod tests {
 
     fn setup() -> (crate::grammar::Grammar, Sentence) {
         let g = paper::grammar();
-        let s = sentence_from_cats(
-            &g,
-            &[("the", "det"), ("program", "noun"), ("runs", "verb")],
-        )
-        .unwrap();
+        let s = sentence_from_cats(&g, &[("the", "det"), ("program", "noun"), ("runs", "verb")])
+            .unwrap();
         (g, s)
     }
 

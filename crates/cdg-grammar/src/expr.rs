@@ -86,12 +86,20 @@ pub struct EvalCtx<'a> {
 impl<'a> EvalCtx<'a> {
     /// Context for a unary check.
     pub fn unary(sentence: &'a Sentence, x: Binding) -> Self {
-        EvalCtx { sentence, x, y: None }
+        EvalCtx {
+            sentence,
+            x,
+            y: None,
+        }
     }
 
     /// Context for a binary check.
     pub fn binary(sentence: &'a Sentence, x: Binding, y: Binding) -> Self {
-        EvalCtx { sentence, x, y: Some(y) }
+        EvalCtx {
+            sentence,
+            x,
+            y: Some(y),
+        }
     }
 
     fn binding(&self, var: Var) -> Option<Binding> {
@@ -240,15 +248,19 @@ mod tests {
 
     fn ctx_parts() -> (crate::grammar::Grammar, Sentence) {
         let g = paper::grammar();
-        let s = sentence_from_cats(
-            &g,
-            &[("the", "det"), ("program", "noun"), ("runs", "verb")],
-        )
-        .unwrap();
+        let s = sentence_from_cats(&g, &[("the", "det"), ("program", "noun"), ("runs", "verb")])
+            .unwrap();
         (g, s)
     }
 
-    fn bind(g: &crate::grammar::Grammar, pos: u16, role: &str, cat: &str, label: &str, m: Modifiee) -> Binding {
+    fn bind(
+        g: &crate::grammar::Grammar,
+        pos: u16,
+        role: &str,
+        cat: &str,
+        label: &str,
+        m: Modifiee,
+    ) -> Binding {
         Binding {
             pos,
             role: g.role_id(role).unwrap(),
@@ -330,8 +342,14 @@ mod tests {
         let noun = g.cat_id("noun").unwrap();
         let verb = g.cat_id("verb").unwrap();
         let s = Sentence::new(vec![
-            crate::sentence::SentenceWord { text: "run".into(), cats: vec![noun, verb] },
-            crate::sentence::SentenceWord { text: "fast".into(), cats: vec![verb] },
+            crate::sentence::SentenceWord {
+                text: "run".into(),
+                cats: vec![noun, verb],
+            },
+            crate::sentence::SentenceWord {
+                text: "fast".into(),
+                cats: vec![verb],
+            },
         ]);
         let x = Binding {
             pos: 2,
@@ -356,9 +374,8 @@ mod tests {
         let ctx = EvalCtx::unary(&s, x);
         let t = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(1)));
         let f = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(2)));
-        let case = |a: &CExpr, c: &CExpr| {
-            CExpr::If(Box::new(a.clone()), Box::new(c.clone())).eval(&ctx)
-        };
+        let case =
+            |a: &CExpr, c: &CExpr| CExpr::If(Box::new(a.clone()), Box::new(c.clone())).eval(&ctx);
         assert_eq!(case(&t, &t), Value::Bool(true));
         assert_eq!(case(&t, &f), Value::Bool(false)); // the only violating case
         assert_eq!(case(&f, &t), Value::Bool(true));
@@ -373,10 +390,22 @@ mod tests {
         let t = CExpr::Eq(Box::new(CExpr::ConstInt(1)), Box::new(CExpr::ConstInt(1)));
         let f = CExpr::Not(Box::new(t.clone()));
         assert_eq!(f.eval(&ctx), Value::Bool(false));
-        assert_eq!(CExpr::And(vec![t.clone(), t.clone()]).eval(&ctx), Value::Bool(true));
-        assert_eq!(CExpr::And(vec![t.clone(), f.clone()]).eval(&ctx), Value::Bool(false));
-        assert_eq!(CExpr::Or(vec![f.clone(), t.clone()]).eval(&ctx), Value::Bool(true));
-        assert_eq!(CExpr::Or(vec![f.clone(), f.clone()]).eval(&ctx), Value::Bool(false));
+        assert_eq!(
+            CExpr::And(vec![t.clone(), t.clone()]).eval(&ctx),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            CExpr::And(vec![t.clone(), f.clone()]).eval(&ctx),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            CExpr::Or(vec![f.clone(), t.clone()]).eval(&ctx),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            CExpr::Or(vec![f.clone(), f.clone()]).eval(&ctx),
+            Value::Bool(false)
+        );
         // Empty and/or: vacuous truth / falsity.
         assert_eq!(CExpr::And(vec![]).eval(&ctx), Value::Bool(true));
         assert_eq!(CExpr::Or(vec![]).eval(&ctx), Value::Bool(false));

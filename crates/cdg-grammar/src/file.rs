@@ -106,7 +106,9 @@ pub fn load_str(src: &str) -> Result<(Grammar, Lexicon), FileError> {
         return Err(malformed("file must start with (grammar <name> ...)"));
     }
     let name = symbol(
-        items.get(1).ok_or_else(|| malformed("missing grammar name"))?,
+        items
+            .get(1)
+            .ok_or_else(|| malformed("missing grammar name"))?,
         "the grammar name",
     )?;
     let mut builder = GrammarBuilder::new(&name);
@@ -139,7 +141,9 @@ pub fn load_str(src: &str) -> Result<(Grammar, Lexicon), FileError> {
             }
             "allow" => {
                 if args.len() != 2 {
-                    return Err(malformed("(allow <role> (<labels...>)) takes two arguments"));
+                    return Err(malformed(
+                        "(allow <role> (<labels...>)) takes two arguments",
+                    ));
                 }
                 let role = symbol(&args[0], "the allow role")?;
                 let labels = args[1]
@@ -216,7 +220,10 @@ pub fn save(grammar: &Grammar, lexicon: &Lexicon) -> Result<String, FileError> {
     {
         // Re-parse the stored source to normalize whitespace.
         let expr = sexpr::parse(&c.source).map_err(|e| {
-            malformed(format!("constraint `{}` has unparseable stored source: {e}", c.name))
+            malformed(format!(
+                "constraint `{}` has unparseable stored source: {e}",
+                c.name
+            ))
         })?;
         let _ = writeln!(out, "  (constraint {} {})", c.name, expr);
     }
@@ -282,9 +289,8 @@ mod tests {
         ];
         for (g, lex) in cases {
             let text = save(&g, &lex).expect("shipped grammars always render");
-            let (g2, lex2) = load_str(&text).unwrap_or_else(|e| {
-                panic!("round-trip of {} failed: {e}\n{text}", g.name())
-            });
+            let (g2, lex2) = load_str(&text)
+                .unwrap_or_else(|e| panic!("round-trip of {} failed: {e}\n{text}", g.name()));
             assert_equivalent(&g, &g2);
             assert_eq!(lex.len(), lex2.len());
         }
@@ -349,39 +355,62 @@ mod tests {
             ("(grammar g (categories (nested)))", "expected a symbol"),
             ("(grammar g (allow r))", "takes two arguments"),
             ("(grammar g (constraint only-name))", "takes two arguments"),
-            ("(grammar g (categories a) (labels L) (roles r) (lexicon (w)))", "needs (word cat...)"),
+            (
+                "(grammar g (categories a) (labels L) (roles r) (lexicon (w)))",
+                "needs (word cat...)",
+            ),
             // Truncated s-expressions at every nesting depth.
             ("(grammar g", "syntax error"),
             ("(grammar g (categories a) (labels L", "syntax error"),
-            ("(grammar g (constraint c (if (eq (lab x) L)", "syntax error"),
+            (
+                "(grammar g (constraint c (if (eq (lab x) L)",
+                "syntax error",
+            ),
             ("", "syntax error"),
             // Bad role tables.
-            ("(grammar g (categories a) (labels L) (roles r) (allow r ())
+            (
+                "(grammar g (categories a) (labels L) (roles r) (allow r ())
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "no allowed labels"),
-            ("(grammar g (categories a) (labels L) (roles r) (allow ghost (L))
+                "no allowed labels",
+            ),
+            (
+                "(grammar g (categories a) (labels L) (roles r) (allow ghost (L))
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "unknown role"),
-            ("(grammar g (categories a) (labels L) (roles r) (allow r (GHOST))
+                "unknown role",
+            ),
+            (
+                "(grammar g (categories a) (labels L) (roles r) (allow r (GHOST))
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "unknown label"),
-            ("(grammar g (categories a) (labels L) (roles r) (allow r L)
+                "unknown label",
+            ),
+            (
+                "(grammar g (categories a) (labels L) (roles r) (allow r L)
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "must be a label list"),
+                "must be a label list",
+            ),
             // Duplicate names, within and across namespaces.
-            ("(grammar g (categories a) (labels L L) (roles r)
+            (
+                "(grammar g (categories a) (labels L L) (roles r)
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "declared more than once"),
-            ("(grammar g (categories same) (labels same) (roles r)
+                "declared more than once",
+            ),
+            (
+                "(grammar g (categories same) (labels same) (roles r)
                (constraint c (if (eq (lab x) same) (eq (mod x) nil))))",
-             "declared more than once"),
-            ("(grammar g (categories a) (labels L) (roles r)
+                "declared more than once",
+            ),
+            (
+                "(grammar g (categories a) (labels L) (roles r)
                (constraint c (if (eq (lab x) L) (eq (mod x) nil)))
                (constraint c (if (eq (lab x) L) (eq (mod x) nil))))",
-             "declared more than once"),
+                "declared more than once",
+            ),
         ] {
             let err = load_str(src).unwrap_err().to_string();
-            assert!(err.contains(needle), "`{src}` → `{err}` (wanted `{needle}`)");
+            assert!(
+                err.contains(needle),
+                "`{src}` → `{err}` (wanted `{needle}`)"
+            );
         }
     }
 

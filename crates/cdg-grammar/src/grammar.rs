@@ -29,7 +29,10 @@ pub enum GrammarError {
     /// A grammar needs at least one category and at least one role.
     Empty(String),
     /// A constraint failed to compile.
-    Constraint { name: String, error: CompileError },
+    Constraint {
+        name: String,
+        error: CompileError,
+    },
     /// A duplicate constraint name.
     DuplicateConstraint(String),
 }
@@ -92,7 +95,10 @@ impl Grammar {
     }
 
     pub fn cat_id(&self, name: &str) -> Option<CatId> {
-        self.cats.iter().position(|s| s == name).map(|i| CatId(i as u16))
+        self.cats
+            .iter()
+            .position(|s| s == name)
+            .map(|i| CatId(i as u16))
     }
 
     pub fn label_id(&self, name: &str) -> Option<LabelId> {
@@ -188,12 +194,11 @@ impl Grammar {
         name: &str,
         src: &str,
     ) -> Result<Constraint, GrammarError> {
-        let (expr, arity) = compile_str(&self.scope(), src).map_err(|error| {
-            GrammarError::Constraint {
+        let (expr, arity) =
+            compile_str(&self.scope(), src).map_err(|error| GrammarError::Constraint {
                 name: name.to_string(),
                 error,
-            }
-        })?;
+            })?;
         Ok(Constraint {
             name: name.to_string(),
             arity,
@@ -210,10 +215,7 @@ impl fmt::Display for Grammar {
         writeln!(f, "  labels:     {}", self.labels.join(", "))?;
         writeln!(f, "  roles:      {}", self.roles.join(", "))?;
         for (r, labels) in self.allowed.iter().enumerate() {
-            let names: Vec<&str> = labels
-                .iter()
-                .map(|&l| self.label_name(l))
-                .collect();
+            let names: Vec<&str> = labels.iter().map(|&l| self.label_name(l)).collect();
             writeln!(f, "  T[{}] = {{{}}}", self.roles[r], names.join(", "))?;
         }
         writeln!(
@@ -302,8 +304,10 @@ impl GrammarBuilder {
 
     /// Table T entry: role `role` may carry exactly `labels`.
     pub fn allow(&mut self, role: &str, labels: &[&str]) -> &mut Self {
-        self.allow
-            .push((role.to_string(), labels.iter().map(|s| s.to_string()).collect()));
+        self.allow.push((
+            role.to_string(),
+            labels.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -382,12 +386,11 @@ impl GrammarBuilder {
             if !names.insert(name.clone()) {
                 return Err(GrammarError::DuplicateConstraint(name.clone()));
             }
-            let (expr, arity) = compile_str(&scope, src).map_err(|error| {
-                GrammarError::Constraint {
+            let (expr, arity) =
+                compile_str(&scope, src).map_err(|error| GrammarError::Constraint {
                     name: name.clone(),
                     error,
-                }
-            })?;
+                })?;
             let c = Constraint {
                 name: name.clone(),
                 arity,
@@ -444,7 +447,9 @@ mod tests {
     #[test]
     fn table_defaults_to_all_labels() {
         let mut b = GrammarBuilder::new("t");
-        b.categories(&["a"]).labels(&["L1", "L2"]).roles(&["r1", "r2"]);
+        b.categories(&["a"])
+            .labels(&["L1", "L2"])
+            .roles(&["r1", "r2"]);
         b.allow("r1", &["L1"]);
         let g = b.build().unwrap();
         assert_eq!(g.allowed_labels(RoleId(0)), &[LabelId(0)]);
@@ -465,7 +470,10 @@ mod tests {
     fn reserved_names_rejected() {
         let mut b = GrammarBuilder::new("t");
         b.category("word").label("L").role("r");
-        assert_eq!(b.build().unwrap_err(), GrammarError::ReservedName("word".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::ReservedName("word".into())
+        );
     }
 
     #[test]
@@ -480,10 +488,16 @@ mod tests {
     fn unknown_role_or_label_in_table_rejected() {
         let mut b = minimal();
         b.allow("needs", &["SUBJ"]);
-        assert_eq!(b.build().unwrap_err(), GrammarError::UnknownRole("needs".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::UnknownRole("needs".into())
+        );
         let mut b = minimal();
         b.allow("governor", &["NP"]);
-        assert_eq!(b.build().unwrap_err(), GrammarError::UnknownLabel("NP".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::UnknownLabel("NP".into())
+        );
     }
 
     #[test]
@@ -535,7 +549,9 @@ mod tests {
             .compile_extra_constraint("extra", "(if (eq (lab x) DET) (lt (pos x) 5))")
             .unwrap();
         assert_eq!(c.arity, Arity::Unary);
-        assert!(g.compile_extra_constraint("bad", "(eq (lab x) ZZZ)").is_err());
+        assert!(g
+            .compile_extra_constraint("bad", "(eq (lab x) ZZZ)")
+            .is_err());
     }
 
     #[test]

@@ -29,17 +29,19 @@ use crate::sentence::Lexicon;
 /// Build the English grammar.
 pub fn grammar() -> Grammar {
     let mut b = GrammarBuilder::new("english-single-clause");
-    b.categories(&["det", "nouns", "nounpl", "pron", "verb", "adj", "adv", "prep"])
-        .labels(&[
-            "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP", // governor
-            "NP", "S", "PNP", "BLANK", // needs
-        ])
-        .roles(&["governor", "needs"])
-        .allow(
-            "governor",
-            &["SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP"],
-        )
-        .allow("needs", &["NP", "S", "PNP", "BLANK"]);
+    b.categories(&[
+        "det", "nouns", "nounpl", "pron", "verb", "adj", "adv", "prep",
+    ])
+    .labels(&[
+        "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP", // governor
+        "NP", "S", "PNP", "BLANK", // needs
+    ])
+    .roles(&["governor", "needs"])
+    .allow(
+        "governor",
+        &["SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP"],
+    )
+    .allow("needs", &["NP", "S", "PNP", "BLANK"]);
 
     // --- Unary constraints: per-category role-value shapes ---
 

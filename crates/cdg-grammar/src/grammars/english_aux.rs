@@ -34,7 +34,7 @@ pub fn grammar() -> Grammar {
     .labels(&[
         "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "PP", "VCOMP", // governor
         "NP", "S", "PNP", "BLANK", // needs
-        "VC", // needs2 (plus BLANK, shared)
+        "VC",    // needs2 (plus BLANK, shared)
     ])
     .roles(&["governor", "needs", "needs2"])
     .allow(
@@ -243,7 +243,8 @@ pub fn grammar() -> Grammar {
         "(if (and (eq (lab x) ROOT) (eq (lab y) ROOT)) (eq (pos x) (pos y)))",
     );
 
-    b.build().expect("the extended English grammar is well-formed")
+    b.build()
+        .expect("the extended English grammar is well-formed")
 }
 
 /// Lexicon: the base-grammar vocabulary plus auxiliaries and base verb

@@ -304,7 +304,11 @@ pub fn www_grammar() -> Grammar {
 
 /// Build a sentence for a formal grammar from a symbol string, mapping each
 /// character via `char_cat`.
-fn symbols_to_sentence(grammar: &Grammar, s: &str, char_cat: impl Fn(char) -> &'static str) -> Sentence {
+fn symbols_to_sentence(
+    grammar: &Grammar,
+    s: &str,
+    char_cat: impl Fn(char) -> &'static str,
+) -> Sentence {
     let words = s
         .chars()
         .map(|c| {
@@ -352,7 +356,7 @@ pub fn ww_sentence(grammar: &Grammar, s: &str) -> Sentence {
 /// Direct predicate: is `s` of the form www with w nonempty?
 pub fn is_www(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || !n.is_multiple_of(3) {
+    if n == 0 || n % 3 != 0 {
         return false;
     }
     let third = n / 3;
@@ -364,7 +368,7 @@ pub fn is_www(s: &str) -> bool {
 /// Direct predicate: is `s` in {aⁿbⁿ : n ≥ 1}?
 pub fn is_anbn(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || !n.is_multiple_of(2) {
+    if n == 0 || n % 2 != 0 {
         return false;
     }
     let half = n / 2;
@@ -399,7 +403,7 @@ pub fn is_brackets(s: &str) -> bool {
 /// Direct predicate: is `s` of the form ww with w nonempty?
 pub fn is_ww(s: &str) -> bool {
     let n = s.len();
-    if n == 0 || !n.is_multiple_of(2) {
+    if n == 0 || n % 2 != 0 {
         return false;
     }
     let (u, v) = s.split_at(n / 2);
@@ -416,10 +420,7 @@ mod tests {
             assert_eq!(g.num_roles(), 2);
             assert!(g.num_constraints() >= 4);
             // The trivial needs role keeps the network shape standard.
-            assert_eq!(
-                g.allowed_labels(g.role_id("needs").unwrap()).len(),
-                1
-            );
+            assert_eq!(g.allowed_labels(g.role_id("needs").unwrap()).len(), 1);
         }
     }
 

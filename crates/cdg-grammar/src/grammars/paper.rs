@@ -184,7 +184,10 @@ mod tests {
         let governor = g.role_id("governor").unwrap();
         let needs = g.role_id("needs").unwrap();
         let names = |r: RoleId| -> Vec<&str> {
-            g.allowed_labels(r).iter().map(|&l| g.label_name(l)).collect()
+            g.allowed_labels(r)
+                .iter()
+                .map(|&l| g.label_name(l))
+                .collect()
         };
         assert_eq!(names(governor), vec!["SUBJ", "ROOT", "DET"]);
         assert_eq!(names(needs), vec!["NP", "S", "BLANK"]);
@@ -204,8 +207,14 @@ mod tests {
     #[test]
     fn constraint_arities() {
         let g = grammar();
-        assert!(g.unary_constraints().iter().all(|c| c.arity == Arity::Unary));
-        assert!(g.binary_constraints().iter().all(|c| c.arity == Arity::Binary));
+        assert!(g
+            .unary_constraints()
+            .iter()
+            .all(|c| c.arity == Arity::Unary));
+        assert!(g
+            .binary_constraints()
+            .iter()
+            .all(|c| c.arity == Arity::Binary));
     }
 
     #[test]

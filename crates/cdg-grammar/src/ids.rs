@@ -69,7 +69,11 @@ pub struct RoleValue {
 
 impl RoleValue {
     pub fn new(cat: CatId, label: LabelId, modifiee: Modifiee) -> Self {
-        RoleValue { cat, label, modifiee }
+        RoleValue {
+            cat,
+            label,
+            modifiee,
+        }
     }
 }
 

@@ -35,8 +35,8 @@
 
 pub mod compile;
 pub mod constraint;
-pub mod file;
 pub mod expr;
+pub mod file;
 pub mod grammar;
 pub mod grammars;
 pub mod ids;

@@ -69,7 +69,7 @@ pub fn simplify(e: &CExpr) -> CExpr {
             for item in items {
                 let s = simplify(item);
                 match known(&s) {
-                    Some(Truth::True) => continue,            // identity
+                    Some(Truth::True) => continue, // identity
                     Some(Truth::False) => return truth_node(Truth::False),
                     _ => match s {
                         CExpr::And(inner) => out.extend(inner), // flatten

@@ -224,7 +224,10 @@ mod tests {
     fn empty_sentence_errors() {
         let g = paper::grammar();
         let lex = paper::lexicon(&g);
-        assert_eq!(lex.sentence("...").unwrap_err(), LexiconError::EmptySentence);
+        assert_eq!(
+            lex.sentence("...").unwrap_err(),
+            LexiconError::EmptySentence
+        );
     }
 
     #[test]
@@ -249,7 +252,8 @@ mod tests {
     #[test]
     fn sentence_from_cats_builds() {
         let g = paper::grammar();
-        let s = sentence_from_cats(&g, &[("a", "det"), ("dog", "noun"), ("barks", "verb")]).unwrap();
+        let s =
+            sentence_from_cats(&g, &[("a", "det"), ("dog", "noun"), ("barks", "verb")]).unwrap();
         assert_eq!(s.len(), 3);
         assert!(!s.has_lexical_ambiguity());
         assert!(sentence_from_cats(&g, &[]).is_err());

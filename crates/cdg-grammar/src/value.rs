@@ -186,8 +186,14 @@ mod tests {
         assert_eq!(Value::Int(3).loose_eq(Value::Label(LabelId(3))), False);
         assert_eq!(Value::Nil.loose_eq(Value::Nil), True);
         assert_eq!(Value::Nil.loose_eq(Value::Int(0)), False);
-        assert_eq!(Value::Label(LabelId(2)).loose_eq(Value::Label(LabelId(2))), True);
-        assert_eq!(Value::Cat(CatId(2)).loose_eq(Value::Label(LabelId(2))), False);
+        assert_eq!(
+            Value::Label(LabelId(2)).loose_eq(Value::Label(LabelId(2))),
+            True
+        );
+        assert_eq!(
+            Value::Cat(CatId(2)).loose_eq(Value::Label(LabelId(2))),
+            False
+        );
         assert_eq!(Value::Unknown.loose_eq(Value::Cat(CatId(0))), Unknown);
         assert_eq!(Value::Cat(CatId(0)).loose_eq(Value::Unknown), Unknown);
     }

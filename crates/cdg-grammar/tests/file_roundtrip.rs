@@ -17,18 +17,16 @@ fn constraint_source(
         0 => format!(
             "(if (eq (cat (word (pos x))) {cat}) (and (eq (lab x) {label_a}) (eq (mod x) nil)))"
         ),
-        1 => format!(
-            "(if (and (eq (lab x) {label_a}) (eq (lab y) {label_b})) (lt (pos x) (pos y)))"
-        ),
-        2 => format!(
-            "(if (eq (role x) {role}) (or (eq (lab x) {label_a}) (eq (lab x) {label_b})))"
-        ),
-        3 => format!(
-            "(if (and (eq (lab x) {label_a}) (eq (mod x) (pos y))) (eq (mod y) (pos x)))"
-        ),
-        _ => format!(
-            "(if (not (eq (mod x) nil)) (and (gt (mod x) 0) (not (eq (lab x) {label_b}))))"
-        ),
+        1 => {
+            format!("(if (and (eq (lab x) {label_a}) (eq (lab y) {label_b})) (lt (pos x) (pos y)))")
+        }
+        2 => {
+            format!("(if (eq (role x) {role}) (or (eq (lab x) {label_a}) (eq (lab x) {label_b})))")
+        }
+        3 => format!("(if (and (eq (lab x) {label_a}) (eq (mod x) (pos y))) (eq (mod y) (pos x)))"),
+        _ => {
+            format!("(if (not (eq (mod x) nil)) (and (gt (mod x) 0) (not (eq (lab x) {label_b}))))")
+        }
     }
 }
 

@@ -92,10 +92,7 @@ mod tests {
     use cdg_core::parser::{parse, ParseOptions};
     use cdg_grammar::grammars::{english, paper};
 
-    fn settled<'g>(
-        g: &'g cdg_grammar::Grammar,
-        s: &cdg_grammar::Sentence,
-    ) -> Network<'g> {
+    fn settled<'g>(g: &'g cdg_grammar::Grammar, s: &cdg_grammar::Sentence) -> Network<'g> {
         parse(g, s, ParseOptions::default()).network
     }
 

@@ -23,10 +23,12 @@
 //! snapshot and applies them afterwards, so results are identical to the
 //! sequential engine (tested, including proptest equivalence).
 
+pub mod batch;
 pub mod extract_par;
 pub mod mesh;
 pub mod pram;
 
+pub use batch::parse_batch;
 pub use extract_par::precedence_graphs_par;
 pub use mesh::{MeshCdg, MeshStats};
 pub use pram::{parse_pram, PramOutcome, PramStats};

@@ -168,7 +168,10 @@ mod tests {
             .collect();
         // Doubling n quadruples the slot count's square-ish cell count.
         let ratio = cells[1] as f64 / cells[0] as f64;
-        assert!((3.0..5.0).contains(&ratio), "cells {cells:?}, ratio {ratio}");
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "cells {cells:?}, ratio {ratio}"
+        );
     }
 
     #[test]

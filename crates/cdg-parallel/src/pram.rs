@@ -94,14 +94,16 @@ fn remove_values_par(net: &mut Network<'_>, doomed: &[(usize, usize)], stats: &m
     if net.arcs_ready() {
         let pairs = net.arc_pairs();
         let (_slots, arcs, _sentence) = net.parts_mut();
-        arcs.par_iter_mut().zip(pairs.par_iter()).for_each(|(m, &(i, j, _))| {
-            for &idx in &by_slot[i] {
-                m.zero_row(idx);
-            }
-            for &idx in &by_slot[j] {
-                m.zero_col(idx);
-            }
-        });
+        arcs.par_iter_mut()
+            .zip(pairs.par_iter())
+            .for_each(|(m, &(i, j, _))| {
+                for &idx in &by_slot[i] {
+                    m.zero_row(idx);
+                }
+                for &idx in &by_slot[j] {
+                    m.zero_col(idx);
+                }
+            });
     }
     for (slot_id, idxs) in by_slot.iter().enumerate() {
         for &idx in idxs {
@@ -228,8 +230,7 @@ pub fn maintain_par(net: &mut Network<'_>, stats: &mut PramStats) -> usize {
                                 return false;
                             }
                             let (m, _) = netref.arc(i.min(j), i.max(j));
-                            let supported =
-                                if i < j { m.row_any(a) } else { m.col_any(a) };
+                            let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
                             !supported
                         })
                     })
@@ -331,12 +332,7 @@ mod tests {
         let serial = cdg_core::parse(grammar, sentence, options());
         let par = parse_pram(grammar, sentence, options());
         assert_eq!(serial.roles_nonempty, par.roles_nonempty);
-        for (a, b) in serial
-            .network
-            .slots()
-            .iter()
-            .zip(par.network.slots())
-        {
+        for (a, b) in serial.network.slots().iter().zip(par.network.slots()) {
             assert_eq!(a.alive, b.alive, "alive sets diverge");
         }
         assert_eq!(serial.parses(100), par.parses(100));

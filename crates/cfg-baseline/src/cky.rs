@@ -13,7 +13,11 @@ pub struct CkyStats {
 
 /// Triangular chart: `masks[len-1][i]` is the nonterminal mask spanning
 /// `i .. i+len`.
-pub(crate) fn build_chart(grammar: &CnfGrammar, tokens: &[usize], stats: &mut CkyStats) -> Vec<Vec<u64>> {
+pub(crate) fn build_chart(
+    grammar: &CnfGrammar,
+    tokens: &[usize],
+    stats: &mut CkyStats,
+) -> Vec<Vec<u64>> {
     let n = tokens.len();
     let mut chart: Vec<Vec<u64>> = Vec::with_capacity(n);
     chart.push(tokens.iter().map(|&t| grammar.lexical_mask(t)).collect());
@@ -138,7 +142,14 @@ pub fn cky_parse(grammar: &CnfGrammar, tokens: &[usize]) -> Option<ParseTree> {
     if chart[tokens.len() - 1][0] >> grammar.start().0 & 1 != 1 {
         return None;
     }
-    Some(extract(grammar, &chart, tokens, grammar.start(), 0, tokens.len()))
+    Some(extract(
+        grammar,
+        &chart,
+        tokens,
+        grammar.start(),
+        0,
+        tokens.len(),
+    ))
 }
 
 fn extract(

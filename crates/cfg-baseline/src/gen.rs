@@ -53,8 +53,17 @@ pub fn english_cfg() -> CnfGrammar {
         b.lex("Det", d);
     }
     for n in [
-        "dog", "cat", "park", "telescope", "man", "program", "parser",
-        "machine", "table", "sentence", "child",
+        "dog",
+        "cat",
+        "park",
+        "telescope",
+        "man",
+        "program",
+        "parser",
+        "machine",
+        "table",
+        "sentence",
+        "child",
     ] {
         b.lex("Nom", n);
     }
@@ -103,7 +112,8 @@ pub fn random_cnf<R: Rng>(rng: &mut R, nts: usize, rules: usize, terminals: usiz
     for t in 0..terminals {
         b.lex(&nt_name(rng.gen_range(0..nts)), &t_name(t));
     }
-    b.build().expect("random CNF is well-formed by construction")
+    b.build()
+        .expect("random CNF is well-formed by construction")
 }
 
 /// Sample a derivable sentence from the grammar by stochastic top-down
@@ -133,8 +143,8 @@ pub fn sample_sentence<R: Rng>(
             .filter(|e| matches!(e, Expansion::Pair(_, _)))
             .collect();
         // Bias toward terminals as the expansion deepens.
-        let use_terminal = !terminals.is_empty()
-            && (pairs.is_empty() || rng.gen_range(0..depth + 2) > 0);
+        let use_terminal =
+            !terminals.is_empty() && (pairs.is_empty() || rng.gen_range(0..depth + 2) > 0);
         let choice: &Expansion = if use_terminal {
             terminals[rng.gen_range(0..terminals.len())]
         } else if !pairs.is_empty() {
@@ -189,7 +199,11 @@ mod tests {
                     assert!(ok, "sampled string must be derivable ({})", g.name());
                 }
             }
-            assert!(found > 5, "sampler should succeed sometimes for {}", g.name());
+            assert!(
+                found > 5,
+                "sampler should succeed sometimes for {}",
+                g.name()
+            );
         }
     }
 

@@ -166,7 +166,12 @@ impl CnfGrammar {
     }
 
     pub fn num_rules(&self) -> usize {
-        self.binary.len() + self.lexical.iter().map(|m| m.count_ones() as usize).sum::<usize>()
+        self.binary.len()
+            + self
+                .lexical
+                .iter()
+                .map(|m| m.count_ones() as usize)
+                .sum::<usize>()
     }
 
     pub fn binary_rules(&self) -> &[(Nt, Nt, Nt)] {

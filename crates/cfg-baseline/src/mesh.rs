@@ -108,10 +108,7 @@ mod tests {
             let tokens: Vec<usize> = (0..len)
                 .map(|_| rng.gen_range(0..g.num_terminals()))
                 .collect();
-            assert_eq!(
-                cky_recognize(&g, &tokens).0,
-                mesh_recognize(&g, &tokens).0
-            );
+            assert_eq!(cky_recognize(&g, &tokens).0, mesh_recognize(&g, &tokens).0);
         }
     }
 
@@ -126,7 +123,10 @@ mod tests {
             mesh_recognize(&g, &toks).1.sweeps as f64
         };
         let ratio = sweeps(12) / sweeps(6);
-        assert!((1.5..3.0).contains(&ratio), "sweeps should be Θ(n): {ratio}");
+        assert!(
+            (1.5..3.0).contains(&ratio),
+            "sweeps should be Θ(n): {ratio}"
+        );
     }
 
     #[test]

@@ -32,7 +32,19 @@ struct Pools {
 fn pools() -> Pools {
     Pools {
         det: vec!["the", "a", "this", "every"],
-        nouns: vec!["dog", "cat", "program", "parser", "machine", "park", "telescope", "table", "sentence", "man", "child"],
+        nouns: vec![
+            "dog",
+            "cat",
+            "program",
+            "parser",
+            "machine",
+            "park",
+            "telescope",
+            "table",
+            "sentence",
+            "man",
+            "child",
+        ],
         verb: vec!["sees", "likes", "finds", "watches"],
         adj: vec!["big", "red", "old", "fast", "small"],
         adv: vec!["quickly", "often", "slowly"],
@@ -47,7 +59,10 @@ fn pools() -> Pools {
 /// — adjectives and PP adjuncts are added until the length is exact, so
 /// any n ≥ 3 is reachable.
 pub fn english_sentence(_grammar: &Grammar, lexicon: &Lexicon, n: usize, seed: u64) -> Sentence {
-    assert!(n >= 3, "an English sentence needs det noun verb (n >= 3), got {n}");
+    assert!(
+        n >= 3,
+        "an English sentence needs det noun verb (n >= 3), got {n}"
+    );
     let p = pools();
     let mut rng = SmallRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let pick = |rng: &mut SmallRng, v: &[&'static str]| v[rng.gen_range(0..v.len())];
@@ -260,10 +275,7 @@ mod tests {
             for seed in 0..3 {
                 let s = english_sentence(&g, &lex, n, seed);
                 let outcome = parse(&g, &s, ParseOptions::default());
-                assert!(
-                    outcome.accepted(),
-                    "n={n} seed={seed}: `{s}` should parse"
-                );
+                assert!(outcome.accepted(), "n={n} seed={seed}: `{s}` should parse");
             }
         }
     }

@@ -136,7 +136,8 @@ impl FaultPlan {
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
             let int = |v: &str| -> Result<u64, String> {
-                v.parse::<u64>().map_err(|_| format!("`{v}` in fault spec `{part}` is not an integer"))
+                v.parse::<u64>()
+                    .map_err(|_| format!("`{v}` in fault spec `{part}` is not an integer"))
             };
             let in_range = |pe: usize| -> Result<usize, String> {
                 if pe < phys_pes {
@@ -157,8 +158,11 @@ impl FaultPlan {
                     if fields.len() != 3 {
                         return Err(format!("`{key}` wants op:phys:value, got `{value}`"));
                     }
-                    let (op, phys, v) =
-                        (int(fields[0])?, in_range(int(fields[1])? as usize)?, int(fields[2])?);
+                    let (op, phys, v) = (
+                        int(fields[0])?,
+                        in_range(int(fields[1])? as usize)?,
+                        int(fields[2])?,
+                    );
                     plan = if key == "router" {
                         plan.with_router_corrupt(op, phys, v)
                     } else {
@@ -312,7 +316,10 @@ mod tests {
         assert_eq!(plan.len(), 3);
         assert!(plan.is_dead(7));
         assert!(!plan.is_dead(3));
-        assert_eq!(plan.router_faults_at(10).collect::<Vec<_>>(), vec![(3, 0xFF)]);
+        assert_eq!(
+            plan.router_faults_at(10).collect::<Vec<_>>(),
+            vec![(3, 0xFF)]
+        );
         assert_eq!(plan.router_faults_at(9).count(), 0);
         assert_eq!(plan.memory_faults_at(11).collect::<Vec<_>>(), vec![(4, 5)]);
     }
@@ -329,7 +336,10 @@ mod tests {
         );
         let plan = FaultPlan::parse_spec("dead=3,router=120:5:255,flip=80:3:17", 64, 100).unwrap();
         assert!(plan.is_dead(3));
-        assert_eq!(plan.router_faults_at(120).collect::<Vec<_>>(), vec![(5, 255)]);
+        assert_eq!(
+            plan.router_faults_at(120).collect::<Vec<_>>(),
+            vec![(5, 255)]
+        );
         assert_eq!(plan.memory_faults_at(80).collect::<Vec<_>>(), vec![(3, 17)]);
         assert!(FaultPlan::parse_spec("bogus", 64, 100).is_err());
         assert!(FaultPlan::parse_spec("router=1:2", 64, 100).is_err());

@@ -62,5 +62,5 @@ pub use fault::{Fault, FaultPlan, FaultWord};
 pub use machine::{Machine, MachineConfig, TraceEntry};
 pub use plural::Plural;
 pub use scan::SegmentMap;
-pub use xnet::Edge;
 pub use stats::{CostModel, MachineStats};
+pub use xnet::Edge;

@@ -265,7 +265,10 @@ impl Machine {
     /// count; returns 0 — and changes nothing — if retiring would leave no
     /// healthy PE. The remap itself is charged as one routed copy.
     pub fn retire_pes(&mut self, pes: &[usize]) -> usize {
-        assert!(self.faults.is_some(), "retire_pes requires an armed fault plan");
+        assert!(
+            self.faults.is_some(),
+            "retire_pes requires an armed fault plan"
+        );
         let mut retired = self.retired.clone();
         for &p in pes {
             if p < retired.len() {
@@ -294,7 +297,8 @@ impl Machine {
     /// the probe itself at worst yields a false positive, and retiring a
     /// healthy PE is conservative, never incorrect.
     pub fn probe_pes(&mut self, nonce: u64) -> Vec<usize> {
-        let expected = move |pe: usize| (nonce ^ (pe as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let expected =
+            move |pe: usize| (nonce ^ (pe as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
         let mut scratch = self.alloc(0u64);
         self.par_map(&mut scratch, move |pe, w| *w = expected(pe));
         let values = scratch.as_slice().to_vec();
@@ -387,7 +391,11 @@ impl Machine {
     /// The lowest virtual PE currently mapped onto physical PE `phys`.
     fn lowest_virt_on(&self, phys: usize) -> Option<usize> {
         let idx = if self.healthy.is_empty() {
-            if phys < self.config.phys_pes { phys } else { return None }
+            if phys < self.config.phys_pes {
+                phys
+            } else {
+                return None;
+            }
         } else {
             self.healthy.iter().position(|&h| h == phys)?
         };
@@ -434,7 +442,11 @@ impl Machine {
 
     /// One broadcast instruction: every active PE updates its slot of `p`
     /// from its PE id. Runs data-parallel on the host.
-    pub fn par_map<T: Send + FaultWord>(&mut self, p: &mut Plural<T>, f: impl Fn(usize, &mut T) + Sync) {
+    pub fn par_map<T: Send + FaultWord>(
+        &mut self,
+        p: &mut Plural<T>,
+        f: impl Fn(usize, &mut T) + Sync,
+    ) {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         let op = self.charge_plural_op();
         self.count_dead_skips();
@@ -1009,7 +1021,7 @@ mod tests {
         let before = m.stats.scan_passes;
         let _ = m.scan_or(&p, &segs);
         assert_eq!(m.stats.scan_passes - before, 4); // log2(16 PEs in use)
-        // A program spanning the whole array pays log2(16384) per scan.
+                                                     // A program spanning the whole array pays log2(16384) per scan.
         let mut full = Machine::mp1(16_384);
         let pf = full.alloc(false);
         let sf = SegmentMap::global(16_384);

@@ -18,7 +18,10 @@ pub struct SegmentMap {
 impl SegmentMap {
     /// Build from explicit segment lengths (must all be nonzero).
     pub fn from_lengths(lengths: &[usize]) -> Self {
-        assert!(!lengths.is_empty(), "a segment map needs at least one segment");
+        assert!(
+            !lengths.is_empty(),
+            "a segment map needs at least one segment"
+        );
         let mut starts = Vec::with_capacity(lengths.len());
         let mut at = 0;
         for &l in lengths {
@@ -31,7 +34,10 @@ impl SegmentMap {
 
     /// Uniform segments of `seg_len` covering `total` PEs exactly.
     pub fn uniform(total: usize, seg_len: usize) -> Self {
-        assert!(seg_len > 0 && total.is_multiple_of(seg_len), "uniform segments must tile exactly: {total} / {seg_len}");
+        assert!(
+            seg_len > 0 && total % seg_len == 0,
+            "uniform segments must tile exactly: {total} / {seg_len}"
+        );
         SegmentMap {
             starts: (0..total / seg_len).map(|s| s * seg_len).collect(),
             len: total,
@@ -67,17 +73,17 @@ impl SegmentMap {
 
     /// Half-open PE range of segment `s`.
     pub fn range_of(&self, s: usize) -> std::ops::Range<usize> {
-        let end = self
-            .starts
-            .get(s + 1)
-            .copied()
-            .unwrap_or(self.len);
+        let end = self.starts.get(s + 1).copied().unwrap_or(self.len);
         self.starts[s]..end
     }
 
     /// The segment containing `pe` (binary search).
     pub fn segment_of(&self, pe: usize) -> usize {
-        assert!(pe < self.len, "PE {pe} outside segment map of {} PEs", self.len);
+        assert!(
+            pe < self.len,
+            "PE {pe} outside segment map of {} PEs",
+            self.len
+        );
         match self.starts.binary_search(&pe) {
             Ok(s) => s,
             Err(next) => next - 1,

@@ -142,7 +142,10 @@ mod tests {
             peak_pe_memory_bytes: 0,
             ..Default::default()
         };
-        assert_eq!(stats.cycles(&cost), 6.0 * 10.0 + 4.0 * 5.0 + 2.0 * 20.0 + 7.0);
+        assert_eq!(
+            stats.cycles(&cost),
+            6.0 * 10.0 + 4.0 * 5.0 + 2.0 * 20.0 + 7.0
+        );
         assert!((stats.estimated_seconds(&cost) - 127.0 / 1e6).abs() < 1e-12);
     }
 

@@ -148,9 +148,7 @@ impl MasparOutcome {
     /// at least one role value.
     pub fn roles_nonempty(&self) -> bool {
         let lay = &self.layout;
-        (0..lay.n * lay.q).all(|slot| {
-            (0..lay.m).any(|m_idx| self.alive[slot * lay.m + m_idx] != 0)
-        })
+        (0..lay.n * lay.q).all(|slot| (0..lay.m).any(|m_idx| self.alive[slot * lay.m + m_idx] != 0))
     }
 
     /// Submatrix entry readback: may role values (cg, ci) and (rg, rj)
@@ -219,12 +217,7 @@ impl MasparOutcome {
                             let rg = lay.group(wj, rj, mj);
                             for lj in 0..lay.labels_of_role(rj) {
                                 if self.is_alive(rg, lj) && !self.entry(cg, li, rg, lj) {
-                                    net.zero_arc_entry(
-                                        si,
-                                        li * lay.m + mi,
-                                        sj,
-                                        lj * lay.m + mj,
-                                    );
+                                    net.zero_arc_entry(si, li * lay.m + mi, sj, lj * lay.m + mj);
                                 }
                             }
                         }
@@ -251,11 +244,7 @@ impl MasparOutcome {
 /// // Estimated MP-1 time lands on the paper's ~0.15 s.
 /// assert!((0.08..0.25).contains(&out.estimated_seconds));
 /// ```
-pub fn parse_maspar(
-    grammar: &Grammar,
-    sentence: &Sentence,
-    opts: &MasparOptions,
-) -> MasparOutcome {
+pub fn parse_maspar(grammar: &Grammar, sentence: &Sentence, opts: &MasparOptions) -> MasparOutcome {
     assert!(
         opts.faults.is_none(),
         "parse_maspar cannot recover from injected faults; call parse_maspar_checked"
@@ -351,13 +340,14 @@ pub fn parse_maspar_checked(
 
     let mut phases: Vec<PhaseStats> = Vec::new();
     let mut mark = machine.stats;
-    let phase = |machine: &Machine, phases: &mut Vec<PhaseStats>, mark: &mut MachineStats, name: String| {
-        phases.push(PhaseStats {
-            name,
-            stats: machine.stats.delta_since(mark),
-        });
-        *mark = machine.stats;
-    };
+    let phase =
+        |machine: &Machine, phases: &mut Vec<PhaseStats>, mark: &mut MachineStats, name: String| {
+            phases.push(PhaseStats {
+                name,
+                stats: machine.stats.delta_since(mark),
+            });
+            *mark = machine.stats;
+        };
 
     // --- Init: every plural is a pure function of the PE id, so the host
     // verifies it directly against expected values (no double execution
@@ -375,7 +365,9 @@ pub fn parse_maspar_checked(
         "valid",
         retries,
         &mut recovery,
-        &(0..n_virt).map(|pe| !lay.is_diagonal(pe)).collect::<Vec<_>>(),
+        &(0..n_virt)
+            .map(|pe| !lay.is_diagonal(pe))
+            .collect::<Vec<_>>(),
     )?;
     let block_boundary: Plural<bool> = init_exact(
         &mut machine,
@@ -388,10 +380,20 @@ pub fn parse_maspar_checked(
     )?;
 
     // Design decision 1: arc matrices first, all ones (Figure 9).
-    let mut bits: Plural<u64> =
-        init_exact(&mut machine, "bits", retries, &mut recovery, &expect(&|pe| lay.init_bits(pe)))?;
-    let mut alive: Plural<u64> =
-        init_exact(&mut machine, "alive", retries, &mut recovery, &expect(&|pe| lay.init_alive(pe)))?;
+    let mut bits: Plural<u64> = init_exact(
+        &mut machine,
+        "bits",
+        retries,
+        &mut recovery,
+        &expect(&|pe| lay.init_bits(pe)),
+    )?;
+    let mut alive: Plural<u64> = init_exact(
+        &mut machine,
+        "alive",
+        retries,
+        &mut recovery,
+        &expect(&|pe| lay.init_alive(pe)),
+    )?;
 
     // Router index plurals for the alive-mask gathers (phase D).
     let col_boundary_idx: Plural<usize> = init_exact(
@@ -399,14 +401,18 @@ pub fn parse_maspar_checked(
         "col-idx",
         retries,
         &mut recovery,
-        &(0..n_virt).map(|pe| lay.decode_pe(pe).0 * lay.groups).collect::<Vec<_>>(),
+        &(0..n_virt)
+            .map(|pe| lay.decode_pe(pe).0 * lay.groups)
+            .collect::<Vec<_>>(),
     )?;
     let row_boundary_idx: Plural<usize> = init_exact(
         &mut machine,
         "row-idx",
         retries,
         &mut recovery,
-        &(0..n_virt).map(|pe| lay.decode_pe(pe).1 * lay.groups).collect::<Vec<_>>(),
+        &(0..n_virt)
+            .map(|pe| lay.decode_pe(pe).1 * lay.groups)
+            .collect::<Vec<_>>(),
     )?;
     phase(&machine, &mut phases, &mut mark, "init".into());
 
@@ -429,7 +435,12 @@ pub fn parse_maspar_checked(
                 0
             },
         )?;
-        phase(&machine, &mut phases, &mut mark, format!("unary:{}", c.name));
+        phase(
+            &machine,
+            &mut phases,
+            &mut mark,
+            format!("unary:{}", c.name),
+        );
         degraded = over_time(&machine);
     }
     // Immediately zero rows/cols of values the unary pass killed, so the
@@ -443,7 +454,15 @@ pub fn parse_maspar_checked(
             &mut bits,
             &mut alive,
             |m, bits, alive| {
-                mask_dead(m, &lay, &valid, bits, alive, &col_boundary_idx, &row_boundary_idx);
+                mask_dead(
+                    m,
+                    &lay,
+                    &valid,
+                    bits,
+                    alive,
+                    &col_boundary_idx,
+                    &row_boundary_idx,
+                );
                 0
             },
         )?;
@@ -467,7 +486,12 @@ pub fn parse_maspar_checked(
                 0
             },
         )?;
-        phase(&machine, &mut phases, &mut mark, format!("binary:{}", c.name));
+        phase(
+            &machine,
+            &mut phases,
+            &mut mark,
+            format!("binary:{}", c.name),
+        );
         degraded = over_time(&machine);
     }
 
@@ -500,11 +524,25 @@ pub fn parse_maspar_checked(
             &mut bits,
             &mut alive,
             |m, bits, alive| {
-                maintain(m, &lay, &valid, &block_boundary, bits, alive, &col_boundary_idx, &row_boundary_idx)
+                maintain(
+                    m,
+                    &lay,
+                    &valid,
+                    &block_boundary,
+                    bits,
+                    alive,
+                    &col_boundary_idx,
+                    &row_boundary_idx,
+                )
             },
         )?;
         removals_per_iteration.push(removed);
-        phase(&machine, &mut phases, &mut mark, format!("maintain:{iterations}"));
+        phase(
+            &machine,
+            &mut phases,
+            &mut mark,
+            format!("maintain:{iterations}"),
+        );
         if opts.early_exit && removed == 0 {
             break;
         }
@@ -514,7 +552,11 @@ pub fn parse_maspar_checked(
     let estimated_seconds = machine.estimated_seconds();
     let trace = machine.trace().to_vec();
     Ok(MasparOutcome {
-        alive: alive.as_slice()[..].iter().step_by(lay.groups).copied().collect(),
+        alive: alive.as_slice()[..]
+            .iter()
+            .step_by(lay.groups)
+            .copied()
+            .collect(),
         bits: bits.as_slice().to_vec(),
         stats: machine.stats,
         estimated_seconds,
@@ -679,13 +721,17 @@ fn apply_binary(
             }
             let (cg, rg) = lay.decode_pe(pe);
             for i in 0..lay.l {
-                let Some(bx) = lay.binding(cg, i) else { continue };
+                let Some(bx) = lay.binding(cg, i) else {
+                    continue;
+                };
                 for j in 0..lay.l {
                     let mask = 1u64 << lay.bit(i, j);
                     if *b & mask == 0 {
                         continue;
                     }
-                    let Some(by) = lay.binding(rg, j) else { continue };
+                    let Some(by) = lay.binding(rg, j) else {
+                        continue;
+                    };
                     if !c.check_pair(sentence, bx, by) {
                         *b &= !mask;
                     }
@@ -782,7 +828,8 @@ fn maintain(
         // Phase C: scanAnd across the block-boundary PEs of each column
         // (self-arc blocks are invalid, hence skipped — the figure's
         // "disabled only during the scanAnd").
-        let col_support = machine.with_activity(block_boundary, |m| m.scan_and(&block_or, &columns));
+        let col_support =
+            machine.with_activity(block_boundary, |m| m.scan_and(&block_or, &columns));
         machine.free(block_or);
         // Phase D (accumulate): boundary PEs record the supported bit.
         machine.par_zip(&mut support, &col_support, move |pe, s, &ok| {
@@ -839,13 +886,17 @@ mod tests {
         let governor = 0usize;
         let needs = 1usize;
         // the/governor: only DET-2 alive.
-        let det = lay.label_index(governor, g.label_id("DET").unwrap()).unwrap();
+        let det = lay
+            .label_index(governor, g.label_id("DET").unwrap())
+            .unwrap();
         let m2 = lay.modifiee_index(0, Modifiee::Word(2));
         assert!(out.is_alive(lay.group(0, governor, m2), det));
         let m3 = lay.modifiee_index(0, Modifiee::Word(3));
         assert!(!out.is_alive(lay.group(0, governor, m3), det));
         // program/governor: only SUBJ-3.
-        let subj = lay.label_index(governor, g.label_id("SUBJ").unwrap()).unwrap();
+        let subj = lay
+            .label_index(governor, g.label_id("SUBJ").unwrap())
+            .unwrap();
         let pm3 = lay.modifiee_index(1, Modifiee::Word(3));
         assert!(out.is_alive(lay.group(1, governor, pm3), subj));
         let pm1 = lay.modifiee_index(1, Modifiee::Word(1));
@@ -955,8 +1006,16 @@ mod tests {
     fn phase_attribution_covers_all_constraints() {
         let (g, s) = example();
         let out = parse_maspar(&g, &s, &MasparOptions::default());
-        let unary = out.phases.iter().filter(|p| p.name.starts_with("unary:") && !p.name.ends_with(":mask")).count();
-        let binary = out.phases.iter().filter(|p| p.name.starts_with("binary:")).count();
+        let unary = out
+            .phases
+            .iter()
+            .filter(|p| p.name.starts_with("unary:") && !p.name.ends_with(":mask"))
+            .count();
+        let binary = out
+            .phases
+            .iter()
+            .filter(|p| p.name.starts_with("binary:"))
+            .count();
         assert_eq!(unary, 6);
         assert_eq!(binary, 4);
         assert!(out.estimated_seconds > 0.0);
@@ -986,7 +1045,10 @@ mod tests {
         let checked = parse_maspar_checked(&g, &s, &MasparOptions::default()).unwrap();
         assert_eq!(plain.bits, checked.bits);
         assert_eq!(plain.alive, checked.alive);
-        assert_eq!(plain.stats, checked.stats, "checked path must cost nothing extra");
+        assert_eq!(
+            plain.stats, checked.stats,
+            "checked path must cost nothing extra"
+        );
         assert!(checked.degraded.is_none());
         assert!(!checked.recovery.intervened());
     }
@@ -1009,8 +1071,14 @@ mod tests {
         };
         let out = parse_maspar_checked(&g, &s, &opts).expect("dead PEs must be recoverable");
         assert_eq!(out.recovery.retired_pes, vec![3, 40]);
-        assert!(out.recovery.probes >= 2, "a clean probe must confirm retirement");
-        assert_eq!(out.alive, clean.alive, "recovered parse must be bit-identical");
+        assert!(
+            out.recovery.probes >= 2,
+            "a clean probe must confirm retirement"
+        );
+        assert_eq!(
+            out.alive, clean.alive,
+            "recovered parse must be bit-identical"
+        );
         assert_eq!(out.bits, clean.bits);
         assert!(out.roles_nonempty());
     }
@@ -1039,7 +1107,10 @@ mod tests {
             ..Default::default()
         };
         let out = parse_maspar_checked(&g, &s, &opts).expect("transients must be recoverable");
-        assert_eq!(out.alive, clean.alive, "recovered parse must be bit-identical");
+        assert_eq!(
+            out.alive, clean.alive,
+            "recovered parse must be bit-identical"
+        );
         assert_eq!(out.bits, clean.bits);
         assert!(out.degraded.is_none());
     }

@@ -192,7 +192,7 @@ impl Layout {
     /// Initial alive mask for the group whose column starts at this PE
     /// (all valid labels), or 0 for non-boundary PEs.
     pub fn init_alive(&self, pe: usize) -> u64 {
-        if !pe.is_multiple_of(self.groups) {
+        if pe % self.groups != 0 {
             return 0;
         }
         let g = pe / self.groups;
@@ -253,7 +253,10 @@ mod tests {
         // PEs 0, 1, 2: column group 0 (the/governor/nil) against row
         // groups 0–2 (the/governor/*) — the self-arc diagonal.
         for pe in 0..3 {
-            assert!(lay.is_diagonal(pe), "PE {pe} is the figure's disabled diagonal");
+            assert!(
+                lay.is_diagonal(pe),
+                "PE {pe} is the figure's disabled diagonal"
+            );
         }
         // PE 3 connects the/governor to the/needs — a real arc.
         assert!(!lay.is_diagonal(3));

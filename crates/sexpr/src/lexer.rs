@@ -73,9 +73,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())
         };
         if looks_numeric {
-            let value: i64 = text
-                .parse()
-                .map_err(|_| ParseError::new(format!("integer literal `{text}` out of range"), span))?;
+            let value: i64 = text.parse().map_err(|_| {
+                ParseError::new(format!("integer literal `{text}` out of range"), span)
+            })?;
             tokens.push(Token {
                 kind: TokenKind::Int(value),
                 span,

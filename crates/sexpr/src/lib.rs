@@ -166,7 +166,9 @@ impl ParseError {
             .unwrap_or(src.len());
         let line = &src[line_start..line_end];
         let col = self.span.start.saturating_sub(line_start);
-        let width = (self.span.end.min(line_end)).saturating_sub(self.span.start).max(1);
+        let width = (self.span.end.min(line_end))
+            .saturating_sub(self.span.start)
+            .max(1);
         format!(
             "{msg} at line {line_no}, column {col}\n  {line}\n  {pad}{carets}",
             msg = self.message,

@@ -32,12 +32,7 @@ impl Parser {
                 let mut items = Vec::new();
                 loop {
                     match self.peek() {
-                        None => {
-                            return Err(ParseError::new(
-                                "unclosed `(`",
-                                token.span,
-                            ))
-                        }
+                        None => return Err(ParseError::new("unclosed `(`", token.span)),
                         Some(t) if t.kind == TokenKind::RParen => {
                             let close = t.span;
                             self.pos += 1;
@@ -88,7 +83,10 @@ mod tests {
 
     #[test]
     fn atom() {
-        assert_eq!(parse("x").unwrap(), Sexpr::Symbol("x".into(), Span::new(0, 1)));
+        assert_eq!(
+            parse("x").unwrap(),
+            Sexpr::Symbol("x".into(), Span::new(0, 1))
+        );
     }
 
     #[test]

@@ -11,8 +11,7 @@ fn arb_sexpr() -> impl Strategy<Value = Sexpr> {
         any::<i32>().prop_map(|v| Sexpr::Int(v as i64, Span::default())),
     ];
     leaf.prop_recursive(5, 64, 6, |inner| {
-        proptest::collection::vec(inner, 0..6)
-            .prop_map(|items| Sexpr::List(items, Span::default()))
+        proptest::collection::vec(inner, 0..6).prop_map(|items| Sexpr::List(items, Span::default()))
     })
 }
 

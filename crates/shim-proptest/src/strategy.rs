@@ -271,8 +271,7 @@ impl Strategy for &str {
         let atoms = parse_pattern(self);
         let mut out = String::new();
         for atom in &atoms {
-            let n = atom.min_reps
-                + rng.below((atom.max_reps - atom.min_reps + 1) as u64) as usize;
+            let n = atom.min_reps + rng.below((atom.max_reps - atom.min_reps + 1) as u64) as usize;
             for _ in 0..n {
                 out.push(atom.class.sample(rng));
             }
@@ -297,9 +296,7 @@ enum CharClass {
 impl CharClass {
     fn sample(&self, rng: &mut TestRng) -> char {
         match self {
-            CharClass::Choices(choices) => {
-                choices[rng.below(choices.len() as u64) as usize]
-            }
+            CharClass::Choices(choices) => choices[rng.below(choices.len() as u64) as usize],
             CharClass::Printable => {
                 // Mostly printable ASCII, with some multibyte characters so
                 // parsers meet non-ASCII input too.
@@ -370,7 +367,10 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
         } else {
             (1, 1)
         };
-        assert!(min_reps <= max_reps, "bad repetition in pattern `{pattern}`");
+        assert!(
+            min_reps <= max_reps,
+            "bad repetition in pattern `{pattern}`"
+        );
         atoms.push(PatternAtom {
             class,
             min_reps,
@@ -464,9 +464,7 @@ mod tests {
         }
         let strat = (0u64..10)
             .prop_map(Tree::Leaf)
-            .prop_recursive(4, 32, 4, |inner| {
-                vec(inner, 0..4).prop_map(Tree::Node)
-            });
+            .prop_recursive(4, 32, 4, |inner| vec(inner, 0..4).prop_map(Tree::Node));
         let mut rng = rng();
         let mut seen_node = false;
         for _ in 0..200 {

@@ -95,9 +95,7 @@ impl TestRunner {
     }
 
     pub fn rng_for_case(&self, case: u32) -> TestRng {
-        TestRng::from_seed(
-            self.base_seed ^ (case as u64).wrapping_mul(0xA24BAED4963EE407),
-        )
+        TestRng::from_seed(self.base_seed ^ (case as u64).wrapping_mul(0xA24BAED4963EE407))
     }
 }
 

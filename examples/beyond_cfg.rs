@@ -39,7 +39,12 @@ fn main() {
         let truth = formal::is_anbn(s);
         assert_eq!(cdg_ok, truth);
         assert_eq!(cky_ok, truth);
-        println!("  {s:<8} cdg={:<7} cky={:<7} truth={}", verdict(cdg_ok), verdict(cky_ok), verdict(truth));
+        println!(
+            "  {s:<8} cdg={:<7} cky={:<7} truth={}",
+            verdict(cdg_ok),
+            verdict(cky_ok),
+            verdict(truth)
+        );
     }
 
     // --- Balanced brackets (two pair kinds on the CDG side) ---
@@ -50,7 +55,11 @@ fn main() {
         let cdg_ok = parse(&cdg, &sentence, ParseOptions::default()).accepted();
         let truth = formal::is_brackets(s);
         assert_eq!(cdg_ok, truth, "`{s}`");
-        println!("  {s:<8} cdg={:<7} truth={}", verdict(cdg_ok), verdict(truth));
+        println!(
+            "  {s:<8} cdg={:<7} truth={}",
+            verdict(cdg_ok),
+            verdict(truth)
+        );
     }
 
     // --- ww: beyond context-free ---
@@ -61,7 +70,11 @@ fn main() {
         let outcome = parse(&cdg, &sentence, ParseOptions::default());
         let truth = formal::is_ww(s);
         assert_eq!(outcome.accepted(), truth, "`{s}`");
-        println!("  {s:<10} cdg={:<7} truth={}", verdict(outcome.accepted()), verdict(truth));
+        println!(
+            "  {s:<10} cdg={:<7} truth={}",
+            verdict(outcome.accepted()),
+            verdict(truth)
+        );
         if outcome.accepted() {
             // The precedence graph links each symbol to its copy.
             let graph = &outcome.parses(1)[0];

@@ -72,9 +72,14 @@ fn build_by_hand() -> (Grammar, Lexicon) {
     let g = b.build().expect("command grammar is well-formed");
     let mut lex = Lexicon::new();
     for (w, c) in [
-        ("halt", "verb"), ("run", "verb"), ("parse", "verb"),
-        ("the", "det"), ("a", "det"),
-        ("program", "noun"), ("sentence", "noun"), ("machine", "noun"),
+        ("halt", "verb"),
+        ("run", "verb"),
+        ("parse", "verb"),
+        ("the", "det"),
+        ("a", "det"),
+        ("program", "noun"),
+        ("sentence", "noun"),
+        ("machine", "noun"),
     ] {
         lex.add(&g, w, &[c]).unwrap();
     }
@@ -88,7 +93,13 @@ fn main() {
     println!("builder grammar:\n{g_api}");
     println!("file grammar:\n{g_file}");
 
-    for text in ["halt", "run the program", "parse a sentence", "the program halt", "run program the"] {
+    for text in [
+        "halt",
+        "run the program",
+        "parse a sentence",
+        "the program halt",
+        "run program the",
+    ] {
         let verdicts: Vec<bool> = [(&g_api, &lex_api), (&g_file, &lex_file)]
             .into_iter()
             .map(|(g, lex)| {
@@ -97,12 +108,18 @@ fn main() {
             })
             .collect();
         assert_eq!(verdicts[0], verdicts[1], "api and file grammars must agree");
-        println!("  `{text}` -> {}", if verdicts[0] { "ACCEPT" } else { "REJECT" });
+        println!(
+            "  `{text}` -> {}",
+            if verdicts[0] { "ACCEPT" } else { "REJECT" }
+        );
     }
 
     // Round-trip: save the hand-built grammar and reload it.
     let dumped = file::save(&g_api, &lex_api).expect("hand-built grammar renders");
     let (g_again, _) = file::load_str(&dumped).expect("saved grammar reloads");
     assert_eq!(g_again.num_constraints(), g_api.num_constraints());
-    println!("\nround-trip through the file format preserved all {} constraints.", g_api.num_constraints());
+    println!(
+        "\nround-trip through the file format preserved all {} constraints.",
+        g_api.num_constraints()
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
         lay.groups,
         lay.virt_pes()
     );
-    println!("each PE holds an {l}x{l} label submatrix (Figure 13)\n", l = lay.l);
+    println!(
+        "each PE holds an {l}x{l} label submatrix (Figure 13)\n",
+        l = lay.l
+    );
     println!("column layout (Figure 11):");
     for g in 0..lay.groups {
         let (w, r, m) = lay.decode_group(g);
@@ -55,7 +58,10 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("instruction trace (first 12 broadcasts of {}):", out.trace.len());
+    println!(
+        "instruction trace (first 12 broadcasts of {}):",
+        out.trace.len()
+    );
     for entry in out.trace.iter().take(12) {
         println!("  {:<8} {:>4} PEs active", entry.op, entry.active);
     }

@@ -24,8 +24,10 @@ fn main() {
     println!("{}", render_network(&net));
 
     let removed = apply_unary(&mut net, &grammar.unary_constraints()[0]);
-    println!("--- after `{}` removed {removed} role values (Figure 2) ---",
-        grammar.unary_constraints()[0].name);
+    println!(
+        "--- after `{}` removed {removed} role values (Figure 2) ---",
+        grammar.unary_constraints()[0].name
+    );
     println!("{}", render_network(&net));
 
     apply_all_unary(&mut net);

@@ -14,6 +14,8 @@
 //!   --budget <spec>                              resource budget, e.g. ms=50,iters=3,cells=100000
 //!   --faults <spec>                              (maspar) fault plan: a seed, or seed=N,dead=N,...
 //!   --relax                                      retry rejected sentences with relaxed constraints
+//!   --threads <N>                                worker threads for parallel engines (0 = auto)
+//!   --batch <file|->                             parse one sentence per line of a file (or stdin)
 //!   --version                                    print the version and exit
 //!
 //! EXAMPLES:
@@ -21,18 +23,28 @@
 //!   parsec --engine maspar --stats --faults 7 the dog sees a cat in the park
 //!   parsec --relax dog runs in the park
 //!   parsec --grammar ww --dot 0101
+//!   parsec --engine pram --threads 8 --batch corpus.txt
 //! ```
 //!
-//! Exit codes: 0 accept, 1 reject or engine error, 2 usage/input error,
-//! 3 budget-degraded partial outcome with no full parse.
+//! Batch mode parses every non-blank line of the file (lines starting with
+//! `#` are comments), amortizing grammar setup and pooling arc-matrix
+//! allocations across sentences; `--engine pram` fans the batch out across
+//! `--threads` workers with byte-identical results at any thread count.
+//! Per line it prints `ACCEPT`/`REJECT`, then a throughput summary.
+//!
+//! Exit codes: 0 accept (batch: every line accepted), 1 reject or engine
+//! error (batch: some line rejected), 2 usage/input error, 3 budget-degraded
+//! partial outcome with no full parse.
 
 use cdg_core::parser::{parse, ParseOptions};
 use cdg_core::{parse_relaxed, ParseBudget, RelaxLadder};
 use cdg_grammar::grammars::{english, formal, paper};
 use cdg_grammar::sentence::LexiconError;
-use cdg_grammar::{Grammar, Sentence};
+use cdg_grammar::{Grammar, Lexicon, Sentence};
 use maspar_sim::{FaultPlan, MachineConfig};
+use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Instruction-count horizon handed to `--faults` specs that schedule
 /// transients; a full checked parse of the shipped examples spans a few
@@ -50,6 +62,8 @@ struct Args {
     budget: ParseBudget,
     faults: Option<String>,
     relax: bool,
+    threads: Option<usize>,
+    batch: Option<String>,
     words: Vec<String>,
 }
 
@@ -57,7 +71,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
-         [--budget spec] [--faults spec] [--relax] [--version] <sentence...>"
+         [--budget spec] [--faults spec] [--relax] [--threads N] [--batch file|-] \
+         [--version] <sentence...>"
     );
     std::process::exit(2);
 }
@@ -79,6 +94,8 @@ fn parse_args() -> Args {
         budget: ParseBudget::UNLIMITED,
         faults: None,
         relax: false,
+        threads: None,
+        batch: None,
         words: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -110,6 +127,14 @@ fn parse_args() -> Args {
             }
             "--faults" => args.faults = Some(it.next().unwrap_or_else(|| usage())),
             "--relax" => args.relax = true,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                args.threads = Some(n);
+            }
+            "--batch" => args.batch = Some(it.next().unwrap_or_else(|| usage())),
             "--version" => {
                 println!("parsec {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -119,11 +144,20 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.words.is_empty() {
+    if args.words.is_empty() && args.batch.is_none() {
         usage();
+    }
+    if args.batch.is_some() && !args.words.is_empty() {
+        invalid("--batch reads sentences from the file; drop the positional words".into());
     }
     if args.faults.is_some() && args.engine != "maspar" {
         invalid("--faults injects faults into the simulated MasPar; pass --engine maspar".into());
+    }
+    if args.batch.is_some() && !matches!(args.engine.as_str(), "serial" | "pram") {
+        invalid(format!(
+            "--batch supports the serial and pram engines, not `{}`",
+            args.engine
+        ));
     }
     args
 }
@@ -137,58 +171,180 @@ fn lexicon_error(e: LexiconError, source: &str) -> String {
     }
 }
 
-fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
-    let text = args.words.join(" ");
+/// Load the grammar and (when the grammar is lexical) its lexicon; formal
+/// symbol grammars return `None` and build sentences straight from symbols.
+fn load_grammar(args: &Args) -> Result<(Grammar, Option<Lexicon>), String> {
     if let Some(path) = &args.grammar_file {
-        let (g, lex) = cdg_grammar::file::load_path(std::path::Path::new(path))
-            .map_err(|e| e.to_string())?;
+        let (g, lex) =
+            cdg_grammar::file::load_path(std::path::Path::new(path)).map_err(|e| e.to_string())?;
         if lex.is_empty() {
-            return Err(format!("grammar file `{path}` has no lexicon; add a (lexicon ...) clause"));
+            return Err(format!(
+                "grammar file `{path}` has no lexicon; add a (lexicon ...) clause"
+            ));
         }
-        let s = lex.sentence(&text).map_err(|e| lexicon_error(e, path))?;
-        return Ok((g, s));
+        return Ok((g, Some(lex)));
     }
     match args.grammar.as_str() {
         "paper" => {
             let g = paper::grammar();
-            let s = paper::lexicon(&g)
-                .sentence(&text)
-                .map_err(|e| lexicon_error(e, "paper"))?;
-            Ok((g, s))
+            let lex = paper::lexicon(&g);
+            Ok((g, Some(lex)))
         }
         "english" => {
             let g = english::grammar();
-            let s = english::lexicon(&g)
-                .sentence(&text)
-                .map_err(|e| lexicon_error(e, "english"))?;
-            Ok((g, s))
+            let lex = english::lexicon(&g);
+            Ok((g, Some(lex)))
         }
-        "anbn" => {
-            let g = formal::anbn_grammar();
-            let s = formal::anbn_sentence(&g, &text.replace(' ', ""));
-            Ok((g, s))
-        }
-        "brackets" => {
-            let g = formal::brackets_grammar();
-            let s = formal::brackets_sentence(&g, &text.replace(' ', ""));
-            Ok((g, s))
-        }
-        "ww" => {
-            let g = formal::ww_grammar();
-            let s = formal::ww_sentence(&g, &text.replace(' ', ""));
-            Ok((g, s))
-        }
-        "www" => {
-            let g = formal::www_grammar();
-            let s = formal::ww_sentence(&g, &text.replace(' ', ""));
-            Ok((g, s))
-        }
+        "anbn" => Ok((formal::anbn_grammar(), None)),
+        "brackets" => Ok((formal::brackets_grammar(), None)),
+        "ww" => Ok((formal::ww_grammar(), None)),
+        "www" => Ok((formal::www_grammar(), None)),
         other => Err(format!("unknown grammar `{other}`")),
+    }
+}
+
+/// Turn one line of text into a sentence under the loaded grammar.
+fn make_sentence(
+    args: &Args,
+    grammar: &Grammar,
+    lexicon: &Option<Lexicon>,
+    text: &str,
+) -> Result<Sentence, String> {
+    if let Some(lex) = lexicon {
+        let source = args
+            .grammar_file
+            .as_deref()
+            .unwrap_or(args.grammar.as_str());
+        return lex.sentence(text).map_err(|e| lexicon_error(e, source));
+    }
+    let symbols = text.replace(' ', "");
+    Ok(match args.grammar.as_str() {
+        "anbn" => formal::anbn_sentence(grammar, &symbols),
+        "brackets" => formal::brackets_sentence(grammar, &symbols),
+        // `ww` and `www` share the two-symbol sentence builder.
+        _ => formal::ww_sentence(grammar, &symbols),
+    })
+}
+
+fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
+    let (grammar, lexicon) = load_grammar(args)?;
+    let sentence = make_sentence(args, &grammar, &lexicon, &args.words.join(" "))?;
+    Ok((grammar, sentence))
+}
+
+/// Batch mode: parse one sentence per non-blank, non-`#` line, amortizing
+/// grammar setup and pooling arc matrices across the batch (in parallel
+/// across sentences under `--engine pram`).
+fn run_batch(args: &Args) -> ExitCode {
+    let source = args.batch.as_deref().expect("batch mode requires --batch");
+    let text = if source == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("error: reading stdin: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading `{source}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let (grammar, lexicon) = match load_grammar(args) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut texts: Vec<&str> = Vec::new();
+    let mut sentences: Vec<Sentence> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match make_sentence(args, &grammar, &lexicon, line) {
+            Ok(s) => {
+                texts.push(line);
+                sentences.push(s);
+            }
+            Err(message) => {
+                eprintln!("error: line {}: {message}", lineno + 1);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let options = ParseOptions {
+        budget: args.budget,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let outcomes = match args.engine.as_str() {
+        "serial" => cdg_core::parse_batch(&grammar, &sentences, options, args.parses),
+        // parse_args restricted batch engines to serial|pram.
+        _ => cdg_parallel::parse_batch(&grammar, &sentences, options, args.parses),
+    };
+    let wall = start.elapsed();
+
+    let mut accepted = 0usize;
+    for (text, outcome) in texts.iter().zip(&outcomes) {
+        if outcome.accepted {
+            accepted += 1;
+            println!(
+                "ACCEPT: `{text}` — {}{} parse(s){}",
+                outcome.parses.len(),
+                if outcome.ambiguous {
+                    " (ambiguous)"
+                } else {
+                    ""
+                },
+                if outcome.degraded { " [degraded]" } else { "" },
+            );
+        } else {
+            println!(
+                "REJECT: `{text}`{}",
+                if outcome.degraded { " [degraded]" } else { "" }
+            );
+        }
+    }
+    let n = outcomes.len();
+    let secs = wall.as_secs_f64();
+    println!(
+        "batch: {n} sentence(s), {accepted} accepted, {} rejected in {:.3}s \
+         ({:.1} sentences/s, engine {}, {} thread(s))",
+        n - accepted,
+        secs,
+        if secs > 0.0 {
+            n as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+        args.engine,
+        rayon::current_num_threads(),
+    );
+    if accepted == n {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        rayon::set_num_threads(n);
+    }
+    if args.batch.is_some() {
+        return run_batch(&args);
+    }
     let (grammar, sentence) = match build_input(&args) {
         Ok(pair) => pair,
         Err(message) => {
@@ -307,7 +463,10 @@ fn main() -> ExitCode {
                 );
                 for (i, graph) in r.parses.iter().enumerate() {
                     if args.dot {
-                        println!("{}", cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence));
+                        println!(
+                            "{}",
+                            cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence)
+                        );
                     } else {
                         println!("--- parse {} ---", i + 1);
                         println!("{}", graph.render(&grammar, &sentence));
@@ -323,7 +482,10 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(1);
         }
-        println!("REJECT: `{sentence}` is not in the language of grammar `{}`", args.grammar);
+        println!(
+            "REJECT: `{sentence}` is not in the language of grammar `{}`",
+            args.grammar
+        );
         return ExitCode::from(1);
     }
     if let Some(d) = &outcome.degraded {
@@ -332,11 +494,18 @@ fn main() -> ExitCode {
     println!(
         "ACCEPT: `{sentence}` — {}{} parse(s)",
         graphs.len(),
-        if outcome.ambiguous() { " (ambiguous)" } else { "" }
+        if outcome.ambiguous() {
+            " (ambiguous)"
+        } else {
+            ""
+        }
     );
     for (i, graph) in graphs.iter().enumerate() {
         if args.dot {
-            println!("{}", cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence));
+            println!(
+                "{}",
+                cdg_core::dot::precedence_graph_dot(graph, &grammar, &sentence)
+            );
         } else {
             println!("--- parse {} ---", i + 1);
             println!("{}", graph.render(&grammar, &sentence));

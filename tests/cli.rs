@@ -132,7 +132,10 @@ fn unknown_words_get_a_friendly_error() {
     let out = run(&["the", "zebra", "runs"]);
     assert_eq!(out.status.code(), Some(2));
     let err = stderr(&out);
-    assert!(err.contains("unknown word 'zebra' not in lexicon"), "got: {err}");
+    assert!(
+        err.contains("unknown word 'zebra' not in lexicon"),
+        "got: {err}"
+    );
 }
 
 #[test]
@@ -148,8 +151,14 @@ fn arc_cell_budget_on_a_long_sentence_is_a_flagged_partial_outcome() {
     let out = run(&args);
     assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
     let text = stdout(&out);
-    assert!(text.contains("PARTIAL: parse budget exceeded: arc cells"), "got: {text}");
-    assert!(!text.contains("REJECT"), "a budget cut must not be reported as a REJECT");
+    assert!(
+        text.contains("PARTIAL: parse budget exceeded: arc cells"),
+        "got: {text}"
+    );
+    assert!(
+        !text.contains("REJECT"),
+        "a budget cut must not be reported as a REJECT"
+    );
 }
 
 #[test]
@@ -166,7 +175,10 @@ fn relax_recovers_a_determiner_dropping_sentence() {
     let text = stdout(&out);
     assert!(text.contains("ACCEPT (relaxed, rung 1)"), "got: {text}");
     assert!(text.contains("sing-noun-needs-det-left"), "got: {text}");
-    assert!(text.contains("SUBJ-2"), "dog must still attach as the subject: {text}");
+    assert!(
+        text.contains("SUBJ-2"),
+        "dog must still attach as the subject: {text}"
+    );
 }
 
 #[test]
@@ -186,10 +198,120 @@ fn faults_require_the_maspar_engine() {
 #[test]
 fn maspar_engine_accepts_a_fault_spec_and_still_parses() {
     let out = run(&[
-        "--engine", "maspar", "--grammar", "paper", "--stats",
-        "--faults", "seed=3,dead=2", "the", "program", "runs",
+        "--engine",
+        "maspar",
+        "--grammar",
+        "paper",
+        "--stats",
+        "--faults",
+        "seed=3,dead=2",
+        "the",
+        "program",
+        "runs",
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     assert!(stdout(&out).contains("ACCEPT"));
-    assert!(stderr(&out).contains("maspar recovery:"), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("maspar recovery:"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("parsec-cli-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp corpus");
+    path
+}
+
+#[test]
+fn batch_parses_a_corpus_file() {
+    let path = write_temp(
+        "corpus",
+        "# comment line\nthe dog runs\ndog the runs\n\nthe dog runs in the park\n",
+    );
+    let out = run(&["--batch", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    // One rejected line -> exit 1, but every line is reported.
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("ACCEPT: `the dog runs`"));
+    assert!(text.contains("REJECT: `dog the runs`"));
+    assert!(text.contains("(ambiguous)"));
+    assert!(text.contains("batch: 3 sentence(s), 2 accepted, 1 rejected"));
+}
+
+#[test]
+fn batch_exit_zero_when_all_accepted_and_threads_are_reported() {
+    let path = write_temp("accepted", "the dog runs\nshe sleeps\n");
+    let out = run(&[
+        "--engine",
+        "pram",
+        "--threads",
+        "2",
+        "--batch",
+        path.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 accepted, 0 rejected"));
+    assert!(text.contains("engine pram, 2 thread(s)"));
+}
+
+#[test]
+fn batch_results_identical_across_engines_and_thread_counts() {
+    let corpus = "the dog runs\ndog the runs\nthe watch runs\nthe dog sees the cat in the park\n";
+    let path = write_temp("threads", corpus);
+    let mut reports = Vec::new();
+    for extra in [
+        vec!["--engine", "serial"],
+        vec!["--engine", "pram", "--threads", "1"],
+        vec!["--engine", "pram", "--threads", "8"],
+    ] {
+        let mut args = extra.clone();
+        let p = path.to_str().unwrap();
+        args.extend_from_slice(&["--batch", p]);
+        let out = run(&args);
+        // Drop the timing-dependent summary line; the per-line verdicts
+        // must be byte-identical.
+        let text = stdout(&out);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with("batch:")).collect();
+        reports.push(lines.join("\n"));
+    }
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2]);
+}
+
+#[test]
+fn batch_rejects_maspar_engine_and_positional_words() {
+    let out = run(&["--engine", "maspar", "--batch", "whatever.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("serial and pram"));
+
+    let out = run(&["--batch", "whatever.txt", "the", "dog"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("positional words"));
+}
+
+#[test]
+fn batch_formal_grammar_lines() {
+    let path = write_temp("formal", "ab\naabb\nba\n");
+    let out = run(&["--grammar", "anbn", "--batch", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("ACCEPT: `aabb`"));
+    assert!(text.contains("REJECT: `ba`"));
+}
+
+#[test]
+fn batch_unknown_word_reports_line_number() {
+    let path = write_temp("unknown", "the dog runs\nthe zyzzyva runs\n");
+    let out = run(&["--batch", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("line 2"));
+    assert!(stderr(&out).contains("zyzzyva"));
 }

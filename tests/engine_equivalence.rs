@@ -115,7 +115,11 @@ fn ambiguous_sentences_serial_vs_pram() {
     // and P-RAM must still agree there.
     let g = english::grammar();
     let lex = english::lexicon(&g);
-    for text in ["the watch runs", "the saw sees the watch", "they watch the watch"] {
+    for text in [
+        "the watch runs",
+        "the saw sees the watch",
+        "they watch the watch",
+    ] {
         if let Ok(s) = lex.sentence(text) {
             let serial = parse(&g, &s, options());
             let pram = parse_pram(&g, &s, options());

@@ -42,14 +42,14 @@ fn rejection_suite() {
     let g = english::grammar();
     let lex = english::lexicon(&g);
     let rejected = [
-        "dog the runs",            // noun lacks its determiner
-        "the dog the",             // dangling determiner
-        "runs sees",               // two roots, no subject
-        "the runs",                // determiner with no noun
-        "quickly",                 // adverb with no verb
-        "in the park",             // PP with nothing to attach to
-        "the dog the cat",         // no verb
-        "sees the dog",            // no subject
+        "dog the runs",              // noun lacks its determiner
+        "the dog the",               // dangling determiner
+        "runs sees",                 // two roots, no subject
+        "the runs",                  // determiner with no noun
+        "quickly",                   // adverb with no verb
+        "in the park",               // PP with nothing to attach to
+        "the dog the cat",           // no verb
+        "sees the dog",              // no subject
         "the dog runs the dog runs", // two finite clauses (single-clause grammar)
     ];
     for text in rejected {
@@ -69,9 +69,15 @@ fn pp_attachment_ambiguity_counts() {
     assert_eq!(parse(&g, &s, ParseOptions::default()).parses(32).len(), 2);
     // The classic: object + PP gives verb/object/subject attachment plus
     // adjective-free readings; just require more than one parse.
-    let s = lex.sentence("the man watches the dog with the telescope").unwrap();
+    let s = lex
+        .sentence("the man watches the dog with the telescope")
+        .unwrap();
     let parses = parse(&g, &s, ParseOptions::default()).parses(32);
-    assert!(parses.len() >= 2, "PP attachment should be ambiguous, got {}", parses.len());
+    assert!(
+        parses.len() >= 2,
+        "PP attachment should be ambiguous, got {}",
+        parses.len()
+    );
 }
 
 proptest! {

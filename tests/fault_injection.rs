@@ -21,7 +21,12 @@ fn no_third_outcome_across_seeded_fault_plans() {
     let g = paper::grammar();
     let s = paper::example_sentence(&g);
     let serial = parse(&g, &s, ParseOptions::default());
-    let reference_alive: Vec<_> = serial.network.slots().iter().map(|s| s.alive.clone()).collect();
+    let reference_alive: Vec<_> = serial
+        .network
+        .slots()
+        .iter()
+        .map(|s| s.alive.clone())
+        .collect();
     let reference_graphs = serial.parses(100);
 
     let mut recovered = 0usize;

@@ -42,7 +42,11 @@ fn anbn_exhaustive_vs_predicate_and_cky() {
         assert_eq!(cdg_accepts(&g, &sentence), truth, "CDG on `{s}`");
         let spaced: Vec<String> = s.chars().map(|c| c.to_string()).collect();
         let tokens = cfg.tokenize(&spaced.join(" ")).unwrap();
-        assert_eq!(cfg_baseline::cky_recognize(&cfg, &tokens).0, truth, "CKY on `{s}`");
+        assert_eq!(
+            cfg_baseline::cky_recognize(&cfg, &tokens).0,
+            truth,
+            "CKY on `{s}`"
+        );
     }
 }
 
@@ -57,7 +61,11 @@ fn brackets_exhaustive_round_only_vs_cky() {
         assert_eq!(cdg_accepts(&g, &sentence), truth, "CDG on `{s}`");
         let spaced: Vec<String> = s.chars().map(|c| c.to_string()).collect();
         let tokens = cfg.tokenize(&spaced.join(" ")).unwrap();
-        assert_eq!(cfg_baseline::cky_recognize(&cfg, &tokens).0, truth, "CKY on `{s}`");
+        assert_eq!(
+            cfg_baseline::cky_recognize(&cfg, &tokens).0,
+            truth,
+            "CKY on `{s}`"
+        );
     }
 }
 

@@ -26,10 +26,19 @@ fn shipped_grammar_file_matches_builtin() {
         .unary_constraints()
         .iter()
         .chain(from_file.binary_constraints())
-        .zip(builtin.unary_constraints().iter().chain(builtin.binary_constraints()))
+        .zip(
+            builtin
+                .unary_constraints()
+                .iter()
+                .chain(builtin.binary_constraints()),
+        )
     {
         assert_eq!(a.name, b.name);
-        assert_eq!(a.expr, b.expr, "constraint {} drifted from the built-in", a.name);
+        assert_eq!(
+            a.expr, b.expr,
+            "constraint {} drifted from the built-in",
+            a.name
+        );
     }
 
     // Same behaviour end to end.

@@ -13,7 +13,9 @@ use cdg_grammar::grammars::english;
 fn contextual_sets_refine_without_changing_valid_parses() {
     let g = english::grammar();
     let lex = english::lexicon(&g);
-    let s = lex.sentence("the man watches the dog with the telescope").unwrap();
+    let s = lex
+        .sentence("the man watches the dog with the telescope")
+        .unwrap();
 
     let mut outcome = parse(&g, &s, ParseOptions::default());
     let before = outcome.parses(32);
@@ -77,7 +79,10 @@ fn binary_contextual_constraints_apply_too() {
         .unwrap();
     outcome.propagate_extra(&[no_stacking]);
     let after = outcome.parses(64).len();
-    assert!(after < before, "binary context must prune ({before} -> {after})");
+    assert!(
+        after < before,
+        "binary context must prune ({before} -> {after})"
+    );
     assert!(after >= 1);
 }
 
@@ -103,7 +108,9 @@ fn incremental_equals_batch() {
         let mut b = cdg_grammar::GrammarBuilder::new("english+context");
         // Rebuild the English grammar plus the pin. (The builder API is
         // additive, so we reconstruct from the public description.)
-        b.categories(&["det", "nouns", "nounpl", "pron", "verb", "adj", "adv", "prep"]);
+        b.categories(&[
+            "det", "nouns", "nounpl", "pron", "verb", "adj", "adv", "prep",
+        ]);
         b.labels(&[
             "SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP", "NP", "S", "PNP", "BLANK",
         ]);
@@ -113,9 +120,11 @@ fn incremental_equals_batch() {
             &["SUBJ", "OBJ", "POBJ", "ROOT", "DET", "MOD", "ADV", "PP"],
         );
         b.allow("needs", &["NP", "S", "PNP", "BLANK"]);
-        for c in english::grammar().unary_constraints().iter().chain(
-            english::grammar().binary_constraints(),
-        ) {
+        for c in english::grammar()
+            .unary_constraints()
+            .iter()
+            .chain(english::grammar().binary_constraints())
+        {
             b.constraint(&c.name, &c.source);
         }
         b.constraint(

@@ -38,7 +38,10 @@ fn figures_1_through_7() {
     apply_all_unary(&mut net);
     assert_eq!(alive_values(&net, 0, governor(&g)), vec!["DET-2", "DET-3"]);
     assert_eq!(alive_values(&net, 0, needs(&g)), vec!["BLANK-nil"]);
-    assert_eq!(alive_values(&net, 1, governor(&g)), vec!["SUBJ-1", "SUBJ-3"]);
+    assert_eq!(
+        alive_values(&net, 1, governor(&g)),
+        vec!["SUBJ-1", "SUBJ-3"]
+    );
     assert_eq!(alive_values(&net, 1, needs(&g)), vec!["NP-1", "NP-3"]);
     assert_eq!(alive_values(&net, 2, needs(&g)), vec!["S-1", "S-2"]);
 
@@ -47,12 +50,16 @@ fn figures_1_through_7() {
     apply_binary(&mut net, &g.binary_constraints()[0]);
     let pg = net.slot_id(1, governor(&g));
     let rg = net.slot_id(2, governor(&g));
-    let subj1 = net.slot(pg).domain.iter().position(|rv| {
-        g.label_name(rv.label) == "SUBJ" && rv.modifiee == Modifiee::Word(1)
-    });
-    let root_nil = net.slot(rg).domain.iter().position(|rv| {
-        g.label_name(rv.label) == "ROOT" && rv.modifiee == Modifiee::Nil
-    });
+    let subj1 = net
+        .slot(pg)
+        .domain
+        .iter()
+        .position(|rv| g.label_name(rv.label) == "SUBJ" && rv.modifiee == Modifiee::Word(1));
+    let root_nil = net
+        .slot(rg)
+        .domain
+        .iter()
+        .position(|rv| g.label_name(rv.label) == "ROOT" && rv.modifiee == Modifiee::Nil);
     assert!(!net.arc_entry(pg, subj1.unwrap(), rg, root_nil.unwrap()));
 
     // Figure 5.
@@ -85,7 +92,10 @@ fn figures_1_through_7() {
         "G = ROOT-nil",
         "N = S-2",
     ] {
-        assert!(rendered.contains(expected), "missing `{expected}` in:\n{rendered}");
+        assert!(
+            rendered.contains(expected),
+            "missing `{expected}` in:\n{rendered}"
+        );
     }
 }
 

@@ -20,12 +20,18 @@ fn core_set_tolerates_a_missing_determiner() {
     let s = lex.sentence("dog runs in the park").unwrap();
 
     let strict = parse(&full, &s, ParseOptions::default());
-    assert!(!strict.accepted(), "the full grammar requires the determiner");
+    assert!(
+        !strict.accepted(),
+        "the full grammar requires the determiner"
+    );
 
     let core = full.retain_constraints(|name| name != "sing-noun-needs-det-left");
     assert_eq!(core.num_constraints(), full.num_constraints() - 1);
     let relaxed = parse(&core, &s, ParseOptions::default());
-    assert!(relaxed.accepted(), "the core set tolerates the dropped determiner");
+    assert!(
+        relaxed.accepted(),
+        "the core set tolerates the dropped determiner"
+    );
     // The structure is still the intended one: dog SUBJ→runs.
     let graph = &relaxed.parses(8)[0];
     let governor = core.role_id("governor").unwrap();
@@ -88,11 +94,25 @@ fn degradation_is_graceful_not_binary() {
     let lex = english::lexicon(&g);
 
     let near = lex.sentence("dog runs in the park").unwrap(); // one error
-    let outcome = parse(&g, &near, ParseOptions { filter: cdg_core::parser::FilterMode::None, ..Default::default() });
+    let outcome = parse(
+        &g,
+        &near,
+        ParseOptions {
+            filter: cdg_core::parser::FilterMode::None,
+            ..Default::default()
+        },
+    );
     let near_alive = outcome.network.total_alive();
 
     let scrambled = lex.sentence("park the in runs dog").unwrap();
-    let outcome = parse(&g, &scrambled, ParseOptions { filter: cdg_core::parser::FilterMode::None, ..Default::default() });
+    let outcome = parse(
+        &g,
+        &scrambled,
+        ParseOptions {
+            filter: cdg_core::parser::FilterMode::None,
+            ..Default::default()
+        },
+    );
     let scrambled_alive = outcome.network.total_alive();
 
     assert!(

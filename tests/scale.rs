@@ -22,8 +22,7 @@ fn sixteen_word_sentence_parses_and_engines_agree() {
     // n = 8 (should be roughly 2⁴ = 16×, allow a broad band).
     let s8 = corpus::english_sentence(&g, &lex, 8, 77);
     let small = parse(&g, &s8, options);
-    let ratio =
-        serial.network.stats.total_ops() as f64 / small.network.stats.total_ops() as f64;
+    let ratio = serial.network.stats.total_ops() as f64 / small.network.stats.total_ops() as f64;
     assert!(
         (6.0..40.0).contains(&ratio),
         "ops(16)/ops(8) = {ratio:.1}, expected ~16"

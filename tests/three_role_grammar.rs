@@ -22,8 +22,8 @@ fn auxiliary_acceptance() {
         "dogs must run quickly",
         "the dog can see the cat",
         "john may watch the dog in the park",
-        "the dog runs",               // plain finite still works
-        "children sleep",             // ambiguous finite reading resolves
+        "the dog runs",   // plain finite still works
+        "children sleep", // ambiguous finite reading resolves
         "the old dog can run near the park",
     ] {
         let s = lex.sentence(text).unwrap();
