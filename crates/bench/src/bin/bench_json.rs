@@ -21,8 +21,11 @@
 //! byte-identical results by comparing digests — see `bench_compare`.
 
 use bench::report::{calibrate, fnv1a, BenchReport, BenchRow};
-use bench::run::{comparable_options, maspar_cdg, mesh_cdg, pram_cdg, serial_cdg, Measurement};
-use cdg_core::BatchOutcome;
+use bench::run::{
+    binary_kernel, binary_naive, comparable_options, maspar_cdg, mesh_cdg, pram_cdg, serial_cdg,
+    serial_cdg_naive, Measurement,
+};
+use cdg_core::{BatchOutcome, EvalStrategy};
 use cdg_grammar::grammars::{english, formal};
 use cdg_grammar::{Grammar, Sentence};
 use std::time::Instant;
@@ -62,11 +65,50 @@ fn usage() -> ! {
 }
 
 /// Digest of a settled single-sentence network: every slot's alive set.
-fn digest_outcome(grammar: &Grammar, sentence: &Sentence) -> u64 {
-    let outcome = cdg_core::parse(grammar, sentence, comparable_options());
+fn digest_with(grammar: &Grammar, sentence: &Sentence, eval: EvalStrategy) -> u64 {
+    let options = cdg_core::ParseOptions {
+        eval,
+        ..comparable_options()
+    };
+    let outcome = cdg_core::parse(grammar, sentence, options);
     let mut buf = String::new();
     for slot in outcome.network.slots() {
         buf.push_str(&format!("{:?};", slot.alive_indices()));
+    }
+    fnv1a(buf.as_bytes())
+}
+
+/// Digest under the default (kernel) evaluator, cross-checked against the
+/// naive tree-walk oracle — the bit-identity guarantee the kernel engine
+/// ships under.
+fn digest_outcome(grammar: &Grammar, sentence: &Sentence) -> u64 {
+    let kernel = digest_with(grammar, sentence, EvalStrategy::Kernel);
+    let naive = digest_with(grammar, sentence, EvalStrategy::Naive);
+    assert_eq!(
+        kernel, naive,
+        "kernel and naive evaluators diverged — bit-identity bug"
+    );
+    kernel
+}
+
+/// Digest of the network state right after the binary-propagation phase
+/// under `eval`: every slot's alive set plus the raw words of every arc
+/// matrix. Captures the phase's full output, so equal digests across
+/// evaluators mean bit-identical propagation, not merely equal parses.
+fn digest_binary(grammar: &Grammar, sentence: &Sentence, eval: EvalStrategy) -> u64 {
+    let mut net = cdg_core::Network::build(grammar, sentence);
+    net.eval = eval;
+    cdg_core::propagate::apply_all_unary(&mut net);
+    net.init_arcs();
+    cdg_core::propagate::apply_all_binary(&mut net);
+    let mut buf = String::new();
+    for slot in net.slots() {
+        buf.push_str(&format!("{:?};", slot.alive_indices()));
+    }
+    for m in net.arcs_raw() {
+        for r in 0..m.rows() {
+            buf.push_str(&format!("{:?};", m.row(r)));
+        }
     }
     fnv1a(buf.as_bytes())
 }
@@ -131,16 +173,18 @@ fn main() {
         &[4, 6, 8, 10, 12]
     };
     rayon::set_num_threads(n_threads);
+    let mut kernel_speedups: Vec<f64> = Vec::new();
     for &n in lengths {
         let s = corpus::english_sentence(&g, &lex, n, 11);
         let digest = digest_outcome(&g, &s);
         eprintln!("engine sweep: n={n}");
-        rows.push(row_from(
-            best_of(|| serial_cdg(&g, &s)),
-            "english",
-            1,
-            digest,
-        ));
+        let kernel = best_of(|| serial_cdg(&g, &s));
+        let naive = best_of(|| serial_cdg_naive(&g, &s));
+        if kernel.wall_secs > 0.0 {
+            kernel_speedups.push(naive.wall_secs / kernel.wall_secs);
+        }
+        rows.push(row_from(kernel, "english", 1, digest));
+        rows.push(row_from(naive, "english", 1, digest));
         rows.push(row_from(
             best_of(|| pram_cdg(&g, &s)),
             "english",
@@ -156,6 +200,45 @@ fn main() {
         ));
     }
 
+    // --- 1b. Binary-propagation scenarios ----------------------------
+    // The kernel engine's acceptance gate: the measured region is the
+    // binary sweep alone (build / unary / arc-init untimed), where the
+    // signature-memoized masks do their work. Digests cover alive sets
+    // AND raw arc matrices, so kernel-vs-naive bit-identity is checked
+    // on the phase output itself.
+    let bin_lengths: &[usize] = if args.quick { &[8, 12] } else { &[8, 12, 16] };
+    let mut binary_speedups: Vec<f64> = Vec::new();
+    for &n in bin_lengths {
+        let s = corpus::english_sentence(&g, &lex, n, 11);
+        let dk = digest_binary(&g, &s, EvalStrategy::Kernel);
+        let dn = digest_binary(&g, &s, EvalStrategy::Naive);
+        assert_eq!(
+            dk, dn,
+            "binary propagation diverged between evaluators at n={n}"
+        );
+        eprintln!("binary propagation: n={n}");
+        let kernel = best_of(|| binary_kernel(&g, &s));
+        let naive = best_of(|| binary_naive(&g, &s));
+        if kernel.wall_secs > 0.0 {
+            binary_speedups.push(naive.wall_secs / kernel.wall_secs);
+        }
+        rows.push(row_from(kernel, "english", 1, dk));
+        rows.push(row_from(naive, "english", 1, dk));
+    }
+    if !binary_speedups.is_empty() {
+        let geo =
+            binary_speedups.iter().map(|s| s.ln()).sum::<f64>() / binary_speedups.len() as f64;
+        eprintln!(
+            "binary propagation kernel vs naive: geomean speedup {:.2}x (per-n: {})",
+            geo.exp(),
+            binary_speedups
+                .iter()
+                .map(|s| format!("{s:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
     // --- 2. Formal grammars (the CI bench-smoke inputs) --------------
     let formal_inputs: Vec<(&str, Grammar, Sentence)> = {
         let anbn = formal::anbn_grammar();
@@ -169,6 +252,12 @@ fn main() {
         let digest = digest_outcome(g, s);
         eprintln!("formal: {name} n={}", s.len());
         rows.push(row_from(best_of(|| serial_cdg(g, s)), name, 1, digest));
+        rows.push(row_from(
+            best_of(|| serial_cdg_naive(g, s)),
+            name,
+            1,
+            digest,
+        ));
         rows.push(row_from(
             best_of(|| pram_cdg(g, s)),
             name,
@@ -231,6 +320,22 @@ fn main() {
         // On a 1-core host the N-thread row would duplicate the 1-thread
         // key; the single row above is both.
         rows.push(mk_batch_row(n_threads, wall_nt, wall_1t / wall_nt));
+    }
+
+    if !kernel_speedups.is_empty() {
+        let geo =
+            kernel_speedups.iter().map(|s| s.ln()).sum::<f64>() / kernel_speedups.len() as f64;
+        eprintln!(
+            "kernel vs naive eval: geomean speedup {:.2}x across {} sweep points \
+             (per-n: {})",
+            geo.exp(),
+            kernel_speedups.len(),
+            kernel_speedups
+                .iter()
+                .map(|s| format!("{s:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
 
     let report = BenchReport {

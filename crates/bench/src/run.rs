@@ -1,6 +1,7 @@
 //! Engine runners producing comparable measurements.
 
 use cdg_core::parser::{FilterMode, ParseOptions};
+use cdg_core::EvalStrategy;
 use cdg_grammar::{Grammar, Sentence};
 use cdg_parallel::mesh::MeshCdg;
 use cdg_parallel::pram::parse_pram;
@@ -57,6 +58,64 @@ pub fn serial_cdg(grammar: &Grammar, sentence: &Sentence) -> Measurement {
         est_secs: None,
         accepted: outcome.roles_nonempty,
     }
+}
+
+/// Sequential CDG with the naive tree-walk evaluator — the differential
+/// oracle for the kernel engine. Same pipeline, same results; only the
+/// constraint-evaluation machinery differs, so the wall-clock gap between
+/// this row and `cdg-serial` is the kernel speedup.
+pub fn serial_cdg_naive(grammar: &Grammar, sentence: &Sentence) -> Measurement {
+    let options = ParseOptions {
+        eval: EvalStrategy::Naive,
+        ..comparable_options()
+    };
+    let (outcome, wall) = timed(|| cdg_core::parse(grammar, sentence, options));
+    Measurement {
+        engine: "cdg-serial-naive",
+        n: sentence.len(),
+        wall_secs: wall,
+        ops: Some(outcome.network.stats.total_ops() as u64),
+        steps: None,
+        processors: Some(1),
+        est_secs: None,
+        accepted: outcome.roles_nonempty,
+    }
+}
+
+/// Time only the binary-propagation phase — the workload the kernel
+/// engine targets. Network build, unary filtering and arc initialization
+/// run untimed; the measured region is one full `apply_all_binary` sweep.
+fn binary_phase(
+    grammar: &Grammar,
+    sentence: &Sentence,
+    eval: EvalStrategy,
+    engine: &'static str,
+) -> Measurement {
+    let mut net = cdg_core::Network::build(grammar, sentence);
+    net.eval = eval;
+    cdg_core::propagate::apply_all_unary(&mut net);
+    net.init_arcs();
+    let (_, wall) = timed(|| cdg_core::propagate::apply_all_binary(&mut net));
+    Measurement {
+        engine,
+        n: sentence.len(),
+        wall_secs: wall,
+        ops: Some(net.stats.binary_checks as u64),
+        steps: None,
+        processors: Some(1),
+        est_secs: None,
+        accepted: net.all_roles_nonempty(),
+    }
+}
+
+/// Binary propagation under the compiled signature-memoized kernel.
+pub fn binary_kernel(grammar: &Grammar, sentence: &Sentence) -> Measurement {
+    binary_phase(grammar, sentence, EvalStrategy::Kernel, "cdg-binary-kernel")
+}
+
+/// Binary propagation under the naive tree-walk evaluator.
+pub fn binary_naive(grammar: &Grammar, sentence: &Sentence) -> Measurement {
+    binary_phase(grammar, sentence, EvalStrategy::Naive, "cdg-binary-naive")
 }
 
 /// Rayon P-RAM-style CDG (the "CRCW P-RAM" CDG row).

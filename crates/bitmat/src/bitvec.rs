@@ -37,6 +37,16 @@ impl BitVec {
         }
     }
 
+    /// Reset to an all-zero bitset of length `len`, reusing the existing
+    /// word buffer (no allocation when capacity suffices). For scratch
+    /// bitsets that are cleared and resized every round.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        let n = words_for(len);
+        self.words.clear();
+        self.words.resize(n, 0);
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
@@ -131,6 +141,17 @@ impl BitVec {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// In-place union with a raw word slice of the same word length —
+    /// the accumulator behind [`crate::BitMatrix::col_occupancy`]. The
+    /// caller guarantees `words` has no bits set past `self.len` (true for
+    /// any matrix row whose column count equals this vector's length).
+    pub fn or_assign_raw(&mut self, words: &[u64]) {
+        assert_eq!(self.words.len(), words.len(), "word length mismatch");
+        for (a, b) in self.words.iter_mut().zip(words) {
+            *a |= *b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +169,19 @@ mod tests {
         assert!(o.any());
         // Tail bits beyond len must not be set.
         assert_eq!(o.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn reset_reuses_buffer_and_matches_zeros() {
+        let mut v = BitVec::ones(130);
+        for len in [130, 7, 200, 0, 64] {
+            v.reset(len);
+            assert_eq!(v, BitVec::zeros(len));
+            if len > 0 {
+                // Dirty the buffer so the next round proves the clearing.
+                v.set(len - 1, true);
+            }
+        }
     }
 
     #[test]

@@ -168,6 +168,34 @@ impl BitMatrix {
         }
     }
 
+    /// AND row `r` with `mask`, returning how many 1-bits were cleared —
+    /// the word-parallel arc-row kernel of binary constraint propagation:
+    /// one memoized allowed-mask replaces a per-cell interpreter walk, and
+    /// the cleared count feeds the `entries_zeroed` statistic exactly as
+    /// per-cell zeroing would.
+    pub fn row_and_count(&mut self, r: usize, mask: &BitVec) -> usize {
+        assert_eq!(mask.len(), self.cols, "mask length mismatch");
+        let mut cleared = 0usize;
+        for (w, m) in self.row_mut(r).iter_mut().zip(mask.words()) {
+            cleared += (*w & !*m).count_ones() as usize;
+            *w &= *m;
+        }
+        cleared
+    }
+
+    /// OR of all rows: bit `c` is set iff column `c` contains at least
+    /// one set entry. One pass over the words, so a full column-support
+    /// sweep costs O(rows · row_words) instead of
+    /// [`BitMatrix::col_any`]'s word-strided probe per column — the
+    /// transpose-free column scan used by consistency maintenance.
+    pub fn col_occupancy(&self) -> BitVec {
+        let mut occ = BitVec::zeros(self.cols);
+        for r in 0..self.rows {
+            occ.or_assign_raw(self.row(r));
+        }
+        occ
+    }
+
     /// Number of 1 entries in the whole matrix.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -309,6 +337,36 @@ mod tests {
     }
 
     #[test]
+    fn row_and_count_reports_cleared_bits() {
+        let mut m = BitMatrix::ones(2, 100);
+        let mut mask = BitVec::zeros(100);
+        mask.set(3, true);
+        mask.set(99, true);
+        assert_eq!(m.row_and_count(0, &mask), 98);
+        assert_eq!(m.row_ones(0).collect::<Vec<_>>(), vec![3, 99]);
+        // Re-applying the same mask clears nothing further.
+        assert_eq!(m.row_and_count(0, &mask), 0);
+        // A row that already lacks the masked-out bits loses none.
+        m.zero_row(1);
+        m.set(1, 3, true);
+        assert_eq!(m.row_and_count(1, &mask), 0);
+        assert!(m.get(1, 3));
+    }
+
+    #[test]
+    fn col_occupancy_matches_col_any() {
+        let mut m = BitMatrix::zeros(5, 130);
+        for (r, c) in [(0, 0), (2, 64), (4, 129), (1, 64)] {
+            m.set(r, c, true);
+        }
+        let occ = m.col_occupancy();
+        for c in 0..130 {
+            assert_eq!(occ.get(c), m.col_any(c), "column {c}");
+        }
+        assert_eq!(occ.count_ones(), 3);
+    }
+
+    #[test]
     fn row_ones_ascending() {
         let mut m = BitMatrix::zeros(1, 200);
         for c in [0, 63, 64, 127, 199] {
@@ -390,6 +448,10 @@ mod tests {
             }
             for c in 0..cols {
                 prop_assert_eq!(m.col_any(c), dense.iter().any(|row| row[c]));
+            }
+            let occ = m.col_occupancy();
+            for c in 0..cols {
+                prop_assert_eq!(occ.get(c), dense.iter().any(|row| row[c]));
             }
             let t = m.transposed();
             for (r, row) in dense.iter().enumerate() {

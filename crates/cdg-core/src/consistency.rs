@@ -9,8 +9,16 @@
 //! sequential (and NC-hard in general, by their reduction from the Monotone
 //! Circuit Value Problem), but that in practice fewer than ~10 passes
 //! suffice — the justification for bounding it by a constant on the MasPar.
+//!
+//! Two implementations coexist, producing identical removal sequences:
+//! the full-scan [`maintain`]/[`filter`] pair (one row/column probe per
+//! alive value per incident arc, every pass), and the AC-4-style
+//! [`IncrementalFilter`], which pays one support-counter per (value, arc)
+//! up front and thereafter touches only counters disturbed by removals —
+//! the worklist path the kernel engine's parse pipeline uses.
 
-use crate::network::Network;
+use crate::network::{Network, SlotId};
+use bitmat::BitVec;
 
 /// One simultaneous pass of consistency maintenance: test the support of
 /// every alive role value against the current matrices, then remove every
@@ -24,6 +32,11 @@ pub fn maintain(net: &mut Network<'_>) -> usize {
         net.arcs_ready(),
         "consistency maintenance needs arc matrices"
     );
+    // Column-support occupancy per arc, computed once per pass: bit `c` of
+    // `occ[idx]` is set iff column `c` of that arc matrix has any 1. This
+    // replaces the word-strided per-bit `col_any` probe in the i > j case
+    // with one O(1) bit test after a single word-parallel matrix scan.
+    let occ = column_occupancies(net);
     let mut doomed: Vec<(usize, usize)> = Vec::new();
     let mut support_checks = 0usize;
     let num = net.num_slots();
@@ -35,8 +48,12 @@ pub fn maintain(net: &mut Network<'_>) -> usize {
                     continue;
                 }
                 support_checks += 1;
-                let (m, _) = net.arc(i.min(j), i.max(j));
-                let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
+                let supported = if i < j {
+                    let (m, _) = net.arc(i, j);
+                    m.row_any(a)
+                } else {
+                    occ[net.arc_index(j, i)].get(a)
+                };
                 if !supported {
                     doomed.push((i, a));
                     continue 'value;
@@ -77,6 +94,7 @@ pub fn filter(net: &mut Network<'_>, max_passes: usize) -> (usize, usize, bool) 
 /// all-zero row/column in any incident arc matrix. This is the filtering
 /// fixpoint condition.
 pub fn is_locally_consistent(net: &Network<'_>) -> bool {
+    let occ = column_occupancies(net);
     let num = net.num_slots();
     for i in 0..num {
         let si = net.slot(i);
@@ -85,8 +103,12 @@ pub fn is_locally_consistent(net: &Network<'_>) -> bool {
                 if j == i {
                     continue;
                 }
-                let (m, _) = net.arc(i.min(j), i.max(j));
-                let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
+                let supported = if i < j {
+                    let (m, _) = net.arc(i, j);
+                    m.row_any(a)
+                } else {
+                    occ[net.arc_index(j, i)].get(a)
+                };
                 if !supported {
                     return false;
                 }
@@ -94,6 +116,163 @@ pub fn is_locally_consistent(net: &Network<'_>) -> bool {
         }
     }
     true
+}
+
+/// Column occupancy of every arc matrix, in storage order.
+fn column_occupancies(net: &Network<'_>) -> Vec<BitVec> {
+    net.arcs_raw().iter().map(|m| m.col_occupancy()).collect()
+}
+
+/// AC-4-style incremental filtering state.
+///
+/// [`maintain`] rescans every alive value's support each pass, unchanged or
+/// not. This structure pays the scan once ([`IncrementalFilter::build`]):
+/// one counter per (value, incident arc) holding how many 1-entries support
+/// the value there. A removal then only *decrements* counters along the
+/// zeroed row/column; a counter reaching zero enqueues its value for the
+/// next generation. Invariants:
+///
+/// * counters only decrease, and each equals the number of supporting
+///   1-entries in the corresponding arc at all generation boundaries;
+/// * generation g removes exactly the set that full-scan pass g would
+///   (generation 0 = values unsupported in the initial matrices), so
+///   removal order, `filter_passes`, `removals`, `entries_zeroed`, and the
+///   final network are identical to [`filter`]'s;
+/// * an empty generation is precisely the full-scan pass that removes
+///   nothing — the fixpoint.
+///
+/// `support_checks` counts one per counter decrement (the incremental
+/// path's unit of support work); the one-time build cost is recorded
+/// separately in `support_inits`.
+pub struct IncrementalFilter {
+    num_slots: usize,
+    /// Per slot: `counts[slot][idx * num_slots + other]` = supporting
+    /// 1-entries for value `idx` in the arc toward `other`.
+    counts: Vec<Vec<u32>>,
+    /// Values ever enqueued (or doomed at build time) — never re-enqueued.
+    queued: Vec<BitVec>,
+    /// The current generation of unsupported values.
+    queue: Vec<(SlotId, usize)>,
+}
+
+impl IncrementalFilter {
+    /// Scan the matrices once, populating every support counter and the
+    /// initial generation (values already unsupported somewhere).
+    pub fn build(net: &mut Network<'_>) -> Self {
+        assert!(net.arcs_ready(), "incremental filtering needs arc matrices");
+        let num = net.num_slots();
+        let mut counts: Vec<Vec<u32>> = net
+            .slots()
+            .iter()
+            .map(|s| vec![0u32; s.domain.len() * num])
+            .collect();
+        let mut inits = 0usize;
+        for &(i, j, idx) in net.arc_pairs() {
+            let m = &net.arcs_raw()[idx];
+            for a in 0..m.rows() {
+                counts[i][a * num + j] = m.row_count_ones(a) as u32;
+                for b in m.row_ones(a) {
+                    counts[j][b * num + i] += 1;
+                }
+            }
+            inits += m.rows() + m.cols();
+        }
+        net.stats.support_inits += inits;
+        let mut queued: Vec<BitVec> = net
+            .slots()
+            .iter()
+            .map(|s| BitVec::zeros(s.domain.len()))
+            .collect();
+        let mut queue = Vec::new();
+        for (i, slot) in net.slots().iter().enumerate() {
+            for a in slot.alive.iter_ones() {
+                let unsupported = (0..num).any(|j| j != i && counts[i][a * num + j] == 0);
+                if unsupported {
+                    queued[i].set(a, true);
+                    queue.push((i, a));
+                }
+            }
+        }
+        IncrementalFilter {
+            num_slots: num,
+            counts,
+            queued,
+            queue,
+        }
+    }
+
+    /// Process one generation: remove every queued value, decrement the
+    /// counters its zeroed entries supported, and enqueue newly unsupported
+    /// values for the next generation. Returns (removed, reached_fixpoint);
+    /// an empty generation is the fixpoint (and still counts as a pass,
+    /// like the full-scan pass that removes nothing).
+    pub fn pass(&mut self, net: &mut Network<'_>) -> (usize, bool) {
+        net.stats.maintain_passes += 1;
+        if self.queue.is_empty() {
+            return (0, true);
+        }
+        let generation = std::mem::take(&mut self.queue);
+        let num = self.num_slots;
+        let mut next: Vec<(SlotId, usize)> = Vec::new();
+        let mut disturbed: Vec<usize> = Vec::new();
+        for &(slot, idx) in &generation {
+            for other in 0..num {
+                if other == slot {
+                    continue;
+                }
+                // Collect the entries this removal will zero *before*
+                // `remove_value` clears them.
+                disturbed.clear();
+                if slot < other {
+                    let m = &net.arcs_raw()[net.arc_index(slot, other)];
+                    disturbed.extend(m.row_ones(idx));
+                } else {
+                    let m = &net.arcs_raw()[net.arc_index(other, slot)];
+                    disturbed.extend((0..m.rows()).filter(|&r| m.get(r, idx)));
+                }
+                net.stats.support_checks += disturbed.len();
+                for &b in &disturbed {
+                    let c = &mut self.counts[other][b * num + slot];
+                    debug_assert!(*c > 0, "support counter underflow");
+                    *c -= 1;
+                    if *c == 0 && net.slot(other).alive.get(b) && !self.queued[other].get(b) {
+                        self.queued[other].set(b, true);
+                        next.push((other, b));
+                    }
+                }
+            }
+            net.remove_value(slot, idx);
+        }
+        self.queue = next;
+        (generation.len(), false)
+    }
+
+    /// Drive [`IncrementalFilter::pass`] like [`filter`]: at most
+    /// `max_passes` generations, stopping at the fixpoint. Returns (total
+    /// removed, passes run, reached_fixpoint).
+    pub fn run(&mut self, net: &mut Network<'_>, max_passes: usize) -> (usize, usize, bool) {
+        let mut total = 0;
+        let mut passes = 0;
+        while passes < max_passes {
+            passes += 1;
+            let (removed, fixpoint) = self.pass(net);
+            total += removed;
+            if fixpoint {
+                return (total, passes, true);
+            }
+        }
+        (total, passes, false)
+    }
+}
+
+/// Build an [`IncrementalFilter`] and run it — the incremental counterpart
+/// of [`filter`], with identical return semantics and removal sequence.
+pub fn filter_incremental(net: &mut Network<'_>, max_passes: usize) -> (usize, usize, bool) {
+    if max_passes == 0 {
+        return (0, 0, false);
+    }
+    let mut inc = IncrementalFilter::build(net);
+    inc.run(net, max_passes)
 }
 
 #[cfg(test)]
@@ -195,6 +374,36 @@ mod tests {
         assert!(fixpoint);
         // After a fixpoint, further passes remove nothing.
         assert_eq!(maintain(&mut net), 0);
+    }
+
+    #[test]
+    fn incremental_filter_matches_full_rescan() {
+        // filter_incremental reaches the same fixpoint as filter — same
+        // alive sets, same removal total — while charging strictly fewer
+        // support checks (it only touches disturbed rows).
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut full = Network::build(&g, &s);
+        apply_all_unary(&mut full);
+        full.init_arcs();
+        apply_all_binary(&mut full);
+        let mut inc = full.clone();
+        full.stats.support_checks = 0;
+        inc.stats.support_checks = 0;
+
+        let (removed_f, _, fx_f) = filter(&mut full, usize::MAX);
+        let (removed_i, _, fx_i) = filter_incremental(&mut inc, usize::MAX);
+        assert_eq!(removed_f, removed_i);
+        assert!(fx_f && fx_i);
+        for (a, b) in full.slots().iter().zip(inc.slots()) {
+            assert_eq!(a.alive, b.alive);
+        }
+        assert!(
+            inc.stats.support_checks < full.stats.support_checks,
+            "incremental {} vs full {}",
+            inc.stats.support_checks,
+            full.stats.support_checks
+        );
     }
 
     #[test]

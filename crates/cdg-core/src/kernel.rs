@@ -1,0 +1,607 @@
+//! The word-parallel constraint-kernel propagation engine.
+//!
+//! The naive propagation loop in [`crate::propagate`] walks the boxed
+//! `CExpr` tree once per live arc cell — O(k_b·n⁴) interpreter calls. This
+//! module replaces that inner loop, per constraint and per arc, with:
+//!
+//! 1. **Bytecode.** The constraint is lowered once to a flat
+//!    [`KernelProgram`] ([`cdg_grammar::kernel`]); each evaluation is a
+//!    loop over contiguous ops with a reused scratch stack instead of a
+//!    `Box`-chasing recursion.
+//! 2. **Partial-evaluation classes.** Before touching individual pairs,
+//!    each row (and, on demand, each column) is *classified* by evaluating
+//!    the program with the other slot's value [`PartialBinding::Open`]:
+//!    `pos`/`role` resolve (they are slot constants), only the open value's
+//!    features read as `Unknown`. Kleene monotonicity makes a definite
+//!    class verdict binding for every concrete pair in the row/column —
+//!    `False` zeroes the row in one word-parallel sweep, `True`×`True`
+//!    skips it untouched, and only the `Unknown` remainder is evaluated
+//!    pairwise.
+//! 3. **Signature memoization.** Within one slot, `pos` and `role` are
+//!    fixed; a pair verdict can only depend on the feature projections the
+//!    constraint actually reads (label / modifiee / category — see
+//!    `PairFeatures`). Domains collapse to a handful of distinct
+//!    signatures, so verdicts are computed once per *(signature,
+//!    signature)* and reused for every concrete pair sharing them.
+//! 4. **Row masks.** For each live value `a` of the row slot, the allowed
+//!    columns form a [`BitVec`] mask (one per distinct row signature);
+//!    applying it is a word-parallel `row_and_count` — the software
+//!    analogue of the MasPar's constant-time AND over a row of PEs.
+//!
+//! Results are bit-identical to the naive path: the mask has a 1 exactly
+//! where the naive per-cell check would keep the entry, dead columns are
+//! already all-zero (so the extra AND there clears nothing), and
+//! `row_and_count` reports exactly the 1→0 transitions that per-cell
+//! `zero_arc_entry` calls would have counted.
+
+use crate::network::{Network, RoleSlot};
+use bitmat::{BitMatrix, BitVec};
+use cdg_grammar::expr::EvalCtx;
+use cdg_grammar::kernel::{signature_key, KernelProgram, PartialBinding};
+use cdg_grammar::value::Truth;
+use cdg_grammar::{Constraint, Sentence, Value};
+use std::collections::HashMap;
+
+/// Per-slot signature table: `ids[v]` is a dense id (0..count) such that two
+/// *alive* domain entries share an id iff the constraint cannot distinguish
+/// them. Dead entries carry `u32::MAX` — the engine never looks at them,
+/// and interning only the live values keeps the per-arc scratch tables at
+/// the size of the pruned domain, not the initial one.
+pub struct SlotSigs {
+    /// Dense signature id per domain entry (`u32::MAX` for dead entries).
+    pub ids: Vec<u32>,
+    /// Number of distinct signatures among the slot's alive entries.
+    pub count: usize,
+    /// Slot-level classes per signature: the constraint partially evaluated
+    /// with this signature's representative bound and the *other* variable
+    /// entirely unknown ([`PartialBinding::Any`]) — `.0` with the
+    /// representative as `x`, `.1` as `y`. A definite verdict holds against
+    /// every other slot, so it is computed once per constraint × slot
+    /// instead of once per arc; `Unknown` defers to the per-arc classes.
+    pub classes: Vec<(Truth, Truth)>,
+    /// True when every alive signature's as-`x` class (`classes[..].0`) is
+    /// definitely `True`: any pair with one of this slot's values bound as
+    /// `x` passes that ordering outright. When *both* endpoints of an arc
+    /// carry the flag, both orderings pass for every pair and the whole
+    /// arc is a no-op — the common case for label-guarded constraints on
+    /// slots whose labels never match the guard.
+    pub all_pass_as_x: bool,
+}
+
+/// Multiplicative hasher for the packed `u64` signature keys. One interner
+/// runs per slot per constraint application, so the default SipHash is a
+/// measurable cost; the keys are already well-mixed bit-packed fields.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type KeyMap = HashMap<u64, u32, std::hash::BuildHasherDefault<KeyHasher>>;
+
+/// Intern the feature projections of every alive domain entry of `slot`
+/// under the features `prog` reads, and compute the slot-level classes
+/// (two partial evaluations per distinct signature, counted in `checks`).
+pub fn slot_signatures(
+    prog: &KernelProgram,
+    sentence: &Sentence,
+    slot: &RoleSlot,
+    stack: &mut Vec<Value>,
+    checks: &mut usize,
+) -> SlotSigs {
+    let f = prog.features().combined();
+    let mut interner = KeyMap::default();
+    let mut ids = vec![u32::MAX; slot.domain.len()];
+    let mut classes = Vec::new();
+    for v in slot.alive.iter_ones() {
+        let next = interner.len() as u32;
+        let id = *interner
+            .entry(signature_key(f, slot.domain[v]))
+            .or_insert(next);
+        ids[v] = id;
+        if id == next && classes.len() == next as usize {
+            let b = PartialBinding::Bound(slot.binding(v));
+            *checks += 2;
+            let s1 = prog
+                .eval_partial(sentence, b, PartialBinding::Any, stack)
+                .truth();
+            let s2 = prog
+                .eval_partial(sentence, PartialBinding::Any, b, stack)
+                .truth();
+            classes.push((s1, s2));
+        }
+    }
+    let all_pass_as_x = !classes.is_empty() && classes.iter().all(|c| c.0 == Truth::True);
+    SlotSigs {
+        ids,
+        count: classes.len(),
+        classes,
+        all_pass_as_x,
+    }
+}
+
+/// Reusable scratch state for [`kernel_arc`]. The per-arc tables are
+/// generation-stamped instead of reallocated: entries from a previous arc
+/// read as absent under the current generation, so applying a constraint
+/// over hundreds of arcs costs zero steady-state allocation — without this,
+/// clearing the verdict table alone (O(sigs²) per arc) dominates the
+/// evaluations it saves.
+pub struct KernelScratch {
+    stack: Vec<Value>,
+    gen: u64,
+    /// Per row signature: (gen, ordering-1 class, ordering-2 class).
+    row_class: Vec<(u64, Truth, Truth)>,
+    /// Per column signature, computed on demand.
+    col_class: Vec<(u64, Truth, Truth)>,
+    /// Per signature pair: (gen, pair survives).
+    verdicts: Vec<(u64, bool)>,
+    /// Per row signature: (gen, allowed-column mask).
+    masks: Vec<(u64, BitVec)>,
+}
+
+impl KernelScratch {
+    pub fn new() -> Self {
+        KernelScratch {
+            stack: Vec::new(),
+            gen: 0,
+            row_class: Vec::new(),
+            col_class: Vec::new(),
+            verdicts: Vec::new(),
+            masks: Vec::new(),
+        }
+    }
+
+    /// Start a new arc with `ri`/`rj` distinct row/column signatures:
+    /// advance the generation (invalidating every stamped entry in O(1))
+    /// and grow the tables as needed.
+    fn begin_arc(&mut self, ri: usize, rj: usize) {
+        self.gen += 1;
+        let stale = (0, Truth::Unknown, Truth::Unknown);
+        if self.row_class.len() < ri {
+            self.row_class.resize(ri, stale);
+        }
+        if self.col_class.len() < rj {
+            self.col_class.resize(rj, stale);
+        }
+        if self.verdicts.len() < ri * rj {
+            self.verdicts.resize(ri * rj, (0, false));
+        }
+        if self.masks.len() < ri {
+            self.masks.resize_with(ri, || (0, BitVec::zeros(0)));
+        }
+    }
+}
+
+impl Default for KernelScratch {
+    fn default() -> Self {
+        KernelScratch::new()
+    }
+}
+
+#[inline]
+fn survives(v: Value) -> bool {
+    v.truth().not_false()
+}
+
+/// Evaluate the unordered-pair verdict (both orderings must survive),
+/// short-circuiting after a definite violation of the first — counting only
+/// evaluations actually performed.
+#[inline]
+pub fn pair_verdict(
+    prog: &KernelProgram,
+    sentence: &Sentence,
+    ba: cdg_grammar::expr::Binding,
+    bb: cdg_grammar::expr::Binding,
+    stack: &mut Vec<Value>,
+    checks: &mut usize,
+) -> bool {
+    *checks += 1;
+    if !survives(prog.eval_with(&EvalCtx::binary(sentence, ba, bb), stack)) {
+        return false;
+    }
+    *checks += 1;
+    survives(prog.eval_with(&EvalCtx::binary(sentence, bb, ba), stack))
+}
+
+/// Counters produced by kernel application over one arc. `checks` are the
+/// expression evaluations actually performed; `memo_hits` the verdicts
+/// answered from the memo table instead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArcKernelCounts {
+    pub zeroed: usize,
+    pub checks: usize,
+    pub masks_built: usize,
+    pub memo_hits: usize,
+}
+
+impl ArcKernelCounts {
+    /// Accumulate another arc's counters into this one.
+    pub fn absorb(&mut self, other: ArcKernelCounts) {
+        self.zeroed += other.zeroed;
+        self.checks += other.checks;
+        self.masks_built += other.masks_built;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// Apply a compiled program over a single arc with signature-memoized row
+/// masks. The shared inner loop of the serial and P-RAM kernel engines:
+/// each worker owns one arc matrix, so the parallel engine can call this
+/// per-arc race-free.
+#[allow(clippy::too_many_arguments)] // hot inner loop: flat borrows beat a context struct
+pub fn kernel_arc(
+    prog: &KernelProgram,
+    sentence: &Sentence,
+    si: &RoleSlot,
+    sj: &RoleSlot,
+    gi: &SlotSigs,
+    gj: &SlotSigs,
+    m: &mut BitMatrix,
+    scratch: &mut KernelScratch,
+) -> ArcKernelCounts {
+    let mut counts = ArcKernelCounts::default();
+    let alive_j = sj.alive.count_ones();
+    if alive_j == 0 {
+        return counts;
+    }
+    if gi.all_pass_as_x && gj.all_pass_as_x {
+        // Ordering 1 (row value as `x`) passes by `gi`'s classes, ordering
+        // 2 (column value as `x`) by `gj`'s — every pair survives, and by
+        // Kleene monotonicity the slot-level verdicts cover each concrete
+        // refinement. The arc matrix is untouched, exactly as the naive
+        // path would leave it.
+        counts.memo_hits += si.alive.count_ones() * alive_j;
+        return counts;
+    }
+    scratch.begin_arc(gi.count, gj.count);
+    let gen = scratch.gen;
+    // Partial bindings standing for "any value of this slot" — pos/role are
+    // slot constants, so they resolve definitely even with the value open.
+    let open_i = PartialBinding::Open {
+        pos: si.pos(),
+        role: si.role,
+    };
+    let open_j = PartialBinding::Open {
+        pos: sj.pos(),
+        role: sj.role,
+    };
+    for a in si.alive.iter_ones() {
+        let sa = gi.ids[a] as usize;
+        // Row *class*: the constraint partially evaluated with the column
+        // slot's value open, in both orderings. By Kleene monotonicity a
+        // definite class verdict holds for every concrete pair in the row:
+        // `False` zeroes it wholesale, `True`×`True` skips it untouched,
+        // and only the `Unknown` remainder falls through to the
+        // signature-memoized per-pair machinery. This is what beats the
+        // naive path: most constraints are vacuous on most rows (a guard
+        // like `(eq (lab x) S)` fails for every other label), and the
+        // class detects that in one evaluation per distinct signature
+        // instead of per pair.
+        let (r1, r2) = {
+            let rc = &mut scratch.row_class[sa];
+            if rc.0 == gen {
+                (rc.1, rc.2)
+            } else {
+                // Refine the slot-level class (other variable fully
+                // unknown) only where it is Unknown — a definite verdict
+                // there already holds against every column slot.
+                let (s1, s2) = gi.classes[sa];
+                let r1 = if s1 != Truth::Unknown {
+                    s1
+                } else {
+                    counts.checks += 1;
+                    prog.eval_partial(
+                        sentence,
+                        PartialBinding::Bound(si.binding(a)),
+                        open_j,
+                        &mut scratch.stack,
+                    )
+                    .truth()
+                };
+                // A definitely-failed first ordering dooms the row on its
+                // own (mirrors `pair_verdict`'s short-circuit).
+                let r2 = if r1 == Truth::False {
+                    Truth::Unknown
+                } else if s2 != Truth::Unknown {
+                    s2
+                } else {
+                    counts.checks += 1;
+                    prog.eval_partial(
+                        sentence,
+                        open_j,
+                        PartialBinding::Bound(si.binding(a)),
+                        &mut scratch.stack,
+                    )
+                    .truth()
+                };
+                scratch.row_class[sa] = (gen, r1, r2);
+                (r1, r2)
+            }
+        };
+        if r1 == Truth::False || r2 == Truth::False {
+            // Every pair in this row fails; dead columns are already zero,
+            // so the row's popcount is exactly the naive per-cell clears.
+            counts.zeroed += m.row_count_ones(a);
+            m.zero_row(a);
+            continue;
+        }
+        if r1 == Truth::True && r2 == Truth::True {
+            // Every pair in this row passes; the naive path would clear
+            // nothing here.
+            counts.memo_hits += alive_j;
+            continue;
+        }
+        let mask_entry = &mut scratch.masks[sa];
+        if mask_entry.0 == gen {
+            // A whole row of pair verdicts answered by the memo table.
+            counts.memo_hits += alive_j;
+        } else {
+            mask_entry.0 = gen;
+            mask_entry.1.reset(sj.domain.len());
+            let ba = si.binding(a);
+            for b in sj.alive.iter_ones() {
+                let sb = gj.ids[b] as usize;
+                let v = &mut scratch.verdicts[sa * gj.count + sb];
+                let pass = if v.0 == gen {
+                    counts.memo_hits += 1;
+                    v.1
+                } else {
+                    let bb = sj.binding(b);
+                    let cc = &mut scratch.col_class[sb];
+                    let (c1, c2) = if cc.0 == gen {
+                        (cc.1, cc.2)
+                    } else {
+                        // Slot-level classes of the column slot: `.1` has
+                        // the representative as `y` (our ordering 1), `.0`
+                        // as `x` (ordering 2). Refine only the Unknowns.
+                        let (t1, t2) = gj.classes[sb];
+                        let c1 = if t2 != Truth::Unknown {
+                            t2
+                        } else {
+                            counts.checks += 1;
+                            prog.eval_partial(
+                                sentence,
+                                open_i,
+                                PartialBinding::Bound(bb),
+                                &mut scratch.stack,
+                            )
+                            .truth()
+                        };
+                        let c2 = if t1 != Truth::Unknown {
+                            t1
+                        } else {
+                            counts.checks += 1;
+                            prog.eval_partial(
+                                sentence,
+                                PartialBinding::Bound(bb),
+                                open_i,
+                                &mut scratch.stack,
+                            )
+                            .truth()
+                        };
+                        scratch.col_class[sb] = (gen, c1, c2);
+                        (c1, c2)
+                    };
+                    // Resolve each ordering from the strongest definite
+                    // class, falling back to a full pair evaluation only
+                    // when both the row and column classes are Unknown.
+                    let o1 = if r1 != Truth::Unknown {
+                        r1
+                    } else if c1 != Truth::Unknown {
+                        c1
+                    } else {
+                        counts.checks += 1;
+                        prog.eval_with(&EvalCtx::binary(sentence, ba, bb), &mut scratch.stack)
+                            .truth()
+                    };
+                    let ok = o1.not_false() && {
+                        let o2 = if r2 != Truth::Unknown {
+                            r2
+                        } else if c2 != Truth::Unknown {
+                            c2
+                        } else {
+                            counts.checks += 1;
+                            prog.eval_with(&EvalCtx::binary(sentence, bb, ba), &mut scratch.stack)
+                                .truth()
+                        };
+                        o2.not_false()
+                    };
+                    scratch.verdicts[sa * gj.count + sb] = (gen, ok);
+                    ok
+                };
+                if pass {
+                    scratch.masks[sa].1.set(b, true);
+                }
+            }
+            counts.masks_built += 1;
+        }
+        counts.zeroed += m.row_and_count(a, &scratch.masks[sa].1);
+    }
+    counts
+}
+
+/// Apply a constraint pairwise over every arc with signature-memoized row
+/// masks. Serves both binary constraints (`check_pair` semantics) and
+/// unary constraints applied pairwise with witness semantics — both reduce
+/// to "evaluate the expression in both orderings; the pair survives only
+/// if neither is definitely violated". Returns entries zeroed.
+pub fn apply_pairwise_kernel(net: &mut Network<'_>, constraint: &Constraint) -> usize {
+    let mut scratch = KernelScratch::new();
+    apply_pairwise_kernel_with(net, constraint, &mut scratch)
+}
+
+/// [`apply_pairwise_kernel`] with caller-owned scratch state, so a sweep
+/// over many constraints (or repeated filter rounds) reuses the class,
+/// verdict and mask buffers instead of reallocating them per constraint.
+pub fn apply_pairwise_kernel_with(
+    net: &mut Network<'_>,
+    constraint: &Constraint,
+    scratch: &mut KernelScratch,
+) -> usize {
+    let prog = KernelProgram::compile(&constraint.expr);
+    let mut totals = ArcKernelCounts::default();
+    let sentence = net.sentence();
+    let sigs: Vec<SlotSigs> = net
+        .slots()
+        .iter()
+        .map(|s| slot_signatures(&prog, sentence, s, &mut scratch.stack, &mut totals.checks))
+        .collect();
+
+    let parts = net.parts_mut();
+    for &(i, j, idx) in parts.pairs {
+        totals.absorb(kernel_arc(
+            &prog,
+            parts.sentence,
+            &parts.slots[i],
+            &parts.slots[j],
+            &sigs[i],
+            &sigs[j],
+            &mut parts.arcs[idx],
+            scratch,
+        ));
+    }
+    parts.stats.binary_checks += totals.checks;
+    parts.stats.kernel_masks += totals.masks_built;
+    parts.stats.kernel_memo_hits += totals.memo_hits;
+    parts.stats.entries_zeroed += totals.zeroed;
+    totals.zeroed
+}
+
+/// Apply a unary constraint with the bytecode evaluator. No memoization:
+/// the check count stays one per alive value — identical to the naive
+/// path's accounting — and unary propagation is O(n²), far off the hot
+/// path.
+pub fn apply_unary_kernel(net: &mut Network<'_>, constraint: &Constraint) -> usize {
+    let prog = KernelProgram::compile(&constraint.expr);
+    let mut stack: Vec<Value> = Vec::with_capacity(prog.max_depth());
+    let mut doomed: Vec<(usize, usize)> = Vec::new();
+    let mut checks = 0usize;
+    for (slot_id, slot) in net.slots().iter().enumerate() {
+        for idx in slot.alive.iter_ones() {
+            checks += 1;
+            let ctx = EvalCtx::unary(net.sentence(), slot.binding(idx));
+            if !survives(prog.eval_with(&ctx, &mut stack)) {
+                doomed.push((slot_id, idx));
+            }
+        }
+    }
+    net.stats.unary_checks += checks;
+    let removed = doomed.len();
+    for (slot_id, idx) in doomed {
+        net.remove_value(slot_id, idx);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::EvalStrategy;
+    use cdg_grammar::grammars::{english, paper};
+
+    /// The core bit-identity claim, at the single-constraint granularity:
+    /// every propagation function produces the same network under both
+    /// strategies.
+    #[test]
+    fn kernel_matches_naive_per_constraint() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        for text in [
+            "the dog runs",
+            "the watch runs",
+            "the dog runs in the park",
+            "program the runs",
+        ] {
+            let Ok(s) = lex.sentence(text) else { continue };
+            let mut nk = Network::build(&g, &s);
+            let mut nn = Network::build(&g, &s);
+            nk.eval = EvalStrategy::Kernel;
+            nn.eval = EvalStrategy::Naive;
+            crate::propagate::apply_all_unary(&mut nk);
+            crate::propagate::apply_all_unary(&mut nn);
+            nk.init_arcs();
+            nn.init_arcs();
+            for c in g.binary_constraints() {
+                let zk = crate::propagate::apply_binary(&mut nk, c);
+                let zn = crate::propagate::apply_binary(&mut nn, c);
+                assert_eq!(zk, zn, "zeroed counts diverge on {} for `{text}`", c.name);
+            }
+            if s.has_lexical_ambiguity() {
+                for c in g.unary_constraints() {
+                    let zk = crate::propagate::apply_unary_pairwise(&mut nk, c);
+                    let zn = crate::propagate::apply_unary_pairwise(&mut nn, c);
+                    assert_eq!(zk, zn, "pairwise diverges on {} for `{text}`", c.name);
+                }
+            }
+            assert_eq!(nk.stats.entries_zeroed, nn.stats.entries_zeroed);
+            for (&(i, j, idx), &(i2, j2, idx2)) in nk.arc_pairs().iter().zip(nn.arc_pairs()) {
+                assert_eq!((i, j, idx), (i2, j2, idx2));
+                assert_eq!(
+                    nk.arcs_raw()[idx],
+                    nn.arcs_raw()[idx],
+                    "arc ({i},{j}) diverges for `{text}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_avoids_most_evaluations() {
+        // `unique-root` reads only the labels, so a slot's domain (labels ×
+        // modifiees) collapses to one signature per label and the memo
+        // table answers the bulk of the pair verdicts. Arcs are built over
+        // the unpruned domains to exercise the full collapse.
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let s = lex
+            .sentence("the dog runs in the park")
+            .expect("in lexicon");
+        let mut net = Network::build(&g, &s);
+        net.init_arcs();
+        let c = g
+            .binary_constraints()
+            .iter()
+            .find(|c| c.name == "unique-root")
+            .expect("grammar has unique-root");
+        apply_pairwise_kernel(&mut net, c);
+        let evals = net.stats.binary_checks;
+        assert!(net.stats.kernel_memo_hits > 0, "memo table never hit");
+        assert!(
+            net.stats.kernel_memo_hits > evals,
+            "expected memoized verdicts ({}) to dominate evaluations ({evals})",
+            net.stats.kernel_memo_hits
+        );
+        assert!(net.stats.kernel_masks > 0);
+    }
+
+    #[test]
+    fn unary_kernel_counts_like_naive() {
+        // Pinned by the Figure 2 walkthrough: one unary check per alive
+        // value, regardless of evaluator.
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        let mut nk = Network::build(&g, &s);
+        let mut nn = Network::build(&g, &s);
+        nn.eval = EvalStrategy::Naive;
+        let c = &g.unary_constraints()[0];
+        assert_eq!(
+            crate::propagate::apply_unary(&mut nk, c),
+            crate::propagate::apply_unary(&mut nn, c)
+        );
+        assert_eq!(nk.stats.unary_checks, nn.stats.unary_checks);
+        assert_eq!(nk.stats.unary_checks, 54);
+    }
+}

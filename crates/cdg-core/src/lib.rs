@@ -34,6 +34,7 @@ pub mod consistency;
 pub mod dot;
 pub mod error;
 pub mod extract;
+pub mod kernel;
 pub mod network;
 pub mod parser;
 pub mod pool;
@@ -43,9 +44,10 @@ pub mod snapshot;
 pub mod stats;
 
 pub use batch::{parse_batch, parse_batch_with_pool, BatchOutcome};
+pub use consistency::{filter_incremental, IncrementalFilter};
 pub use error::{BudgetResource, EngineError, ParseBudget};
 pub use extract::PrecedenceGraph;
-pub use network::{Network, SlotId};
+pub use network::{EvalStrategy, NetParts, Network, SlotId};
 pub use parser::{parse, parse_with_pool, FilterMode, ParseOptions, ParseOutcome};
 pub use pool::{ArcPool, PoolStats};
 pub use relax::{parse_relaxed, RelaxLadder, RelaxOutcome};

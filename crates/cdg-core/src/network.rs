@@ -10,6 +10,37 @@ use cdg_grammar::{Grammar, Modifiee, RoleId, RoleValue, Sentence};
 /// (`word * q + role`), 0-based.
 pub type SlotId = usize;
 
+/// Which constraint evaluator the propagation functions use.
+///
+/// Both strategies produce bit-identical networks (same removal sets, same
+/// surviving arcs); they differ only in how each verdict is computed. The
+/// kernel path is the default; the naive path is kept as the differential
+/// oracle (`tests/kernel_equivalence.rs`) and for `--naive-eval` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Compile each constraint to flat bytecode, memoize pair verdicts by
+    /// feature signature, and apply them as word-parallel row masks.
+    #[default]
+    Kernel,
+    /// Walk the boxed `CExpr` tree once per pair — the paper's literal
+    /// per-cell formulation.
+    Naive,
+}
+
+/// Split borrow of a network for the parallel engines: immutable slots,
+/// sentence, and arc-pair list alongside mutable arc matrices and stats,
+/// so workers can evaluate constraints while each mutates its own arc
+/// matrix (arcs are distributed one-per-worker — race-free).
+pub struct NetParts<'a> {
+    pub slots: &'a [RoleSlot],
+    pub arcs: &'a mut [BitMatrix],
+    pub sentence: &'a Sentence,
+    /// Every arc as (slot i, slot j, triangular index), i < j, in storage
+    /// order (parallel to `arcs`).
+    pub pairs: &'a [(SlotId, SlotId, usize)],
+    pub stats: &'a mut NetStats,
+}
+
 /// One role of one word: its fixed initial domain of role values and the
 /// alive-set over that domain.
 #[derive(Debug, Clone)]
@@ -67,7 +98,13 @@ pub struct Network<'g> {
     slots: Vec<RoleSlot>,
     /// Upper-triangular arc matrices; empty until `init_arcs`.
     arcs: Vec<BitMatrix>,
+    /// (i, j, triangular index) per arc, i < j — precomputed once at
+    /// `init_arcs` time so the propagation and consistency loops iterate a
+    /// slice instead of rebuilding a `Vec` per constraint.
+    pairs: Vec<(SlotId, SlotId, usize)>,
     arcs_ready: bool,
+    /// How propagation evaluates constraints (see [`EvalStrategy`]).
+    pub eval: EvalStrategy,
     pub stats: NetStats,
 }
 
@@ -113,7 +150,9 @@ impl<'g> Network<'g> {
             sentence: sentence.clone(),
             slots,
             arcs: Vec::new(),
+            pairs: Vec::new(),
             arcs_ready: false,
+            eval: EvalStrategy::default(),
             stats,
         }
     }
@@ -154,8 +193,9 @@ impl<'g> Network<'g> {
         word as usize * self.num_roles() + role.0 as usize
     }
 
-    /// Index of arc (i, j), i < j, in the triangular arc vector.
-    fn arc_index(&self, i: SlotId, j: SlotId) -> usize {
+    /// Index of arc (i, j), i < j, in the triangular arc vector (the order
+    /// of [`Network::arc_pairs`] and [`Network::arcs_raw`]).
+    pub fn arc_index(&self, i: SlotId, j: SlotId) -> usize {
         debug_assert!(i < j && j < self.num_slots());
         let n = self.num_slots();
         i * n - i * (i + 1) / 2 + (j - i - 1)
@@ -182,8 +222,10 @@ impl<'g> Network<'g> {
         assert!(!self.arcs_ready, "arcs already initialized");
         let num = self.num_slots();
         let mut arcs = Vec::with_capacity(num * (num - 1) / 2);
+        let mut pairs = Vec::with_capacity(num * (num - 1) / 2);
         for i in 0..num {
             for j in (i + 1)..num {
+                pairs.push((i, j, arcs.len()));
                 let (si, sj) = (&self.slots[i], &self.slots[j]);
                 let mut m = pool.acquire(si.domain.len(), sj.domain.len());
                 self.stats.arc_entries_initialized += si.domain.len() * sj.domain.len();
@@ -199,6 +241,7 @@ impl<'g> Network<'g> {
             }
         }
         self.arcs = arcs;
+        self.pairs = pairs;
         self.arcs_ready = true;
     }
 
@@ -260,24 +303,23 @@ impl<'g> Network<'g> {
         &self.arcs
     }
 
-    /// Split borrow for the parallel engines: immutable slots and sentence
-    /// alongside mutable arcs, so workers can evaluate constraints while
-    /// each mutates its own arc matrix.
-    pub fn parts_mut(&mut self) -> (&[RoleSlot], &mut [BitMatrix], &Sentence) {
+    /// Split borrow for the parallel engines (see [`NetParts`]).
+    pub fn parts_mut(&mut self) -> NetParts<'_> {
         assert!(self.arcs_ready, "arcs not initialized");
-        (&self.slots, &mut self.arcs, &self.sentence)
+        NetParts {
+            slots: &self.slots,
+            arcs: &mut self.arcs,
+            sentence: &self.sentence,
+            pairs: &self.pairs,
+            stats: &mut self.stats,
+        }
     }
 
-    /// Every arc as (slot i, slot j, triangular index), i < j.
-    pub fn arc_pairs(&self) -> Vec<(SlotId, SlotId, usize)> {
-        let n = self.num_slots();
-        let mut out = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                out.push((i, j, self.arc_index(i, j)));
-            }
-        }
-        out
+    /// Every arc as (slot i, slot j, triangular index), i < j — the list
+    /// is built once by [`Network::init_arcs`] and borrowed thereafter.
+    pub fn arc_pairs(&self) -> &[(SlotId, SlotId, usize)] {
+        assert!(self.arcs_ready, "arcs not initialized");
+        &self.pairs
     }
 
     /// Remove role value `idx` of slot `slot`: clear its alive bit and zero

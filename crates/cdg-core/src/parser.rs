@@ -1,9 +1,9 @@
 //! The high-level sequential parse driver.
 
-use crate::consistency::{filter, is_locally_consistent};
+use crate::consistency::{filter, filter_incremental, is_locally_consistent, IncrementalFilter};
 use crate::error::{BudgetResource, EngineError, ParseBudget};
 use crate::extract::{has_parse, precedence_graphs, PrecedenceGraph};
-use crate::network::Network;
+use crate::network::{EvalStrategy, Network};
 use crate::pool::ArcPool;
 use crate::propagate::{apply_all_binary, apply_all_unary, apply_binary, apply_unary};
 use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
@@ -31,6 +31,9 @@ pub struct ParseOptions {
     /// Resource limits; when one is hit the parse returns a partial,
     /// clearly flagged outcome (`degraded` set) instead of running on.
     pub budget: ParseBudget,
+    /// Constraint evaluator: the kernel engine (default) or the naive
+    /// tree-walk oracle. Outcomes are bit-identical; only the work differs.
+    pub eval: EvalStrategy,
 }
 
 impl Default for ParseOptions {
@@ -39,6 +42,7 @@ impl Default for ParseOptions {
             arcs_before_unary: false,
             filter: FilterMode::Fixpoint,
             budget: ParseBudget::UNLIMITED,
+            eval: EvalStrategy::default(),
         }
     }
 }
@@ -97,7 +101,14 @@ impl<'g> ParseOutcome<'g> {
                 }
             }
         }
-        let (_, passes, fixpoint) = filter(&mut self.network, usize::MAX);
+        // Same pass/removal sequence either way; the kernel path rebuilds
+        // support counters once instead of rescanning every pass.
+        let (_, passes, fixpoint) = match self.network.eval {
+            EvalStrategy::Kernel if self.network.arcs_ready() => {
+                filter_incremental(&mut self.network, usize::MAX)
+            }
+            _ => filter(&mut self.network, usize::MAX),
+        };
         self.filter_passes += passes;
         self.locally_consistent = fixpoint;
         self.roles_nonempty = self.network.all_roles_nonempty();
@@ -154,6 +165,7 @@ pub fn parse_with_pool<'g>(
     };
 
     let mut net = Network::build(grammar, sentence);
+    net.eval = options.eval;
 
     // An arc-cell budget is checked *before* materializing the O(n⁴)
     // matrices: if they would not fit, the parse degrades to the unary
@@ -198,6 +210,10 @@ pub fn parse_with_pool<'g>(
     };
     let mut passes = 0usize;
     let mut fixpoint = false;
+    // Kernel mode filters incrementally: support counters built once, each
+    // generation touching only disturbed rows. Built lazily so a
+    // FilterMode::None run pays nothing.
+    let mut incremental: Option<IncrementalFilter> = None;
     while net.arcs_ready() && passes < mode_max {
         if degraded.is_none() {
             if let Some(cap) = budget.max_filter_iterations {
@@ -217,7 +233,14 @@ pub fn parse_with_pool<'g>(
         } else {
             break;
         }
-        let (_, p, fx) = filter(&mut net, 1);
+        let (p, fx) = if options.eval == EvalStrategy::Kernel {
+            let inc = incremental.get_or_insert_with(|| IncrementalFilter::build(&mut net));
+            let (_, fx) = inc.pass(&mut net);
+            (1, fx)
+        } else {
+            let (_, p, fx) = filter(&mut net, 1);
+            (p, fx)
+        };
         passes += p;
         if fx || p == 0 {
             fixpoint = fx;

@@ -1,7 +1,13 @@
 //! Constraint propagation: applying unary and binary constraints to the
 //! network.
+//!
+//! Every entry point dispatches on [`Network::eval`]: the default
+//! [`EvalStrategy::Kernel`] path compiles the constraint to bytecode and
+//! applies signature-memoized row masks ([`crate::kernel`]); the
+//! [`EvalStrategy::Naive`] path is the paper's literal per-cell tree walk,
+//! kept as the differential oracle. Both produce bit-identical networks.
 
-use crate::network::Network;
+use crate::network::{EvalStrategy, Network};
 use cdg_grammar::{Arity, Constraint};
 
 /// Apply one unary constraint to every alive role value of every slot,
@@ -13,6 +19,14 @@ pub fn apply_unary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
         Arity::Unary,
         "apply_unary needs a unary constraint"
     );
+    match net.eval {
+        EvalStrategy::Kernel => crate::kernel::apply_unary_kernel(net, constraint),
+        EvalStrategy::Naive => apply_unary_naive(net, constraint),
+    }
+}
+
+/// The tree-walking unary path (oracle for [`apply_unary`]).
+pub fn apply_unary_naive(net: &mut Network<'_>, constraint: &Constraint) -> usize {
     let mut doomed: Vec<(usize, usize)> = Vec::new();
     let mut checks = 0usize;
     // Immutable pass first: collect violators, then remove (removal mutates
@@ -58,9 +72,20 @@ pub fn apply_binary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
         net.arcs_ready(),
         "init_arcs must run before binary propagation"
     );
+    match net.eval {
+        EvalStrategy::Kernel => crate::kernel::apply_pairwise_kernel(net, constraint),
+        EvalStrategy::Naive => apply_binary_naive(net, constraint),
+    }
+}
+
+/// The tree-walking binary path (oracle for [`apply_binary`]). The check
+/// counter records evaluations actually performed: an unordered pair costs
+/// one evaluation when the first ordering already violates, two otherwise —
+/// so the counter is comparable with the kernel path's.
+pub fn apply_binary_naive(net: &mut Network<'_>, constraint: &Constraint) -> usize {
     let mut zeroed: Vec<(usize, usize, usize, usize)> = Vec::new();
     let mut checks = 0usize;
-    for (i, j, _) in net.arc_pairs() {
+    for &(i, j, _) in net.arc_pairs() {
         let (si, sj) = (net.slot(i), net.slot(j));
         for a in si.alive.iter_ones() {
             let ba = si.binding(a);
@@ -68,8 +93,12 @@ pub fn apply_binary(net: &mut Network<'_>, constraint: &Constraint) -> usize {
                 if !net.arc_entry(i, a, j, b) {
                     continue;
                 }
-                checks += 2;
-                if !constraint.check_pair(net.sentence(), ba, sj.binding(b)) {
+                checks += 1;
+                let ok = constraint.check_binary(net.sentence(), ba, sj.binding(b)) && {
+                    checks += 1;
+                    constraint.check_binary(net.sentence(), sj.binding(b), ba)
+                };
+                if !ok {
                     zeroed.push((i, a, j, b));
                 }
             }
@@ -99,9 +128,18 @@ pub fn apply_unary_pairwise(net: &mut Network<'_>, constraint: &Constraint) -> u
         net.arcs_ready(),
         "init_arcs must run before pairwise propagation"
     );
+    match net.eval {
+        EvalStrategy::Kernel => crate::kernel::apply_pairwise_kernel(net, constraint),
+        EvalStrategy::Naive => apply_unary_pairwise_naive(net, constraint),
+    }
+}
+
+/// The tree-walking pairwise-witness path (oracle for
+/// [`apply_unary_pairwise`]); check counting mirrors [`apply_binary_naive`].
+pub fn apply_unary_pairwise_naive(net: &mut Network<'_>, constraint: &Constraint) -> usize {
     let mut zeroed: Vec<(usize, usize, usize, usize)> = Vec::new();
     let mut checks = 0usize;
-    for (i, j, _) in net.arc_pairs() {
+    for &(i, j, _) in net.arc_pairs() {
         let (si, sj) = (net.slot(i), net.slot(j));
         for a in si.alive.iter_ones() {
             let ba = si.binding(a);
@@ -109,11 +147,13 @@ pub fn apply_unary_pairwise(net: &mut Network<'_>, constraint: &Constraint) -> u
                 if !net.arc_entry(i, a, j, b) {
                     continue;
                 }
-                checks += 2;
+                checks += 1;
                 let bb = sj.binding(b);
-                if !constraint.check_unary_with_witness(net.sentence(), ba, bb)
-                    || !constraint.check_unary_with_witness(net.sentence(), bb, ba)
-                {
+                let ok = constraint.check_unary_with_witness(net.sentence(), ba, bb) && {
+                    checks += 1;
+                    constraint.check_unary_with_witness(net.sentence(), bb, ba)
+                };
+                if !ok {
                     zeroed.push((i, a, j, b));
                 }
             }
@@ -131,14 +171,37 @@ pub fn apply_unary_pairwise(net: &mut Network<'_>, constraint: &Constraint) -> u
 /// On lexically ambiguous sentences, also applies every unary constraint
 /// pairwise (witness semantics). Returns total entries zeroed.
 pub fn apply_all_binary(net: &mut Network<'_>) -> usize {
+    assert!(
+        net.arcs_ready(),
+        "init_arcs must run before binary propagation"
+    );
     let grammar = net.grammar();
+    let pairwise_unary = net.sentence().has_lexical_ambiguity();
     let mut zeroed = 0;
-    for c in grammar.binary_constraints() {
-        zeroed += apply_binary(net, c);
-    }
-    if net.sentence().has_lexical_ambiguity() {
-        for c in grammar.unary_constraints() {
-            zeroed += apply_unary_pairwise(net, c);
+    match net.eval {
+        EvalStrategy::Kernel => {
+            // One scratch for the whole sweep: the class/verdict/mask
+            // buffers are generation-stamped, so reuse across constraints
+            // is free and saves the per-constraint allocations.
+            let mut scratch = crate::kernel::KernelScratch::new();
+            for c in grammar.binary_constraints() {
+                zeroed += crate::kernel::apply_pairwise_kernel_with(net, c, &mut scratch);
+            }
+            if pairwise_unary {
+                for c in grammar.unary_constraints() {
+                    zeroed += crate::kernel::apply_pairwise_kernel_with(net, c, &mut scratch);
+                }
+            }
+        }
+        EvalStrategy::Naive => {
+            for c in grammar.binary_constraints() {
+                zeroed += apply_binary_naive(net, c);
+            }
+            if pairwise_unary {
+                for c in grammar.unary_constraints() {
+                    zeroed += apply_unary_pairwise_naive(net, c);
+                }
+            }
         }
     }
     zeroed
@@ -287,7 +350,7 @@ mod tests {
         apply_all_unary(&mut b);
         apply_all_binary(&mut b);
 
-        for (i, j, _) in a.arc_pairs() {
+        for &(i, j, _) in a.arc_pairs() {
             let (si, sj) = (a.slot(i), a.slot(j));
             assert_eq!(si.alive, b.slot(i).alive);
             for x in si.alive.iter_ones() {

@@ -19,8 +19,20 @@ pub struct NetStats {
     pub binary_checks: usize,
     /// Matrix entries zeroed by binary propagation.
     pub entries_zeroed: usize,
-    /// Support tests performed during consistency maintenance.
+    /// Support tests performed during consistency maintenance. On the
+    /// full-scan path one row/column probe per (value, incident arc); on
+    /// the incremental (AC-4) path one counter decrement per disturbed
+    /// entry — the quantity the incremental filter drives down.
     pub support_checks: usize,
+    /// Support counters initialized when building the incremental filter
+    /// (one per (value, incident arc); paid once, not per pass).
+    pub support_inits: usize,
+    /// Allowed-row masks materialized by the kernel engine (one per
+    /// distinct signature of the row slot, per arc, per constraint).
+    pub kernel_masks: usize,
+    /// Pair verdicts answered from the kernel engine's signature memo
+    /// table instead of evaluating the constraint.
+    pub kernel_memo_hits: usize,
     /// Role values removed (by unary propagation or consistency).
     pub removals: usize,
     /// Full consistency-maintenance passes executed.
@@ -46,6 +58,9 @@ impl NetStats {
         self.binary_checks += other.binary_checks;
         self.entries_zeroed += other.entries_zeroed;
         self.support_checks += other.support_checks;
+        self.support_inits += other.support_inits;
+        self.kernel_masks += other.kernel_masks;
+        self.kernel_memo_hits += other.kernel_memo_hits;
         self.removals += other.removals;
         self.maintain_passes += other.maintain_passes;
     }
@@ -64,8 +79,11 @@ mod tests {
             binary_checks: 8,
             entries_zeroed: 16,
             support_checks: 32,
-            removals: 100,      // not work
-            maintain_passes: 5, // not work
+            support_inits: 200,    // not work (one-time build cost)
+            kernel_masks: 300,     // not work (bookkeeping)
+            kernel_memo_hits: 400, // not work (avoided evaluations)
+            removals: 100,         // not work
+            maintain_passes: 5,    // not work
         };
         assert_eq!(s.total_ops(), 63);
     }

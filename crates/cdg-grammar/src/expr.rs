@@ -102,7 +102,7 @@ impl<'a> EvalCtx<'a> {
         }
     }
 
-    fn binding(&self, var: Var) -> Option<Binding> {
+    pub(crate) fn binding(&self, var: Var) -> Option<Binding> {
         match var {
             Var::X => Some(self.x),
             Var::Y => self.y,
@@ -116,7 +116,7 @@ impl<'a> EvalCtx<'a> {
     /// per-hypothesis. An unbound ambiguous word yields [`Value::Unknown`]
     /// (three-valued logic: never grounds for elimination); an unbound
     /// unambiguous word yields its category.
-    fn cat_at(&self, p: u16) -> Value {
+    pub(crate) fn cat_at(&self, p: u16) -> Value {
         if self.x.pos == p {
             return Value::Cat(self.x.value.cat);
         }

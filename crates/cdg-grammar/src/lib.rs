@@ -40,6 +40,7 @@ pub mod file;
 pub mod grammar;
 pub mod grammars;
 pub mod ids;
+pub mod kernel;
 pub mod optimize;
 pub mod sentence;
 pub mod value;

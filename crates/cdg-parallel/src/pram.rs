@@ -1,8 +1,11 @@
 //! The CRCW-P-RAM-style engine on rayon.
 
-use cdg_core::network::{Network, RoleSlot};
+use bitmat::BitVec;
+use cdg_core::kernel::{kernel_arc, slot_signatures, ArcKernelCounts, KernelScratch, SlotSigs};
+use cdg_core::network::{EvalStrategy, Network, RoleSlot};
 use cdg_core::parser::{FilterMode, ParseOptions};
 use cdg_core::PrecedenceGraph;
+use cdg_grammar::kernel::KernelProgram;
 use cdg_grammar::{Arity, Constraint, Grammar, Sentence};
 use rayon::prelude::*;
 
@@ -92,10 +95,11 @@ fn remove_values_par(net: &mut Network<'_>, doomed: &[(usize, usize)], stats: &m
     stats.removals += doomed.len();
     let by_slot = group_by_slot(net.num_slots(), doomed);
     if net.arcs_ready() {
-        let pairs = net.arc_pairs();
-        let (_slots, arcs, _sentence) = net.parts_mut();
-        arcs.par_iter_mut()
-            .zip(pairs.par_iter())
+        let parts = net.parts_mut();
+        parts
+            .arcs
+            .par_iter_mut()
+            .zip(parts.pairs.par_iter())
             .for_each(|(m, &(i, j, _))| {
                 for &idx in &by_slot[i] {
                     m.zero_row(idx);
@@ -136,37 +140,85 @@ pub fn apply_unary_par(net: &mut Network<'_>, c: &Constraint, stats: &mut PramSt
     doomed.len()
 }
 
+/// Sum of alive-pair products over all arcs — the virtual-processor width
+/// of one arc-parallel round.
+fn pairwise_width(net: &Network<'_>) -> usize {
+    let slots = net.slots();
+    net.arc_pairs()
+        .iter()
+        .map(|&(i, j, _)| slots[i].alive_count() * slots[j].alive_count())
+        .sum()
+}
+
+/// The arc-parallel kernel sweep: compile once, then each worker owns one
+/// arc and runs the shared signature-memoized mask loop ([`kernel_arc`]).
+/// Bit-identical to the naive sweep; see `cdg_core::kernel`.
+fn apply_pairwise_kernel_par(net: &mut Network<'_>, c: &Constraint) -> usize {
+    let prog = KernelProgram::compile(&c.expr);
+    let mut totals = ArcKernelCounts::default();
+    let mut sig_stack = Vec::new();
+    let sigs: Vec<SlotSigs> = {
+        let sentence = net.sentence();
+        net.slots()
+            .iter()
+            .map(|s| slot_signatures(&prog, sentence, s, &mut sig_stack, &mut totals.checks))
+            .collect()
+    };
+    let parts = net.parts_mut();
+    let slots = parts.slots;
+    let sentence = parts.sentence;
+    let per_arc: Vec<ArcKernelCounts> = parts
+        .arcs
+        .par_iter_mut()
+        .zip(parts.pairs.par_iter())
+        .map_init(KernelScratch::new, |scratch, (m, &(i, j, _))| {
+            kernel_arc(
+                &prog, sentence, &slots[i], &slots[j], &sigs[i], &sigs[j], m, scratch,
+            )
+        })
+        .collect();
+    for counts in per_arc {
+        totals.absorb(counts);
+    }
+    parts.stats.binary_checks += totals.checks;
+    parts.stats.kernel_masks += totals.masks_built;
+    parts.stats.kernel_memo_hits += totals.memo_hits;
+    parts.stats.entries_zeroed += totals.zeroed;
+    totals.zeroed
+}
+
 /// One binary constraint over all arcs, in parallel (arc-owner workers).
 /// O(1) P-RAM rounds, width O(n⁴).
 pub fn apply_binary_par(net: &mut Network<'_>, c: &Constraint, stats: &mut PramStats) -> usize {
     debug_assert_eq!(c.arity, Arity::Binary);
-    let pairs = net.arc_pairs();
-    let width: usize = {
-        let slots = net.slots();
-        pairs
-            .iter()
-            .map(|&(i, j, _)| slots[i].alive_count() * slots[j].alive_count())
-            .sum()
-    };
-    let (slots, arcs, sentence) = net.parts_mut();
-    let zeroed: usize = arcs
-        .par_iter_mut()
-        .zip(pairs.par_iter())
-        .map(|(m, &(i, j, _))| {
-            let (si, sj) = (&slots[i], &slots[j]);
-            let mut count = 0;
-            for a in si.alive.iter_ones() {
-                let ba = si.binding(a);
-                for b in sj.alive.iter_ones() {
-                    if m.get(a, b) && !c.check_pair(sentence, ba, sj.binding(b)) {
-                        m.set(a, b, false);
-                        count += 1;
+    let width = pairwise_width(net);
+    let zeroed = match net.eval {
+        EvalStrategy::Kernel => apply_pairwise_kernel_par(net, c),
+        EvalStrategy::Naive => {
+            let parts = net.parts_mut();
+            let slots = parts.slots;
+            let sentence = parts.sentence;
+            parts
+                .arcs
+                .par_iter_mut()
+                .zip(parts.pairs.par_iter())
+                .map(|(m, &(i, j, _))| {
+                    let (si, sj) = (&slots[i], &slots[j]);
+                    let mut count = 0;
+                    for a in si.alive.iter_ones() {
+                        let ba = si.binding(a);
+                        for b in sj.alive.iter_ones() {
+                            if m.get(a, b) && !c.check_pair(sentence, ba, sj.binding(b)) {
+                                m.set(a, b, false);
+                                count += 1;
+                            }
+                        }
                     }
-                }
-            }
-            count
-        })
-        .sum();
+                    count
+                })
+                .sum()
+        }
+    };
     stats.round(width.max(1));
     zeroed
 }
@@ -179,32 +231,39 @@ pub fn apply_unary_pairwise_par(
     stats: &mut PramStats,
 ) -> usize {
     debug_assert_eq!(c.arity, Arity::Unary);
-    let pairs = net.arc_pairs();
-    let (slots, arcs, sentence) = net.parts_mut();
-    let zeroed: usize = arcs
-        .par_iter_mut()
-        .zip(pairs.par_iter())
-        .map(|(m, &(i, j, _))| {
-            let (si, sj) = (&slots[i], &slots[j]);
-            let mut count = 0;
-            for a in si.alive.iter_ones() {
-                let ba = si.binding(a);
-                for b in sj.alive.iter_ones() {
-                    if !m.get(a, b) {
-                        continue;
+    let zeroed = match net.eval {
+        EvalStrategy::Kernel => apply_pairwise_kernel_par(net, c),
+        EvalStrategy::Naive => {
+            let parts = net.parts_mut();
+            let slots = parts.slots;
+            let sentence = parts.sentence;
+            parts
+                .arcs
+                .par_iter_mut()
+                .zip(parts.pairs.par_iter())
+                .map(|(m, &(i, j, _))| {
+                    let (si, sj) = (&slots[i], &slots[j]);
+                    let mut count = 0;
+                    for a in si.alive.iter_ones() {
+                        let ba = si.binding(a);
+                        for b in sj.alive.iter_ones() {
+                            if !m.get(a, b) {
+                                continue;
+                            }
+                            let bb = sj.binding(b);
+                            if !c.check_unary_with_witness(sentence, ba, bb)
+                                || !c.check_unary_with_witness(sentence, bb, ba)
+                            {
+                                m.set(a, b, false);
+                                count += 1;
+                            }
+                        }
                     }
-                    let bb = sj.binding(b);
-                    if !c.check_unary_with_witness(sentence, ba, bb)
-                        || !c.check_unary_with_witness(sentence, bb, ba)
-                    {
-                        m.set(a, b, false);
-                        count += 1;
-                    }
-                }
-            }
-            count
-        })
-        .sum();
+                    count
+                })
+                .sum()
+        }
+    };
     stats.round(1);
     zeroed
 }
@@ -218,6 +277,14 @@ pub fn maintain_par(net: &mut Network<'_>, stats: &mut PramStats) -> usize {
     // Read-only support scan over (slot, value) in parallel.
     let doomed: Vec<(usize, usize)> = {
         let netref = &*net;
+        // Column support tested against per-arc occupancy vectors (one
+        // word-strided sweep per matrix) instead of per-value column scans.
+        let occ: Vec<BitVec> = netref
+            .arcs_raw()
+            .par_iter()
+            .map(|m| m.col_occupancy())
+            .collect();
+        let occ = &occ;
         (0..num)
             .into_par_iter()
             .flat_map_iter(|i| {
@@ -229,8 +296,12 @@ pub fn maintain_par(net: &mut Network<'_>, stats: &mut PramStats) -> usize {
                             if j == i {
                                 return false;
                             }
-                            let (m, _) = netref.arc(i.min(j), i.max(j));
-                            let supported = if i < j { m.row_any(a) } else { m.col_any(a) };
+                            let supported = if i < j {
+                                let (m, _) = netref.arc(i, j);
+                                m.row_any(a)
+                            } else {
+                                occ[netref.arc_index(j, i)].get(a)
+                            };
                             !supported
                         })
                     })
@@ -269,6 +340,7 @@ pub fn parse_pram<'g>(
     // Role-value generation: one O(1) round of O(n²) processors. The host
     // builds the domains; the round accounting mirrors the model.
     let mut net = Network::build(grammar, sentence);
+    net.eval = options.eval;
     stats.round(net.total_alive());
 
     let run_unary = |net: &mut Network<'g>, stats: &mut PramStats| {

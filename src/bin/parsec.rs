@@ -11,6 +11,7 @@
 //!   --network                                    print the settled network
 //!   --dot                                        emit Graphviz instead of text
 //!   --stats                                      print engine statistics
+//!   --naive-eval                                 use the naive tree-walk evaluator (oracle)
 //!   --budget <spec>                              resource budget, e.g. ms=50,iters=3,cells=100000
 //!   --faults <spec>                              (maspar) fault plan: a seed, or seed=N,dead=N,...
 //!   --relax                                      retry rejected sentences with relaxed constraints
@@ -37,7 +38,7 @@
 //! partial outcome with no full parse.
 
 use cdg_core::parser::{parse, ParseOptions};
-use cdg_core::{parse_relaxed, ParseBudget, RelaxLadder};
+use cdg_core::{parse_relaxed, EvalStrategy, ParseBudget, RelaxLadder};
 use cdg_grammar::grammars::{english, formal, paper};
 use cdg_grammar::sentence::LexiconError;
 use cdg_grammar::{Grammar, Lexicon, Sentence};
@@ -59,6 +60,7 @@ struct Args {
     network: bool,
     dot: bool,
     stats: bool,
+    naive_eval: bool,
     budget: ParseBudget,
     faults: Option<String>,
     relax: bool,
@@ -71,7 +73,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
-         [--budget spec] [--faults spec] [--relax] [--threads N] [--batch file|-] \
+         [--naive-eval] [--budget spec] [--faults spec] [--relax] [--threads N] [--batch file|-] \
          [--version] <sentence...>"
     );
     std::process::exit(2);
@@ -80,6 +82,14 @@ fn usage() -> ! {
 fn invalid(message: String) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
+}
+
+fn eval_strategy(args: &Args) -> EvalStrategy {
+    if args.naive_eval {
+        EvalStrategy::Naive
+    } else {
+        EvalStrategy::Kernel
+    }
 }
 
 fn parse_args() -> Args {
@@ -91,6 +101,7 @@ fn parse_args() -> Args {
         network: false,
         dot: false,
         stats: false,
+        naive_eval: false,
         budget: ParseBudget::UNLIMITED,
         faults: None,
         relax: false,
@@ -120,6 +131,7 @@ fn parse_args() -> Args {
             "--network" => args.network = true,
             "--dot" => args.dot = true,
             "--stats" => args.stats = true,
+            "--naive-eval" => args.naive_eval = true,
             "--budget" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 args.budget = ParseBudget::parse_spec(&spec)
@@ -284,6 +296,7 @@ fn run_batch(args: &Args) -> ExitCode {
 
     let options = ParseOptions {
         budget: args.budget,
+        eval: eval_strategy(args),
         ..Default::default()
     };
     let start = Instant::now();
@@ -354,6 +367,7 @@ fn main() -> ExitCode {
     };
     let options = ParseOptions {
         budget: args.budget,
+        eval: eval_strategy(&args),
         ..Default::default()
     };
 
@@ -362,7 +376,14 @@ fn main() -> ExitCode {
     let outcome = match args.engine.as_str() {
         "serial" => parse(&grammar, &sentence, options),
         "pram" => {
-            let pram = cdg_parallel::parse_pram(&grammar, &sentence, ParseOptions::default());
+            let pram = cdg_parallel::parse_pram(
+                &grammar,
+                &sentence,
+                ParseOptions {
+                    eval: eval_strategy(&args),
+                    ..Default::default()
+                },
+            );
             if args.stats {
                 eprintln!(
                     "pram: {} steps, max width {}, {} removals",
@@ -430,6 +451,14 @@ fn main() -> ExitCode {
         eprintln!(
             "serial: {} unary checks, {} binary checks, {} removals, {} maintain passes",
             st.unary_checks, st.binary_checks, st.removals, st.maintain_passes
+        );
+        eprintln!(
+            "eval {}: {} kernel masks, {} memo hits, {} support checks, {} support inits",
+            if args.naive_eval { "naive" } else { "kernel" },
+            st.kernel_masks,
+            st.kernel_memo_hits,
+            st.support_checks,
+            st.support_inits
         );
     }
 

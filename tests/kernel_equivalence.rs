@@ -1,0 +1,208 @@
+//! Differential suite: the compiled signature-memoized kernel engine
+//! (`EvalStrategy::Kernel`, the default) against the naive tree-walk
+//! interpreter (`EvalStrategy::Naive`, the oracle) — identical
+//! accept/reject verdicts, identical surviving networks, identical
+//! removal totals, and identical output digests, over the 64
+//! differential seeds established by the fault-injection suite and
+//! every bundled grammar (built-in English / extended English / formal
+//! languages, plus `grammars/paper.cdg` loaded from disk).
+
+use cdg_core::parser::{parse, FilterMode, ParseOptions};
+use cdg_core::{EvalStrategy, ParseOutcome};
+use cdg_grammar::grammars::{formal, paper};
+use cdg_grammar::{Grammar, Sentence};
+
+/// The differential seed count shared with the determinism and
+/// fault-injection suites.
+const SEEDS: u64 = 64;
+
+fn options(eval: EvalStrategy) -> ParseOptions {
+    // Bounded filtering keeps both evaluators on the same pass budget;
+    // 10 passes reaches the fixpoint on everything these sizes generate.
+    ParseOptions {
+        filter: FilterMode::Bounded(10),
+        eval,
+        ..Default::default()
+    }
+}
+
+/// FNV-1a, the digest used by the BENCH schema (`bench::report::fnv1a`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The BENCH-schema digest of a settled parse: every slot's alive set,
+/// formatted exactly as `bench_json` digests its rows.
+fn digest(outcome: &ParseOutcome<'_>) -> u64 {
+    let mut buf = String::new();
+    for slot in outcome.network.slots() {
+        buf.push_str(&format!("{:?};", slot.alive_indices()));
+    }
+    fnv1a(buf.as_bytes())
+}
+
+/// Run both evaluators on `sentence` and assert the kernel result is
+/// bit-identical to the oracle.
+fn assert_kernel_matches_naive(grammar: &Grammar, sentence: &Sentence) {
+    let kernel = parse(grammar, sentence, options(EvalStrategy::Kernel));
+    let naive = parse(grammar, sentence, options(EvalStrategy::Naive));
+
+    // Accept/reject and consistency verdicts.
+    assert_eq!(
+        kernel.roles_nonempty, naive.roles_nonempty,
+        "accept/reject diverged on `{sentence}`"
+    );
+    assert_eq!(
+        kernel.accepted(),
+        naive.accepted(),
+        "acceptance diverged on `{sentence}`"
+    );
+
+    // The surviving networks — alive sets per slot, which determine the
+    // removal multiset (both evaluators start from the same domains).
+    for (k, n) in kernel.network.slots().iter().zip(naive.network.slots()) {
+        assert_eq!(
+            k.alive, n.alive,
+            "alive sets diverged on `{sentence}` (slot word {} role {:?})",
+            k.word, k.role
+        );
+    }
+
+    // Removal totals: same values removed, same arc entries zeroed.
+    assert_eq!(
+        kernel.network.stats.removals, naive.network.stats.removals,
+        "removal counts diverged on `{sentence}`"
+    );
+
+    // The extracted parse sets.
+    assert_eq!(
+        kernel.parses(64),
+        naive.parses(64),
+        "parse sets diverged on `{sentence}`"
+    );
+
+    // The BENCH output digests.
+    assert_eq!(
+        digest(&kernel),
+        digest(&naive),
+        "output digests diverged on `{sentence}`"
+    );
+}
+
+#[test]
+fn kernel_matches_naive_on_english_corpus() {
+    let (g, lex) = corpus::standard_setup();
+    for seed in 0..SEEDS {
+        let n = 3 + (seed % 5) as usize;
+        let s = corpus::english_sentence(&g, &lex, n, seed);
+        assert_kernel_matches_naive(&g, &s);
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_scrambled_english() {
+    // Rejection workload: same vocabulary, shuffled — exercises the
+    // zero-row and dead-slot paths of the kernel.
+    let (g, lex) = corpus::standard_setup();
+    for seed in 0..SEEDS {
+        let n = 3 + (seed % 5) as usize;
+        let good = corpus::english_sentence(&g, &lex, n, seed);
+        let bad = corpus::scrambled(&lex, &good, seed.wrapping_mul(31));
+        assert_kernel_matches_naive(&g, &bad);
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_extended_english() {
+    // The q = 3 auxiliary grammar: three roles per word, so arcs mix
+    // need/role slots the plain grammar never produces.
+    let (g, lex) = corpus::extended_setup();
+    for seed in 0..SEEDS {
+        let n = 3 + (seed % 5) as usize;
+        let s = corpus::english_aux_sentence(&g, &lex, n, seed);
+        assert_kernel_matches_naive(&g, &s);
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_formal_languages() {
+    let anbn = formal::anbn_grammar();
+    let ww = formal::ww_grammar();
+    let brackets = formal::brackets_grammar();
+    for seed in 0..SEEDS {
+        let n = 1 + (seed % 4) as usize;
+        let s = corpus::formal::anbn(n);
+        assert_kernel_matches_naive(&anbn, &formal::anbn_sentence(&anbn, &s));
+        // Off-by-one rejection strings too.
+        let bad = format!("{}b", s);
+        assert_kernel_matches_naive(&anbn, &formal::anbn_sentence(&anbn, &bad));
+        let w = corpus::formal::ww(n, seed);
+        assert_kernel_matches_naive(&ww, &formal::ww_sentence(&ww, &w));
+        let b = corpus::formal::nested_brackets(n);
+        assert_kernel_matches_naive(&brackets, &formal::brackets_sentence(&brackets, &b));
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_grammar_file() {
+    // The on-disk grammar (`grammars/paper.cdg`) through the file loader,
+    // so the kernel compiler sees constraints exactly as users write them.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("grammars/paper.cdg");
+    let (g, lex) = cdg_grammar::file::load_path(&path).expect("bundled grammar loads");
+    let texts = [
+        "the dog runs", // the paper's det-noun-verb shape
+        "a program halts",
+        "this parser works",
+        "dog the runs", // scrambled variants exercise rejection
+        "runs the dog",
+        "the dog",
+        "sleeps",
+        "machine",
+    ];
+    for text in texts {
+        if let Ok(s) = lex.sentence(text) {
+            assert_kernel_matches_naive(&g, &s);
+        }
+    }
+    // And the built-in copy of the same grammar with its example sentence.
+    let g = paper::grammar();
+    let s = paper::example_sentence(&g);
+    assert_kernel_matches_naive(&g, &s);
+}
+
+#[test]
+fn incremental_filter_does_less_support_work() {
+    // Acceptance criterion for the AC-4 worklist: the kernel path's
+    // support-check counter (counter builds + decrements, touching only
+    // disturbed rows) stays strictly below the naive path's per-pass
+    // full rescans on the seed grammars whenever filtering has work.
+    let (g, lex) = corpus::standard_setup();
+    let mut improved = 0usize;
+    for seed in 0..SEEDS {
+        let n = 3 + (seed % 5) as usize;
+        let s = corpus::english_sentence(&g, &lex, n, seed);
+        let kernel = parse(&g, &s, options(EvalStrategy::Kernel));
+        let naive = parse(&g, &s, options(EvalStrategy::Naive));
+        let (k, f) = (
+            kernel.network.stats.support_checks,
+            naive.network.stats.support_checks,
+        );
+        if f > 0 {
+            assert!(
+                k < f,
+                "seed {seed} (`{s}`): incremental support checks {k} not below full-scan {f}"
+            );
+            improved += 1;
+        }
+    }
+    assert!(
+        improved > SEEDS as usize / 2,
+        "full-scan filtering did support work on only {improved}/{SEEDS} seeds — \
+         the comparison lost its teeth"
+    );
+}
