@@ -20,15 +20,18 @@
 //! (different thread counts, different machines) can be checked for
 //! byte-identical results by comparing digests — see `bench_compare`.
 
-use bench::report::{calibrate, fnv1a, BenchReport, BenchRow};
+use bench::json::Json;
+use bench::report::{calibrate, fnv1a, validate_trace, BenchReport, BenchRow};
 use bench::run::{
     binary_kernel, binary_naive, comparable_options, maspar_cdg, mesh_cdg, pram_cdg, serial_cdg,
     serial_cdg_naive, Measurement,
 };
+use cdg_core::api::{Engine, ParseRequest, Sequential};
 use cdg_core::{BatchOutcome, EvalStrategy};
 use cdg_grammar::grammars::{english, formal};
 use cdg_grammar::{Grammar, Sentence};
-use std::time::Instant;
+use cdg_parallel::Pram;
+use parsec_maspar::Maspar;
 
 struct Args {
     quick: bool,
@@ -132,6 +135,36 @@ fn best_of(run: impl Fn() -> Measurement) -> Measurement {
         }
     }
     best
+}
+
+/// Run one traced, metered parse through the unified [`Engine`] API and
+/// return the scenario's `parsec-trace-v1` document, validated before it
+/// is embedded in the report.
+fn capture_trace(
+    scenario: &str,
+    engine: &dyn Engine,
+    grammar: &Grammar,
+    sentence: &Sentence,
+) -> (String, Json) {
+    let request = ParseRequest::new(grammar)
+        .sentence(sentence.clone())
+        .options(comparable_options())
+        .trace(true)
+        .metrics(true)
+        .max_parses(4);
+    let report = engine
+        .parse(&request)
+        .unwrap_or_else(|e| panic!("trace scenario `{scenario}` failed: {e}"));
+    let text = obsv::trace_to_json(
+        report.engine,
+        report.trace.as_ref().expect("trace requested"),
+        report.metrics.as_ref(),
+    );
+    let doc = bench::json::parse(&text)
+        .unwrap_or_else(|e| panic!("trace scenario `{scenario}` emitted bad JSON: {e}"));
+    validate_trace(&doc)
+        .unwrap_or_else(|e| panic!("trace scenario `{scenario}` failed validation: {e}"));
+    (scenario.to_string(), doc)
 }
 
 fn row_from(m: Measurement, grammar: &str, threads: usize, digest: u64) -> BenchRow {
@@ -276,17 +309,19 @@ fn main() {
 
     let batch_at = |threads: usize| -> (f64, Vec<BatchOutcome>) {
         rayon::set_num_threads(threads);
+        let request = ParseRequest::new(&g).options(options).max_parses(4);
         // Warm-up run so thread spawn and lazy init don't pollute the
         // measurement, then best-of-5 (minimum is the noise-robust
         // estimator on a contended host).
-        let _ = cdg_parallel::parse_batch(&g, &sentences, options, 4);
+        let _ = Pram.parse_batch(&sentences, &request);
         let mut best = f64::INFINITY;
         let mut outcomes = Vec::new();
         for _ in 0..5 {
-            let start = Instant::now();
-            let out = cdg_parallel::parse_batch(&g, &sentences, options, 4);
-            best = best.min(start.elapsed().as_secs_f64());
-            outcomes = out;
+            let report = Pram
+                .parse_batch(&sentences, &request)
+                .expect("batch throughput scenario parses");
+            best = best.min(report.wall.as_secs_f64());
+            outcomes = report.outcomes;
         }
         (best, outcomes)
     };
@@ -338,10 +373,27 @@ fn main() {
         );
     }
 
+    // --- 4. Per-scenario phase traces (the parsec-trace-v1 documents) -
+    // One traced, metered parse per engine on a mid-size corpus sentence,
+    // through the same unified API the CLI's `--trace=json` uses.
+    let trace_sentence = corpus::english_sentence(&g, &lex, 6, 11);
+    eprintln!("traces: capturing one document per engine");
+    let traces = vec![
+        capture_trace("engine-sweep/serial", &Sequential, &g, &trace_sentence),
+        capture_trace("engine-sweep/pram", &Pram, &g, &trace_sentence),
+        capture_trace(
+            "engine-sweep/maspar",
+            &Maspar::default(),
+            &g,
+            &trace_sentence,
+        ),
+    ];
+
     let report = BenchReport {
         host_threads,
         calibration_secs,
         rows,
+        traces,
     };
     std::fs::write(&args.out, report.to_pretty()).unwrap_or_else(|e| {
         eprintln!("error: writing {}: {e}", args.out);

@@ -1,0 +1,106 @@
+//! `trace_overhead` — CI gate: the obsv layer, **disabled**, must cost
+//! less than 2% of the kernel binary-propagation scenario it instruments.
+//!
+//! ```text
+//! trace_overhead [--quick]
+//! ```
+//!
+//! A disabled span site is one relaxed atomic load, so the honest way to
+//! bound the overhead is to price that load and multiply by how often the
+//! scenario hits a site:
+//!
+//! 1. measure the cost of one disabled `obsv::span` call (best-of batches
+//!    of 1M calls);
+//! 2. measure the kernel binary-propagation scenario wall time (best-of,
+//!    the same scenario `bench_json` gates the kernel speedup on);
+//! 3. count the span sites the scenario actually crosses, by running it
+//!    once with tracing armed and counting the resulting trace nodes;
+//! 4. assert `sites x cost_per_disabled_site <= 2% x scenario wall`.
+//!
+//! An enabled-vs-disabled wall comparison is printed for reference but
+//! not gated: at these magnitudes it measures host noise, not the layer.
+//!
+//! Exits 0 when the bound holds, 1 when it does not.
+
+use bench::run::{binary_kernel, Measurement};
+use cdg_grammar::grammars::english;
+use std::time::Instant;
+
+fn best_of(runs: usize, run: impl Fn() -> Measurement) -> Measurement {
+    let _ = run();
+    let mut best = run();
+    for _ in 1..runs {
+        let m = run();
+        if m.wall_secs < best.wall_secs {
+            best = m;
+        }
+    }
+    best
+}
+
+/// Nanoseconds per disabled span call: best of several 1M-call batches.
+fn disabled_span_cost_ns() -> f64 {
+    assert!(
+        !obsv::tracing_enabled(),
+        "gate must price the DISABLED path"
+    );
+    const CALLS: u32 = 1_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..CALLS {
+            let _guard = obsv::span("overhead-probe");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / CALLS as f64
+}
+
+fn count_nodes(nodes: &[obsv::SpanNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| 1 + count_nodes(&n.children))
+        .sum::<u64>()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 10 } else { 14 };
+    let g = english::grammar();
+    let lex = english::lexicon(&g);
+    let s = corpus::english_sentence(&g, &lex, n, 11);
+
+    let span_ns = disabled_span_cost_ns();
+
+    // The whole pipeline runs under `binary_kernel` (build, unary, arc
+    // init untimed; the binary sweep timed) — count every span site the
+    // *full* scenario crosses so the bound covers the worst case.
+    let _ = obsv::take_trace();
+    obsv::set_tracing(true);
+    let traced = binary_kernel(&g, &s);
+    obsv::set_tracing(false);
+    let sites = count_nodes(&obsv::take_trace().roots);
+    assert!(sites > 0, "scenario crossed no span sites");
+
+    let disabled = best_of(if quick { 3 } else { 5 }, || binary_kernel(&g, &s));
+    let wall_ns = disabled.wall_secs * 1e9;
+    let overhead_ns = span_ns * sites as f64;
+    let overhead_pct = 100.0 * overhead_ns / wall_ns;
+
+    println!(
+        "disabled span site: {span_ns:.1} ns; scenario (n={n}): {sites} site(s), \
+         {:.3} ms wall",
+        wall_ns / 1e6
+    );
+    println!(
+        "traced run for reference: {:.3} ms ({}x sites counted once)",
+        traced.wall_secs * 1e3,
+        sites
+    );
+    println!("disabled-tracing overhead: {overhead_pct:.4}% (gate: <= 2%)");
+    if overhead_pct > 2.0 {
+        eprintln!("FAIL: disabled obsv layer exceeds the 2% overhead budget");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

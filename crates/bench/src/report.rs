@@ -93,18 +93,23 @@ impl BenchRow {
     }
 }
 
-/// A full report: schema tag, host facts, calibration, rows.
+/// A full report: schema tag, host facts, calibration, rows, and
+/// (optionally) embedded per-scenario phase traces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     pub host_threads: usize,
     /// Seconds the fixed calibration workload took on this host.
     pub calibration_secs: f64,
     pub rows: Vec<BenchRow>,
+    /// Per-scenario `parsec-trace-v1` documents (scenario name → trace),
+    /// validated by [`validate_trace`] before embedding. Absent from older
+    /// reports, so `from_json` tolerates a missing section.
+    pub traces: Vec<(String, Json)>,
 }
 
 impl BenchReport {
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str(SCHEMA.into())),
             ("host_threads".into(), Json::Num(self.host_threads as f64)),
             ("calibration_secs".into(), Json::Num(self.calibration_secs)),
@@ -112,7 +117,24 @@ impl BenchReport {
                 "rows".into(),
                 Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.traces.is_empty() {
+            fields.push((
+                "traces".into(),
+                Json::Arr(
+                    self.traces
+                        .iter()
+                        .map(|(scenario, doc)| {
+                            Json::Obj(vec![
+                                ("scenario".into(), Json::Str(scenario.clone())),
+                                ("trace".into(), doc.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     pub fn to_pretty(&self) -> String {
@@ -131,6 +153,24 @@ impl BenchReport {
             .iter()
             .map(BenchRow::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Older baselines predate the traces section; treat absence as
+        // empty rather than an error.
+        let traces = match v.get("traces").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(|item| {
+                    let scenario = item
+                        .get("scenario")
+                        .and_then(Json::as_str)
+                        .ok_or("trace entry missing `scenario`")?
+                        .to_string();
+                    let doc = item.get("trace").ok_or("trace entry missing `trace`")?;
+                    validate_trace(doc)?;
+                    Ok::<_, String>((scenario, doc.clone()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(BenchReport {
             host_threads: v
                 .get("host_threads")
@@ -141,12 +181,65 @@ impl BenchReport {
                 .and_then(Json::as_f64)
                 .ok_or("report missing `calibration_secs`")?,
             rows,
+            traces,
         })
     }
 
     pub fn parse_str(text: &str) -> Result<Self, String> {
         BenchReport::from_json(&crate::json::parse(text)?)
     }
+}
+
+/// Check a parsed JSON document against the `parsec-trace-v1` schema the
+/// obsv exporter emits: a schema tag, an engine name, a non-empty `spans`
+/// forest whose nodes each carry `name` (string), `start_ns`/`dur_ns`
+/// (non-negative integers), and a `children` array of the same shape; an
+/// optional `metrics` object with `counters`/`gauges`/`histograms`.
+pub fn validate_trace(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(obsv::SCHEMA) => {}
+        other => return Err(format!("trace schema {other:?}, want {:?}", obsv::SCHEMA)),
+    }
+    doc.get("engine")
+        .and_then(Json::as_str)
+        .ok_or("trace missing `engine`")?;
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("trace missing `spans`")?;
+    if spans.is_empty() {
+        return Err("trace has no spans".into());
+    }
+    fn check_span(span: &Json, path: &str) -> Result<(), String> {
+        let name = span
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: span missing `name`"))?;
+        for key in ["start_ns", "dur_ns"] {
+            span.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}/{name}: `{key}` not a non-negative integer"))?;
+        }
+        let children = span
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}/{name}: `children` not an array"))?;
+        for child in children {
+            check_span(child, &format!("{path}/{name}"))?;
+        }
+        Ok(())
+    }
+    for span in spans {
+        check_span(span, "spans")?;
+    }
+    if let Some(metrics) = doc.get("metrics") {
+        for section in ["counters", "gauges", "histograms"] {
+            if metrics.get(section).is_none() {
+                return Err(format!("trace metrics missing `{section}`"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// FNV-1a over bytes — the output digest. Not cryptographic; collision
@@ -204,10 +297,51 @@ mod tests {
             host_threads: 8,
             calibration_secs: 0.05,
             rows: vec![sample_row()],
+            traces: Vec::new(),
         };
         let text = report.to_pretty();
         let back = BenchReport::parse_str(&text).unwrap();
         assert_eq!(report, back);
+        // No traces -> no traces key, so older tooling sees the old shape.
+        assert!(!text.contains("\"traces\""));
+    }
+
+    fn sample_trace() -> Json {
+        crate::json::parse(
+            r#"{"schema":"parsec-trace-v1","engine":"serial","spans":[
+                 {"name":"parse","start_ns":0,"dur_ns":10,"children":[
+                   {"name":"filtering","start_ns":1,"dur_ns":5,"children":[]}]}],
+                 "metrics":{"counters":{"removals":3},"gauges":{},"histograms":{}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traces_round_trip_and_validate() {
+        let report = BenchReport {
+            host_threads: 8,
+            calibration_secs: 0.05,
+            rows: vec![sample_row()],
+            traces: vec![("engine-sweep/serial".into(), sample_trace())],
+        };
+        let back = BenchReport::parse_str(&report.to_pretty()).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(back.traces.len(), 1);
+    }
+
+    #[test]
+    fn trace_validator_rejects_malformed_documents() {
+        assert!(validate_trace(&sample_trace()).is_ok());
+        let bad_schema = crate::json::parse(r#"{"schema":"v0","engine":"serial","spans":[]}"#);
+        assert!(validate_trace(&bad_schema.unwrap()).is_err());
+        let no_spans =
+            crate::json::parse(r#"{"schema":"parsec-trace-v1","engine":"serial","spans":[]}"#);
+        assert!(validate_trace(&no_spans.unwrap()).is_err());
+        let bad_span = crate::json::parse(
+            r#"{"schema":"parsec-trace-v1","engine":"serial",
+                "spans":[{"name":"parse","start_ns":-4,"dur_ns":1,"children":[]}]}"#,
+        );
+        assert!(validate_trace(&bad_span.unwrap()).is_err());
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub fn parse_batch_with_pool(
     sentences
         .iter()
         .map(|s| {
+            // One root span per sentence so batch traces aggregate cleanly
+            // (see `crate::api::Engine::parse_batch`).
+            let _root = obsv::span("parse");
             let outcome = parse_with_pool(grammar, s, options, pool);
             let summary = BatchOutcome::summarize(&outcome, max_parses);
             outcome.network.recycle(pool);

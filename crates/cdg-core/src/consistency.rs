@@ -28,6 +28,7 @@ use bitmat::BitVec;
 /// to match the P-RAM and MasPar formulations; cascades are handled by
 /// iterating the pass (see [`filter`]).
 pub fn maintain(net: &mut Network<'_>) -> usize {
+    let _phase = obsv::span("maintain");
     assert!(
         net.arcs_ready(),
         "consistency maintenance needs arc matrices"
@@ -207,6 +208,7 @@ impl IncrementalFilter {
     /// an empty generation is the fixpoint (and still counts as a pass,
     /// like the full-scan pass that removes nothing).
     pub fn pass(&mut self, net: &mut Network<'_>) -> (usize, bool) {
+        let _phase = obsv::span("maintain");
         net.stats.maintain_passes += 1;
         if self.queue.is_empty() {
             return (0, true);

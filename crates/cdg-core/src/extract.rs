@@ -156,6 +156,7 @@ impl fmt::Display for PrecedenceGraph {
 /// networks; the returned graphs are deduplicated and sorted for
 /// determinism.
 pub fn precedence_graphs(net: &Network<'_>, limit: usize) -> Vec<PrecedenceGraph> {
+    let _phase = obsv::span("extraction");
     assert!(net.arcs_ready(), "extraction needs arc matrices");
     if limit == 0 || !net.all_roles_nonempty() {
         return Vec::new();

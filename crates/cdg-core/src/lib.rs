@@ -29,6 +29,7 @@
 //! counts every constraint check and matrix write so benchmarks can verify
 //! the n⁴ shape independently of wall-clock noise.
 
+pub mod api;
 pub mod batch;
 pub mod consistency;
 pub mod dot;
@@ -43,6 +44,7 @@ pub mod relax;
 pub mod snapshot;
 pub mod stats;
 
+pub use api::{BatchReport, Engine, ParseReport, ParseRequest, Sequential};
 pub use batch::{parse_batch, parse_batch_with_pool, BatchOutcome};
 pub use consistency::{filter_incremental, IncrementalFilter};
 pub use error::{BudgetResource, EngineError, ParseBudget};

@@ -114,6 +114,7 @@ impl<'g> Network<'g> {
     /// order), then modifiee (`nil` first, then ascending positions,
     /// skipping the word itself) — the order the paper's figures list them.
     pub fn build(grammar: &'g Grammar, sentence: &Sentence) -> Self {
+        let _phase = obsv::span("network_build");
         let n = sentence.len();
         let q = grammar.num_roles();
         assert!(n >= 1, "a sentence must contain at least one word");
@@ -219,6 +220,7 @@ impl<'g> Network<'g> {
     /// batched-parsing path. Identical results; recycled buffers start
     /// all-zero just like fresh ones.
     pub fn init_arcs_with(&mut self, pool: &mut ArcPool) {
+        let _phase = obsv::span("arc_init");
         assert!(!self.arcs_ready, "arcs already initialized");
         let num = self.num_slots();
         let mut arcs = Vec::with_capacity(num * (num - 1) / 2);

@@ -103,12 +103,14 @@ impl<'g> ParseOutcome<'g> {
         }
         // Same pass/removal sequence either way; the kernel path rebuilds
         // support counters once instead of rescanning every pass.
+        let _filtering = obsv::span("filtering");
         let (_, passes, fixpoint) = match self.network.eval {
             EvalStrategy::Kernel if self.network.arcs_ready() => {
                 filter_incremental(&mut self.network, usize::MAX)
             }
             _ => filter(&mut self.network, usize::MAX),
         };
+        drop(_filtering);
         self.filter_passes += passes;
         self.locally_consistent = fixpoint;
         self.roles_nonempty = self.network.all_roles_nonempty();
@@ -210,6 +212,7 @@ pub fn parse_with_pool<'g>(
     };
     let mut passes = 0usize;
     let mut fixpoint = false;
+    let _filtering = obsv::span("filtering");
     // Kernel mode filters incrementally: support counters built once, each
     // generation touching only disturbed rows. Built lazily so a
     // FilterMode::None run pays nothing.
@@ -247,6 +250,7 @@ pub fn parse_with_pool<'g>(
             break;
         }
     }
+    drop(_filtering);
 
     let locally_consistent = if fixpoint {
         true

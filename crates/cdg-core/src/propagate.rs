@@ -50,9 +50,11 @@ pub fn apply_unary_naive(net: &mut Network<'_>, constraint: &Constraint) -> usiz
 /// Apply every unary constraint of the grammar once, in declaration order.
 /// Returns total removals.
 pub fn apply_all_unary(net: &mut Network<'_>) -> usize {
+    let _phase = obsv::span("unary_propagation");
     let grammar = net.grammar();
     let mut removed = 0;
     for c in grammar.unary_constraints() {
+        let _c = obsv::span_with(|| format!("unary:{}", c.name));
         removed += apply_unary(net, c);
     }
     removed
@@ -175,6 +177,7 @@ pub fn apply_all_binary(net: &mut Network<'_>) -> usize {
         net.arcs_ready(),
         "init_arcs must run before binary propagation"
     );
+    let _phase = obsv::span("binary_propagation");
     let grammar = net.grammar();
     let pairwise_unary = net.sentence().has_lexical_ambiguity();
     let mut zeroed = 0;
@@ -185,20 +188,24 @@ pub fn apply_all_binary(net: &mut Network<'_>) -> usize {
             // is free and saves the per-constraint allocations.
             let mut scratch = crate::kernel::KernelScratch::new();
             for c in grammar.binary_constraints() {
+                let _c = obsv::span_with(|| format!("binary:{}", c.name));
                 zeroed += crate::kernel::apply_pairwise_kernel_with(net, c, &mut scratch);
             }
             if pairwise_unary {
                 for c in grammar.unary_constraints() {
+                    let _c = obsv::span_with(|| format!("unary-pairwise:{}", c.name));
                     zeroed += crate::kernel::apply_pairwise_kernel_with(net, c, &mut scratch);
                 }
             }
         }
         EvalStrategy::Naive => {
             for c in grammar.binary_constraints() {
+                let _c = obsv::span_with(|| format!("binary:{}", c.name));
                 zeroed += apply_binary_naive(net, c);
             }
             if pairwise_unary {
                 for c in grammar.unary_constraints() {
+                    let _c = obsv::span_with(|| format!("unary-pairwise:{}", c.name));
                     zeroed += apply_unary_pairwise_naive(net, c);
                 }
             }

@@ -29,6 +29,9 @@ pub fn parse_batch(
     sentences
         .par_iter()
         .map_init(ArcPool::new, move |pool, sentence| {
+            // Per-sentence root span; each worker merges its completed tree
+            // into the global trace buffer on drop (see `obsv::span`).
+            let _root = obsv::span("parse");
             let outcome = parse_with_pool(grammar, sentence, options, pool);
             let summary = BatchOutcome::summarize(&outcome, max_parses);
             outcome.network.recycle(pool);

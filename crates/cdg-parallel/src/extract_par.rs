@@ -15,6 +15,7 @@ use rayon::prelude::*;
 /// backtracking search across threads. Equivalent to
 /// [`cdg_core::extract::precedence_graphs`] (property-tested).
 pub fn precedence_graphs_par(net: &Network<'_>, limit: usize) -> Vec<PrecedenceGraph> {
+    let _phase = obsv::span("extraction");
     assert!(net.arcs_ready(), "extraction needs arc matrices");
     if limit == 0 || !net.all_roles_nonempty() {
         return Vec::new();

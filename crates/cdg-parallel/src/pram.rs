@@ -272,6 +272,7 @@ pub fn apply_unary_pairwise_par(
 /// the paper's constant-time OR/AND support test. O(1) P-RAM rounds, width
 /// O(n⁴). Returns values removed.
 pub fn maintain_par(net: &mut Network<'_>, stats: &mut PramStats) -> usize {
+    let _phase = obsv::span("maintain");
     let num = net.num_slots();
     let support_width: usize = net.total_alive() * num.saturating_sub(1);
     // Read-only support scan over (slot, value) in parallel.
@@ -344,7 +345,9 @@ pub fn parse_pram<'g>(
     stats.round(net.total_alive());
 
     let run_unary = |net: &mut Network<'g>, stats: &mut PramStats| {
+        let _phase = obsv::span("unary_propagation");
         for c in grammar.unary_constraints() {
+            let _c = obsv::span_with(|| format!("unary:{}", c.name));
             apply_unary_par(net, c, stats);
         }
     };
@@ -357,15 +360,21 @@ pub fn parse_pram<'g>(
         net.init_arcs();
         stats.round(net.stats.arc_entries_initialized.max(1));
     }
-    for c in grammar.binary_constraints() {
-        apply_binary_par(&mut net, c, &mut stats);
-    }
-    if sentence.has_lexical_ambiguity() {
-        for c in grammar.unary_constraints() {
-            apply_unary_pairwise_par(&mut net, c, &mut stats);
+    {
+        let _phase = obsv::span("binary_propagation");
+        for c in grammar.binary_constraints() {
+            let _c = obsv::span_with(|| format!("binary:{}", c.name));
+            apply_binary_par(&mut net, c, &mut stats);
+        }
+        if sentence.has_lexical_ambiguity() {
+            for c in grammar.unary_constraints() {
+                let _c = obsv::span_with(|| format!("unary-pairwise:{}", c.name));
+                apply_unary_pairwise_par(&mut net, c, &mut stats);
+            }
         }
     }
     let mut passes = 0;
+    let _filtering = obsv::span("filtering");
     match options.filter {
         FilterMode::None => {}
         FilterMode::Bounded(max) => {
@@ -383,6 +392,7 @@ pub fn parse_pram<'g>(
             }
         },
     }
+    drop(_filtering);
     PramOutcome {
         roles_nonempty: net.all_roles_nonempty(),
         stats,

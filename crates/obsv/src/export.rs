@@ -1,0 +1,244 @@
+//! Exporters: human-readable phase tree and `parsec-trace-v1` JSON.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{SpanNode, Trace};
+
+/// Schema identifier embedded in every JSON trace document.
+pub const SCHEMA: &str = "parsec-trace-v1";
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Render a trace as an indented phase tree:
+///
+/// ```text
+/// parse                          1.234 ms
+/// ├─ network_build              12.000 us
+/// └─ binary_propagation        903.000 us
+/// ```
+pub fn render_tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    for root in &trace.roots {
+        render_node(root, "", "", &mut out);
+    }
+    out
+}
+
+fn render_node(node: &SpanNode, lead: &str, child_lead: &str, out: &mut String) {
+    let label = format!("{lead}{}", node.name);
+    out.push_str(&format!("{label:<42} {:>12}\n", fmt_dur(node.dur_ns)));
+    let n = node.children.len();
+    for (i, c) in node.children.iter().enumerate() {
+        let last = i + 1 == n;
+        let (branch, next) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        render_node(
+            c,
+            &format!("{child_lead}{branch}"),
+            &format!("{child_lead}{next}"),
+            out,
+        );
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn span_json(node: &SpanNode, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape_json(&node.name, out);
+    out.push_str(&format!(
+        "\",\"start_ns\":{},\"dur_ns\":{},\"children\":[",
+        node.start_ns, node.dur_ns
+    ));
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        span_json(c, out);
+    }
+    out.push_str("]}");
+}
+
+fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep them recognisably
+        // floating for gauge consumers.
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serialize a trace (and optionally a metrics snapshot) as a
+/// `parsec-trace-v1` document:
+///
+/// ```json
+/// {"schema":"parsec-trace-v1","engine":"serial","spans":[...],
+///  "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+/// ```
+pub fn trace_to_json(engine: &str, trace: &Trace, metrics: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    escape_json(SCHEMA, &mut out);
+    out.push_str("\",\"engine\":\"");
+    escape_json(engine, &mut out);
+    out.push_str("\",\"spans\":[");
+    for (i, r) in trace.roots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        span_json(r, &mut out);
+    }
+    out.push(']');
+    if let Some(snap) = metrics {
+        out.push_str(",\"metrics\":{\"counters\":{");
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            out.push_str(&format!("\":{}", f64_json(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            out.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count,
+                f64_json(h.sum),
+                f64_json(h.min),
+                f64_json(h.max)
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanNode;
+
+    fn sample() -> Trace {
+        Trace {
+            roots: vec![SpanNode {
+                name: "parse".into(),
+                start_ns: 10,
+                dur_ns: 1_500_000,
+                children: vec![
+                    SpanNode {
+                        name: "unary_propagation".into(),
+                        start_ns: 20,
+                        dur_ns: 400,
+                        children: vec![],
+                    },
+                    SpanNode {
+                        name: "binary_propagation".into(),
+                        start_ns: 500,
+                        dur_ns: 900,
+                        children: vec![],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn tree_renderer_shows_nesting() {
+        let text = render_tree(&sample());
+        assert!(text.contains("parse"));
+        assert!(text.contains("├─ unary_propagation"));
+        assert!(text.contains("└─ binary_propagation"));
+        assert!(text.contains("1.500 ms"));
+    }
+
+    #[test]
+    fn json_has_schema_and_spans() {
+        let json = trace_to_json("serial", &sample(), None);
+        assert!(json.starts_with("{\"schema\":\"parsec-trace-v1\""));
+        assert!(json.contains("\"engine\":\"serial\""));
+        assert!(json.contains("\"name\":\"binary_propagation\""));
+        assert!(json.contains("\"start_ns\":10"));
+        assert!(!json.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn json_embeds_metrics_snapshot() {
+        let snap = MetricsSnapshot {
+            counters: vec![("removals", 12)],
+            gauges: vec![("threads", 4.0)],
+            histograms: vec![(
+                "filter.passes",
+                crate::metrics::Histogram {
+                    count: 2,
+                    sum: 6.0,
+                    min: 2.0,
+                    max: 4.0,
+                },
+            )],
+        };
+        let json = trace_to_json("pram", &sample(), Some(&snap));
+        assert!(json.contains("\"removals\":12"));
+        assert!(json.contains("\"threads\":4.0"));
+        assert!(json.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let trace = Trace {
+            roots: vec![SpanNode {
+                name: "weird\"name\n".into(),
+                start_ns: 0,
+                dur_ns: 1,
+                children: vec![],
+            }],
+        };
+        let json = trace_to_json("serial", &trace, None);
+        assert!(json.contains("weird\\\"name\\n"));
+    }
+}

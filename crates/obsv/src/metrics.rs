@@ -1,0 +1,222 @@
+//! Process-global metrics registry: counters, gauges, and min/max/sum
+//! histograms keyed by static names.
+//!
+//! Like the span layer, the registry is gated on one [`AtomicBool`]; when
+//! disabled every recording call is a single relaxed load. Engines record
+//! *per-parse* aggregates (a handful of calls per sentence, sourced from the
+//! existing `NetStats`-style counters) rather than per-operation events, so
+//! even the enabled path stays off the hot loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static METRICS: AtomicBool = AtomicBool::new(false);
+static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<&'static str, f64>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
+
+/// Summary statistics for a histogram metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Globally enable or disable metrics recording.
+pub fn set_metrics(enabled: bool) {
+    METRICS.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether metrics recording is currently enabled.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Add `v` to the named counter. No-op while disabled.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    *COUNTERS.lock().unwrap().entry(name).or_insert(0) += v;
+}
+
+/// Set the named gauge to `v`. No-op while disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    GAUGES.lock().unwrap().insert(name, v);
+}
+
+/// Record one observation into the named histogram. No-op while disabled.
+#[inline]
+pub fn histogram_record(name: &'static str, v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    HISTOGRAMS
+        .lock()
+        .unwrap()
+        .entry(name)
+        .or_insert(Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+        .observe(v);
+}
+
+/// Clear every counter, gauge, and histogram.
+pub fn reset_metrics() {
+    COUNTERS.lock().unwrap().clear();
+    GAUGES.lock().unwrap().clear();
+    HISTOGRAMS.lock().unwrap().clear();
+}
+
+/// A point-in-time copy of the registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, f64)>,
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Render the snapshot as aligned `name value` lines for `--metrics` /
+    /// `--stats` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {v:.6}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  count={} mean={:.2} min={} max={}\n",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+/// Copy the current registry contents without clearing them.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: COUNTERS
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect(),
+        gauges: GAUGES
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect(),
+        histograms: HISTOGRAMS
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_registry_stays_empty() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_metrics();
+        counter_add("checks.unary", 10);
+        gauge_set("virt_pes", 256.0);
+        histogram_record("filter.passes", 3.0);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_metrics();
+        set_metrics(true);
+        counter_add("removals", 5);
+        counter_add("removals", 7);
+        gauge_set("threads", 4.0);
+        histogram_record("filter.passes", 2.0);
+        histogram_record("filter.passes", 4.0);
+        set_metrics(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("removals"), Some(12));
+        assert_eq!(snap.gauges, vec![("threads", 4.0)]);
+        let (_, h) = snap.histograms[0];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert!(snap.render().contains("removals"));
+        reset_metrics();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -268,6 +268,7 @@ pub fn parse_maspar_checked(
     sentence: &Sentence,
     opts: &MasparOptions,
 ) -> Result<MasparOutcome, EngineError> {
+    let _build = obsv::span("network_build");
     let lay = Layout::try_new(grammar, sentence).map_err(EngineError::GrammarError)?;
 
     // The engine's data layout IS the arc matrix set (one l×l submatrix
@@ -299,9 +300,11 @@ pub fn parse_maspar_checked(
         machine.enable_trace();
     }
     let mut recovery = RecoveryReport::default();
+    drop(_build);
 
     // --- Probe & retire: clear persistent faults before laying out data.
     if machine.faults_armed() {
+        let _probe = obsv::span("fault_probe");
         let mut nonce = 0x5EED_C0DE_0000_0001u64;
         loop {
             recovery.probes += 1;
@@ -360,6 +363,7 @@ pub fn parse_maspar_checked(
     let retries = opts.max_recovery_retries.max(1);
     let n_virt = lay.virt_pes();
     let expect = |f: &dyn Fn(usize) -> u64| -> Vec<u64> { (0..n_virt).map(f).collect() };
+    let _init = obsv::span("arc_init");
     let valid: Plural<bool> = init_exact(
         &mut machine,
         "valid",
@@ -415,14 +419,17 @@ pub fn parse_maspar_checked(
             .collect::<Vec<_>>(),
     )?;
     phase(&machine, &mut phases, &mut mark, "init".into());
+    drop(_init);
 
     let mut degraded: Option<EngineError> = over_time(&machine);
 
     // --- Unary propagation on the matrices (design decisions 1 & 4) ---
+    let _unary = obsv::span("unary_propagation");
     for c in grammar.unary_constraints() {
         if degraded.is_some() {
             break;
         }
+        let _c = obsv::span_with(|| format!("unary:{}", c.name));
         run_phase(
             &mut machine,
             retries,
@@ -446,6 +453,7 @@ pub fn parse_maspar_checked(
     // Immediately zero rows/cols of values the unary pass killed, so the
     // matrices agree with the alive masks before binary propagation.
     if degraded.is_none() {
+        let _c = obsv::span("unary:mask");
         run_phase(
             &mut machine,
             retries,
@@ -468,12 +476,15 @@ pub fn parse_maspar_checked(
         )?;
         phase(&machine, &mut phases, &mut mark, "unary:mask".into());
     }
+    drop(_unary);
 
     // --- Binary propagation ---
+    let _binary = obsv::span("binary_propagation");
     for c in grammar.binary_constraints() {
         if degraded.is_some() {
             break;
         }
+        let _c = obsv::span_with(|| format!("binary:{}", c.name));
         run_phase(
             &mut machine,
             retries,
@@ -495,7 +506,10 @@ pub fn parse_maspar_checked(
         degraded = over_time(&machine);
     }
 
+    drop(_binary);
+
     // --- Consistency maintenance + bounded filtering (decisions 3 & 5) ---
+    let _filtering = obsv::span("filtering");
     let mut iterations = 0;
     let mut removals_per_iteration: Vec<u64> = Vec::new();
     for _ in 0..opts.filter_iterations {
@@ -516,6 +530,7 @@ pub fn parse_maspar_checked(
             }
         }
         iterations += 1;
+        let _m = obsv::span("maintain");
         let removed = run_phase(
             &mut machine,
             retries,
@@ -548,6 +563,7 @@ pub fn parse_maspar_checked(
         }
         degraded = over_time(&machine);
     }
+    drop(_filtering);
 
     let estimated_seconds = machine.estimated_seconds();
     let trace = machine.trace().to_vec();
@@ -623,6 +639,7 @@ where
     if !machine.faults_armed() {
         return Ok(f(machine, bits, alive));
     }
+    let _verify = obsv::span("verify");
     recovery.verified_phases += 1;
     let golden_bits = bits.as_slice().to_vec();
     let golden_alive = alive.as_slice().to_vec();

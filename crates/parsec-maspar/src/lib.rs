@@ -42,9 +42,11 @@
 //! and re-executing corrupted phases — or returning a typed
 //! [`cdg_core::EngineError`]; never a silently wrong network.
 
+pub mod api;
 pub mod engine;
 pub mod layout;
 
+pub use api::Maspar;
 pub use engine::{
     parse_maspar, parse_maspar_checked, MasparOptions, MasparOutcome, PhaseStats, RecoveryReport,
 };

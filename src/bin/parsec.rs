@@ -10,7 +10,9 @@
 //!   --parses <N>                                 max parses to print (default 4, N >= 1)
 //!   --network                                    print the settled network
 //!   --dot                                        emit Graphviz instead of text
-//!   --stats                                      print engine statistics
+//!   --stats                                      print engine statistics + metrics registry
+//!   --trace[=json]                               print the phase trace (tree, or one JSON line)
+//!   --metrics                                    print the metrics registry snapshot
 //!   --naive-eval                                 use the naive tree-walk evaluator (oracle)
 //!   --budget <spec>                              resource budget, e.g. ms=50,iters=3,cells=100000
 //!   --faults <spec>                              (maspar) fault plan: a seed, or seed=N,dead=N,...
@@ -22,35 +24,52 @@
 //! EXAMPLES:
 //!   parsec --grammar paper the program runs
 //!   parsec --engine maspar --stats --faults 7 the dog sees a cat in the park
+//!   parsec --engine pram --trace the program runs
 //!   parsec --relax dog runs in the park
 //!   parsec --grammar ww --dot 0101
 //!   parsec --engine pram --threads 8 --batch corpus.txt
 //! ```
 //!
+//! Every engine runs through the unified [`cdg_core::api::Engine`] trait:
+//! one `ParseRequest` in, one `ParseReport` out, so `--trace`, `--metrics`,
+//! `--budget`, and `--faults` behave uniformly. `--trace` prints the phase
+//! tree (shared span vocabulary across engines — see DESIGN.md §11);
+//! `--trace=json` prints one `parsec-trace-v1` JSON document line.
+//!
 //! Batch mode parses every non-blank line of the file (lines starting with
 //! `#` are comments), amortizing grammar setup and pooling arc-matrix
 //! allocations across sentences; `--engine pram` fans the batch out across
-//! `--threads` workers with byte-identical results at any thread count.
-//! Per line it prints `ACCEPT`/`REJECT`, then a throughput summary.
+//! `--threads` workers with byte-identical results at any thread count;
+//! `--engine maspar` runs sentences one after another on the simulated
+//! array, degrading (not failing) lines the machine cannot take. Per line
+//! it prints `ACCEPT`/`REJECT`, then a throughput summary — plus per-phase
+//! time totals when `--trace` is on.
 //!
 //! Exit codes: 0 accept (batch: every line accepted), 1 reject or engine
 //! error (batch: some line rejected), 2 usage/input error, 3 budget-degraded
 //! partial outcome with no full parse.
 
-use cdg_core::parser::{parse, ParseOptions};
+use cdg_core::api::{Engine, ParseReport, ParseRequest};
+use cdg_core::parser::ParseOptions;
 use cdg_core::{parse_relaxed, EvalStrategy, ParseBudget, RelaxLadder};
 use cdg_grammar::grammars::{english, formal, paper};
 use cdg_grammar::sentence::LexiconError;
 use cdg_grammar::{Grammar, Lexicon, Sentence};
 use maspar_sim::{FaultPlan, MachineConfig};
+use obsv::MetricsSnapshot;
 use std::io::Read;
 use std::process::ExitCode;
-use std::time::Instant;
 
 /// Instruction-count horizon handed to `--faults` specs that schedule
 /// transients; a full checked parse of the shipped examples spans a few
 /// hundred broadcast instructions.
 const FAULT_HORIZON_OPS: u64 = 2_000;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Text,
+    Json,
+}
 
 struct Args {
     grammar: String,
@@ -60,6 +79,8 @@ struct Args {
     network: bool,
     dot: bool,
     stats: bool,
+    trace: Option<TraceFormat>,
+    metrics: bool,
     naive_eval: bool,
     budget: ParseBudget,
     faults: Option<String>,
@@ -73,8 +94,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
-         [--naive-eval] [--budget spec] [--faults spec] [--relax] [--threads N] [--batch file|-] \
-         [--version] <sentence...>"
+         [--trace[=json]] [--metrics] [--naive-eval] [--budget spec] [--faults spec] [--relax] \
+         [--threads N] [--batch file|-] [--version] <sentence...>"
     );
     std::process::exit(2);
 }
@@ -101,6 +122,8 @@ fn parse_args() -> Args {
         network: false,
         dot: false,
         stats: false,
+        trace: None,
+        metrics: false,
         naive_eval: false,
         budget: ParseBudget::UNLIMITED,
         faults: None,
@@ -131,6 +154,9 @@ fn parse_args() -> Args {
             "--network" => args.network = true,
             "--dot" => args.dot = true,
             "--stats" => args.stats = true,
+            "--trace" | "--trace=text" => args.trace = Some(TraceFormat::Text),
+            "--trace=json" => args.trace = Some(TraceFormat::Json),
+            "--metrics" => args.metrics = true,
             "--naive-eval" => args.naive_eval = true,
             "--budget" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -164,12 +190,6 @@ fn parse_args() -> Args {
     }
     if args.faults.is_some() && args.engine != "maspar" {
         invalid("--faults injects faults into the simulated MasPar; pass --engine maspar".into());
-    }
-    if args.batch.is_some() && !matches!(args.engine.as_str(), "serial" | "pram") {
-        invalid(format!(
-            "--batch supports the serial and pram engines, not `{}`",
-            args.engine
-        ));
     }
     args
 }
@@ -244,10 +264,119 @@ fn build_input(args: &Args) -> Result<(Grammar, Sentence), String> {
     Ok((grammar, sentence))
 }
 
-/// Batch mode: parse one sentence per non-blank, non-`#` line, amortizing
-/// grammar setup and pooling arc matrices across the batch (in parallel
-/// across sentences under `--engine pram`).
-fn run_batch(args: &Args) -> ExitCode {
+/// The one request every engine sees, built from the CLI flags.
+fn build_request<'g>(args: &Args, grammar: &'g Grammar) -> ParseRequest<'g> {
+    let options = ParseOptions {
+        budget: args.budget,
+        eval: eval_strategy(args),
+        ..Default::default()
+    };
+    let mut request = ParseRequest::new(grammar)
+        .options(options)
+        .max_parses(args.parses)
+        .trace(args.trace.is_some())
+        .metrics(args.metrics || args.stats);
+    if let Some(n) = args.threads {
+        request = request.threads(n);
+    }
+    if let Some(spec) = &args.faults {
+        let phys = MachineConfig::default().phys_pes;
+        request = request.faults(
+            FaultPlan::parse_spec(spec, phys, FAULT_HORIZON_OPS)
+                .unwrap_or_else(|e| invalid(format!("bad --faults spec: {e}"))),
+        );
+    }
+    request
+}
+
+/// Print the trace (tree or one JSON document line) and, under
+/// `--metrics`, the registry snapshot.
+fn emit_observability(
+    args: &Args,
+    engine: &str,
+    trace: &Option<obsv::Trace>,
+    metrics: &Option<MetricsSnapshot>,
+) {
+    match (args.trace, trace) {
+        (Some(TraceFormat::Text), Some(trace)) => {
+            println!("phase trace ({engine}):");
+            print!("{}", obsv::render_tree(trace));
+        }
+        (Some(TraceFormat::Json), Some(trace)) => {
+            println!("{}", obsv::trace_to_json(engine, trace, metrics.as_ref()));
+        }
+        _ => {}
+    }
+    if args.metrics {
+        if let Some(snapshot) = metrics {
+            println!("metrics ({engine}):");
+            print!("{}", snapshot.render());
+        }
+    }
+}
+
+/// The `--stats` lines: an engine-specific summary on stderr, then the
+/// whole metrics registry (metrics collection is forced on by `--stats`).
+fn emit_stats(args: &Args, report: &ParseReport<'_>) {
+    let Some(snapshot) = &report.metrics else {
+        return;
+    };
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let gauge = |name: &str| snapshot.gauge(name).unwrap_or(0.0);
+    match report.engine {
+        "pram" => {
+            eprintln!(
+                "pram: {} steps, max width {}, {} removals",
+                counter("pram.steps"),
+                gauge("pram.max_width") as u64,
+                counter("removals"),
+            );
+        }
+        "maspar" => {
+            eprintln!(
+                "maspar: {} virtual PEs (factor {}x), {} plural ops, {} scans, est {:.3}s on an MP-1",
+                gauge("maspar.virt_pes") as u64,
+                gauge("maspar.virt_factor") as u64,
+                counter("maspar.plural_ops"),
+                counter("maspar.scan_calls"),
+                gauge("maspar.estimated_seconds"),
+            );
+            if report.fault_recovered || counter("maspar.fault_events") > 0 {
+                eprintln!(
+                    "maspar recovery: {} probe round(s), {} PE(s) retired, {} phase(s) \
+                     verified, {} retried, {} fault event(s) observed",
+                    counter("maspar.probes"),
+                    counter("maspar.retired_pes"),
+                    counter("maspar.verified_phases"),
+                    counter("maspar.phase_retries"),
+                    counter("maspar.fault_events"),
+                );
+            }
+        }
+        _ => {
+            let st = report.stats();
+            eprintln!(
+                "serial: {} unary checks, {} binary checks, {} removals, {} maintain passes",
+                st.unary_checks, st.binary_checks, st.removals, st.maintain_passes
+            );
+            eprintln!(
+                "eval {}: {} kernel masks, {} memo hits, {} support checks, {} support inits",
+                if args.naive_eval { "naive" } else { "kernel" },
+                st.kernel_masks,
+                st.kernel_memo_hits,
+                st.support_checks,
+                st.support_inits
+            );
+        }
+    }
+    eprint!("{}", snapshot.render());
+}
+
+/// Batch mode: parse one sentence per non-blank, non-`#` line through
+/// [`Engine::parse_batch`], amortizing grammar setup across the batch (in
+/// parallel across sentences under `--engine pram`, sequentially on the
+/// simulated array under `--engine maspar`).
+fn run_batch(args: &Args, engine: &dyn Engine) -> ExitCode {
     let source = args.batch.as_deref().expect("batch mode requires --batch");
     let text = if source == "-" {
         let mut buf = String::new();
@@ -294,21 +423,17 @@ fn run_batch(args: &Args) -> ExitCode {
         }
     }
 
-    let options = ParseOptions {
-        budget: args.budget,
-        eval: eval_strategy(args),
-        ..Default::default()
+    let request = build_request(args, &grammar);
+    let report = match engine.parse_batch(&sentences, &request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{} engine error: {e}", args.engine);
+            return ExitCode::from(1);
+        }
     };
-    let start = Instant::now();
-    let outcomes = match args.engine.as_str() {
-        "serial" => cdg_core::parse_batch(&grammar, &sentences, options, args.parses),
-        // parse_args restricted batch engines to serial|pram.
-        _ => cdg_parallel::parse_batch(&grammar, &sentences, options, args.parses),
-    };
-    let wall = start.elapsed();
 
     let mut accepted = 0usize;
-    for (text, outcome) in texts.iter().zip(&outcomes) {
+    for (text, outcome) in texts.iter().zip(&report.outcomes) {
         if outcome.accepted {
             accepted += 1;
             println!(
@@ -328,8 +453,8 @@ fn run_batch(args: &Args) -> ExitCode {
             );
         }
     }
-    let n = outcomes.len();
-    let secs = wall.as_secs_f64();
+    let n = report.outcomes.len();
+    let secs = report.wall.as_secs_f64();
     println!(
         "batch: {n} sentence(s), {accepted} accepted, {} rejected in {:.3}s \
          ({:.1} sentences/s, engine {}, {} thread(s))",
@@ -343,6 +468,40 @@ fn run_batch(args: &Args) -> ExitCode {
         args.engine,
         rayon::current_num_threads(),
     );
+    match args.trace {
+        // A per-sentence tree would drown the verdicts; summarize instead.
+        // Totals sum over concurrent workers, so they may exceed the wall
+        // time.
+        Some(TraceFormat::Text) if report.trace.is_some() => {
+            println!("phase totals ({}):", report.engine);
+            for (name, dur_ns, count) in report.phase_totals() {
+                println!(
+                    "  {name:<24} {:>10.3} ms  ({count} span(s))",
+                    dur_ns as f64 / 1e6
+                );
+            }
+        }
+        Some(TraceFormat::Json) => {
+            if let Some(trace) = &report.trace {
+                println!(
+                    "{}",
+                    obsv::trace_to_json(report.engine, trace, report.metrics.as_ref())
+                );
+            }
+        }
+        _ => {}
+    }
+    if args.metrics {
+        if let Some(snapshot) = &report.metrics {
+            println!("metrics ({}):", report.engine);
+            print!("{}", snapshot.render());
+        }
+    }
+    if args.stats {
+        if let Some(snapshot) = &report.metrics {
+            eprint!("{}", snapshot.render());
+        }
+    }
     if accepted == n {
         ExitCode::SUCCESS
     } else {
@@ -355,8 +514,12 @@ fn main() -> ExitCode {
     if let Some(n) = args.threads {
         rayon::set_num_threads(n);
     }
+    let Some(engine) = parsec::engine_by_name(&args.engine) else {
+        eprintln!("error: unknown engine `{}`", args.engine);
+        return ExitCode::from(2);
+    };
     if args.batch.is_some() {
-        return run_batch(&args);
+        return run_batch(&args, engine.as_ref());
     }
     let (grammar, sentence) = match build_input(&args) {
         Ok(pair) => pair,
@@ -365,110 +528,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let options = ParseOptions {
-        budget: args.budget,
-        eval: eval_strategy(&args),
-        ..Default::default()
-    };
 
-    // All engines funnel into a settled sequential-format network so the
-    // printing pipeline is shared.
-    let outcome = match args.engine.as_str() {
-        "serial" => parse(&grammar, &sentence, options),
-        "pram" => {
-            let pram = cdg_parallel::parse_pram(
-                &grammar,
-                &sentence,
-                ParseOptions {
-                    eval: eval_strategy(&args),
-                    ..Default::default()
-                },
-            );
-            if args.stats {
-                eprintln!(
-                    "pram: {} steps, max width {}, {} removals",
-                    pram.stats.steps, pram.stats.max_width, pram.stats.removals
-                );
-            }
-            // Re-run serially for the shared outcome type (identical by
-            // the equivalence guarantee).
-            parse(&grammar, &sentence, options)
-        }
-        "maspar" => {
-            let mut opts = parsec_maspar::MasparOptions {
-                budget: args.budget,
-                ..Default::default()
-            };
-            if let Some(spec) = &args.faults {
-                let phys = MachineConfig::default().phys_pes;
-                opts.faults = Some(
-                    FaultPlan::parse_spec(spec, phys, FAULT_HORIZON_OPS)
-                        .unwrap_or_else(|e| invalid(format!("bad --faults spec: {e}"))),
-                );
-            }
-            let out = match parsec_maspar::parse_maspar_checked(&grammar, &sentence, &opts) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("maspar engine error: {e}");
-                    return ExitCode::from(1);
-                }
-            };
-            if args.stats {
-                eprintln!(
-                    "maspar: {} virtual PEs (factor {}x), {} plural ops, {} scans, est {:.3}s on an MP-1",
-                    out.layout.virt_pes(),
-                    out.virt_factor,
-                    out.stats.plural_ops,
-                    out.stats.scan_calls,
-                    out.estimated_seconds
-                );
-                let r = &out.recovery;
-                if r.intervened() || out.stats.fault_events() > 0 {
-                    eprintln!(
-                        "maspar recovery: {} probe round(s), retired PEs {:?}, {} phase(s) \
-                         verified, {} retried, {} fault event(s) observed",
-                        r.probes,
-                        r.retired_pes,
-                        r.verified_phases,
-                        r.phase_retries,
-                        out.stats.fault_events()
-                    );
-                }
-            }
-            if let Some(d) = &out.degraded {
-                eprintln!("maspar DEGRADED: {d}");
-            }
-            parse(&grammar, &sentence, options)
-        }
-        other => {
-            eprintln!("error: unknown engine `{other}`");
-            return ExitCode::from(2);
+    // Every engine funnels through the same request/report surface, so the
+    // printing pipeline below is engine-agnostic.
+    let request = build_request(&args, &grammar).sentence(sentence.clone());
+    let report = match engine.parse(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{} engine error: {e}", args.engine);
+            return ExitCode::from(1);
         }
     };
 
+    emit_observability(&args, report.engine, &report.trace, &report.metrics);
     if args.stats {
-        let st = outcome.network.stats;
-        eprintln!(
-            "serial: {} unary checks, {} binary checks, {} removals, {} maintain passes",
-            st.unary_checks, st.binary_checks, st.removals, st.maintain_passes
-        );
-        eprintln!(
-            "eval {}: {} kernel masks, {} memo hits, {} support checks, {} support inits",
-            if args.naive_eval { "naive" } else { "kernel" },
-            st.kernel_masks,
-            st.kernel_memo_hits,
-            st.support_checks,
-            st.support_inits
-        );
+        emit_stats(&args, &report);
     }
 
     if args.network {
-        println!("{}", cdg_core::snapshot::render_network(&outcome.network));
+        println!("{}", cdg_core::snapshot::render_network(&report.network));
     }
 
-    let graphs = outcome.parses(args.parses);
+    let graphs = &report.parses;
     if graphs.is_empty() {
-        if let Some(d) = &outcome.degraded {
+        if let Some(d) = &report.degraded {
             // The budget cut the parse short before it could settle: the
             // network above (with --network) is a usable partial result,
             // but no complete parse can honestly be claimed.
@@ -480,6 +563,11 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
         if args.relax {
+            let options = ParseOptions {
+                budget: args.budget,
+                eval: eval_strategy(&args),
+                ..Default::default()
+            };
             let ladder = RelaxLadder::english_default();
             if let Some(r) = parse_relaxed(&grammar, &sentence, options, &ladder, args.parses) {
                 println!(
@@ -517,17 +605,13 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
-    if let Some(d) = &outcome.degraded {
+    if let Some(d) = &report.degraded {
         eprintln!("note: parse is budget-degraded ({d}); parses shown may be a superset");
     }
     println!(
         "ACCEPT: `{sentence}` — {}{} parse(s)",
         graphs.len(),
-        if outcome.ambiguous() {
-            " (ambiguous)"
-        } else {
-            ""
-        }
+        if report.ambiguous { " (ambiguous)" } else { "" }
     );
     for (i, graph) in graphs.iter().enumerate() {
         if args.dot {

@@ -285,14 +285,116 @@ fn batch_results_identical_across_engines_and_thread_counts() {
 }
 
 #[test]
-fn batch_rejects_maspar_engine_and_positional_words() {
-    let out = run(&["--engine", "maspar", "--batch", "whatever.txt"]);
-    assert_eq!(out.status.code(), Some(2));
-    assert!(stderr(&out).contains("serial and pram"));
-
+fn batch_rejects_positional_words_and_unknown_engines() {
     let out = run(&["--batch", "whatever.txt", "the", "dog"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("positional words"));
+
+    let out = run(&["--engine", "abacus", "--batch", "whatever.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown engine"));
+}
+
+#[test]
+fn batch_runs_on_the_maspar_engine() {
+    let path = write_temp("maspar", "the program runs\nprogram the runs\n");
+    let out = run(&[
+        "--engine",
+        "maspar",
+        "--grammar",
+        "paper",
+        "--batch",
+        path.to_str().unwrap(),
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ACCEPT: `the program runs`"));
+    assert!(text.contains("REJECT: `program the runs`"));
+    assert!(text.contains("engine maspar"));
+}
+
+#[test]
+fn trace_prints_a_phase_tree_on_every_engine() {
+    for engine in ["serial", "pram", "maspar"] {
+        let out = run(&[
+            "--engine",
+            engine,
+            "--grammar",
+            "paper",
+            "--trace",
+            "the",
+            "program",
+            "runs",
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains(&format!("phase trace ({engine}):")),
+            "engine {engine}: {text}"
+        );
+        for phase in [
+            "unary_propagation",
+            "arc_init",
+            "binary_propagation",
+            "filtering",
+            "maintain",
+            "extraction",
+        ] {
+            assert!(
+                text.contains(phase),
+                "engine {engine} missing {phase}: {text}"
+            );
+        }
+        assert!(text.contains("ACCEPT"), "engine {engine}: {text}");
+    }
+}
+
+#[test]
+fn trace_json_emits_a_schema_tagged_document() {
+    let out = run(&[
+        "--grammar",
+        "paper",
+        "--trace=json",
+        "--metrics",
+        "the",
+        "program",
+        "runs",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("one JSON document line");
+    assert!(json.contains("\"schema\":\"parsec-trace-v1\""));
+    assert!(json.contains("\"engine\":\"serial\""));
+    assert!(json.contains("\"binary_propagation\""));
+    assert!(json.contains("\"metrics\""));
+    // --metrics also prints the registry in human form.
+    assert!(text.contains("checks.binary"), "{text}");
+}
+
+#[test]
+fn stats_prints_the_metrics_registry() {
+    let out = run(&["--stats", "the", "dog", "runs"]);
+    assert!(out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("serial:"), "{err}");
+    assert!(err.contains("checks.unary"), "{err}");
+    assert!(err.contains("pool.acquires"), "{err}");
+}
+
+#[test]
+fn batch_trace_reports_phase_totals() {
+    let path = write_temp("totals", "the dog runs\nshe sleeps\n");
+    let out = run(&["--trace", "--batch", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("phase totals (serial):"), "{text}");
+    assert!(text.contains("binary_propagation"), "{text}");
+    assert!(text.contains("2 span(s)"), "{text}");
 }
 
 #[test]
