@@ -18,6 +18,11 @@
 //!    slower CI runner is not mistaken for a regression; rows whose
 //!    baseline wall is under `--min-wall-secs` sit below the timer noise
 //!    floor and are skipped.
+//! 4. **Representation parity** — inside the *current* report, every
+//!    `cdg-maspar` row must share its digest with the `cdg-maspar-scalar`
+//!    twin at the same grammar/n: the bit-sliced path and the unpacked
+//!    oracle produce byte-identical simulated runs, even in reports this
+//!    gate did not generate itself.
 //!
 //! Exit codes: 0 pass, 1 regression/mismatch, 2 usage or unreadable input.
 
@@ -150,9 +155,40 @@ fn main() {
         }
     }
 
+    // Representation parity: the packed engine's digest must equal its
+    // scalar-oracle twin within the current report.
+    let mut parity_pairs = 0usize;
+    for packed_row in current.rows.iter().filter(|r| r.engine == "cdg-maspar") {
+        let twin = current.rows.iter().find(|r| {
+            r.engine == "cdg-maspar-scalar"
+                && r.grammar == packed_row.grammar
+                && r.n == packed_row.n
+                && r.threads == packed_row.threads
+        });
+        let Some(twin) = twin else {
+            failures.push(format!(
+                "PARITY   {}: no cdg-maspar-scalar twin in {}",
+                packed_row.key(),
+                args.current
+            ));
+            continue;
+        };
+        parity_pairs += 1;
+        if packed_row.digest != twin.digest {
+            failures.push(format!(
+                "PARITY   {}: packed digest {:016x} != scalar oracle {:016x} — the \
+                 bit-sliced path no longer matches the unpacked representation",
+                packed_row.key(),
+                packed_row.digest,
+                twin.digest
+            ));
+        }
+    }
+
     println!(
         "bench_compare: {} baseline row(s): {compared} wall-compared, \
-         {skipped_noise} below noise floor, {} failure(s)",
+         {skipped_noise} below noise floor, {parity_pairs} maspar parity pair(s), \
+         {} failure(s)",
         baseline.rows.len(),
         failures.len()
     );

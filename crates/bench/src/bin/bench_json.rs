@@ -23,15 +23,15 @@
 use bench::json::Json;
 use bench::report::{calibrate, fnv1a, validate_trace, BenchReport, BenchRow};
 use bench::run::{
-    binary_kernel, binary_naive, comparable_options, maspar_cdg, mesh_cdg, pram_cdg, serial_cdg,
-    serial_cdg_naive, Measurement,
+    binary_kernel, binary_naive, comparable_options, maspar_cdg, maspar_scalar_cdg, mesh_cdg,
+    pram_cdg, serial_cdg, serial_cdg_naive, Measurement,
 };
 use cdg_core::api::{Engine, ParseRequest, Sequential};
 use cdg_core::{BatchOutcome, EvalStrategy};
 use cdg_grammar::grammars::{english, formal};
 use cdg_grammar::{Grammar, Sentence};
 use cdg_parallel::Pram;
-use parsec_maspar::Maspar;
+use parsec_maspar::{parse_maspar, Maspar, MasparOptions};
 
 struct Args {
     quick: bool,
@@ -92,6 +92,38 @@ fn digest_outcome(grammar: &Grammar, sentence: &Sentence) -> u64 {
         "kernel and naive evaluators diverged — bit-identity bug"
     );
     kernel
+}
+
+/// Digest of one MasPar run: final alive masks, every submatrix word, the
+/// full machine-op ledger and the estimated-seconds bits — everything the
+/// simulated MP-1 computed, so equal digests mean bit-identical execution.
+fn digest_maspar_with(grammar: &Grammar, sentence: &Sentence, packed: bool) -> u64 {
+    let opts = MasparOptions {
+        packed,
+        ..Default::default()
+    };
+    let out = parse_maspar(grammar, sentence, &opts);
+    let buf = format!(
+        "{:?};{:?};{:?};{:016x}",
+        out.alive,
+        out.bits,
+        out.stats,
+        out.estimated_seconds.to_bits()
+    );
+    fnv1a(buf.as_bytes())
+}
+
+/// MasPar digest under the packed (bit-sliced) representation,
+/// cross-checked against the unpacked `Plural<bool>` oracle — the
+/// bit-identity guarantee the packed simulator ships under.
+fn digest_maspar(grammar: &Grammar, sentence: &Sentence) -> u64 {
+    let packed = digest_maspar_with(grammar, sentence, true);
+    let scalar = digest_maspar_with(grammar, sentence, false);
+    assert_eq!(
+        packed, scalar,
+        "packed and scalar maspar engines diverged — bit-identity bug"
+    );
+    packed
 }
 
 /// Digest of the network state right after the binary-propagation phase
@@ -207,6 +239,7 @@ fn main() {
     };
     rayon::set_num_threads(n_threads);
     let mut kernel_speedups: Vec<f64> = Vec::new();
+    let mut maspar_speedups: Vec<f64> = Vec::new();
     for &n in lengths {
         let s = corpus::english_sentence(&g, &lex, n, 11);
         let digest = digest_outcome(&g, &s);
@@ -225,12 +258,29 @@ fn main() {
             digest,
         ));
         rows.push(row_from(best_of(|| mesh_cdg(&g, &s)), "english", 1, digest));
-        rows.push(row_from(
-            best_of(|| maspar_cdg(&g, &s)),
-            "english",
-            n_threads,
-            digest,
-        ));
+        // Both MasPar rows carry the same digest, asserted equal between
+        // the packed and scalar representations inside digest_maspar.
+        let maspar_digest = digest_maspar(&g, &s);
+        let maspar = best_of(|| maspar_cdg(&g, &s));
+        let maspar_scalar = best_of(|| maspar_scalar_cdg(&g, &s));
+        if maspar.wall_secs > 0.0 {
+            maspar_speedups.push(maspar_scalar.wall_secs / maspar.wall_secs);
+        }
+        rows.push(row_from(maspar, "english", n_threads, maspar_digest));
+        rows.push(row_from(maspar_scalar, "english", n_threads, maspar_digest));
+    }
+    if !maspar_speedups.is_empty() {
+        let geo =
+            maspar_speedups.iter().map(|s| s.ln()).sum::<f64>() / maspar_speedups.len() as f64;
+        eprintln!(
+            "maspar packed vs scalar: geomean host-wall speedup {:.2}x (per-n: {})",
+            geo.exp(),
+            maspar_speedups
+                .iter()
+                .map(|s| format!("{s:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
 
     // --- 1b. Binary-propagation scenarios ----------------------------

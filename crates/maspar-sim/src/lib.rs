@@ -51,6 +51,7 @@
 //! plan armed the simulator's behaviour and costs are bit-identical to
 //! the fault-free original.
 
+pub mod bits;
 pub mod fault;
 pub mod machine;
 pub mod plural;
@@ -58,6 +59,7 @@ pub mod scan;
 pub mod stats;
 pub mod xnet;
 
+pub use bits::PluralBits;
 pub use fault::{Fault, FaultPlan, FaultWord};
 pub use machine::{Machine, MachineConfig, TraceEntry};
 pub use plural::Plural;

@@ -1,6 +1,7 @@
 //! The Machine: PE array, ACU activity control, plural operations, scans,
 //! and the global router.
 
+use crate::bits::{self, PluralBits};
 use crate::fault::{FaultPlan, FaultWord};
 use crate::plural::Plural;
 use crate::scan::SegmentMap;
@@ -63,9 +64,12 @@ pub struct Machine {
     config: MachineConfig,
     n_virt: usize,
     virt_factor: u64,
-    /// Activity flags per virtual PE; the stack implements MPL's plural if.
-    enabled: Vec<bool>,
-    activity_stack: Vec<Vec<bool>>,
+    /// Activity flags per virtual PE, packed 64 to a word (bit `pe % 64`
+    /// of word `pe / 64`); the stack implements MPL's plural if. Packed
+    /// because the word-parallel kernels below mask activity with single
+    /// bitwise ops; scalar per-PE operations test individual bits.
+    enabled: Vec<u64>,
+    activity_stack: Vec<Vec<u64>>,
     /// Simulated PE-local memory in use (bytes per physical PE).
     pe_memory_used: usize,
     /// Optional instruction trace (the paper singles out the MP-1's
@@ -81,9 +85,10 @@ pub struct Machine {
     /// Healthy (non-retired) physical PEs, ascending; the virtual→physical
     /// map is `healthy[virt mod healthy.len()]`. Empty when unarmed.
     healthy: Vec<usize>,
-    /// Cached per-virtual-PE deadness under the current mapping. Empty
-    /// when unarmed (so the fault-free path never consults it).
-    virt_dead: Vec<bool>,
+    /// Cached per-virtual-PE deadness under the current mapping, packed
+    /// like `enabled`. Empty when unarmed (so the fault-free path never
+    /// consults it).
+    virt_dead: Vec<u64>,
     pub stats: MachineStats,
 }
 
@@ -117,11 +122,15 @@ impl Machine {
         assert!(n_virt > 0, "a program needs at least one virtual PE");
         assert!(config.phys_pes > 0);
         let virt_factor = n_virt.div_ceil(config.phys_pes) as u64;
+        let mut enabled = vec![!0u64; bits::word_count(n_virt)];
+        if let Some(last) = enabled.last_mut() {
+            *last &= bits::tail_mask(n_virt);
+        }
         Machine {
             config,
             n_virt,
             virt_factor,
-            enabled: vec![true; n_virt],
+            enabled,
             activity_stack: Vec::new(),
             pe_memory_used: 0,
             trace: None,
@@ -154,11 +163,11 @@ impl Machine {
 
     /// PEs currently executing broadcast instructions.
     pub fn active_count(&self) -> usize {
-        self.enabled.iter().filter(|&&e| e).count()
+        self.enabled.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     pub fn is_enabled(&self, pe: usize) -> bool {
-        self.enabled[pe]
+        self.enabled[pe / 64] >> (pe % 64) & 1 == 1
     }
 
     /// Estimated MP-1 seconds for everything executed so far.
@@ -193,7 +202,7 @@ impl Machine {
     /// and, by construction, everything nested within it.
     pub fn disable_pes(&mut self, pes: &[usize]) {
         for &pe in pes {
-            self.enabled[pe] = false;
+            self.enabled[pe / 64] &= !(1u64 << (pe % 64));
         }
     }
 
@@ -249,12 +258,14 @@ impl Machine {
     fn recompute_virt_dead(&mut self) {
         match &self.faults {
             Some(plan) => {
-                self.virt_dead = (0..self.n_virt)
-                    .map(|v| {
-                        let phys = self.healthy[v % self.healthy.len()];
-                        plan.is_dead(phys)
-                    })
-                    .collect();
+                let mut dead = vec![0u64; bits::word_count(self.n_virt)];
+                for v in 0..self.n_virt {
+                    let phys = self.healthy[v % self.healthy.len()];
+                    if plan.is_dead(phys) {
+                        dead[v / 64] |= 1u64 << (v % 64);
+                    }
+                }
+                self.virt_dead = dead;
             }
             None => self.virt_dead.clear(),
         }
@@ -305,7 +316,7 @@ impl Machine {
         self.free(scratch);
         let mut dead = std::collections::BTreeSet::new();
         for (pe, &v) in values.iter().enumerate() {
-            if self.enabled[pe] && v != expected(pe) {
+            if self.is_enabled(pe) && v != expected(pe) {
                 dead.insert(self.phys_of(pe));
             }
         }
@@ -315,7 +326,24 @@ impl Machine {
     /// Does virtual PE `pe` execute broadcast instructions right now
     /// (active *and* physically alive)?
     pub(crate) fn is_live(&self, pe: usize) -> bool {
-        self.enabled[pe] && self.virt_dead.get(pe).is_none_or(|&d| !d)
+        bits::live_at(&self.enabled, &self.virt_dead, pe)
+    }
+
+    /// Is virtual PE `pe` hosted on a dead physical PE (false when no
+    /// plan is armed)?
+    fn virt_is_dead(&self, pe: usize) -> bool {
+        !self.virt_dead.is_empty() && self.virt_dead[pe / 64] >> (pe % 64) & 1 == 1
+    }
+
+    /// Live-PE mask for packed word `w`: enabled minus dead.
+    #[inline]
+    fn live_word(&self, w: usize) -> u64 {
+        let e = self.enabled[w];
+        if self.virt_dead.is_empty() {
+            e
+        } else {
+            e & !self.virt_dead[w]
+        }
     }
 
     /// Count the enabled-but-dead slots one data-carrying broadcast
@@ -324,13 +352,13 @@ impl Machine {
         if self.virt_dead.is_empty() {
             return;
         }
-        let skips = self
+        let skips: u64 = self
             .enabled
             .iter()
             .zip(&self.virt_dead)
-            .filter(|(&e, &d)| e && d)
-            .count();
-        self.stats.dead_pe_skips += skips as u64;
+            .map(|(&e, &d)| (e & d).count_ones() as u64)
+            .sum();
+        self.stats.dead_pe_skips += skips;
     }
 
     /// Apply the memory flips scheduled for instruction `op` to the plural
@@ -373,6 +401,51 @@ impl Machine {
         }
     }
 
+    /// [`Machine::apply_memory_flips`] for a packed boolean plural: the
+    /// flip lands on the same virtual PE's 1-bit word, and a 1-bit word
+    /// always flips (`bool::fault_flip` reduces the bit index modulo 1).
+    fn apply_memory_flips_bits(&mut self, op: u64, data: &mut PluralBits) {
+        let hits: Vec<(usize, u32)> = match &self.faults {
+            Some(plan) => plan
+                .memory_faults_at(op)
+                .filter(|&(phys, _)| !plan.is_dead(phys))
+                .collect(),
+            None => return,
+        };
+        for (phys, _bit) in hits {
+            if let Some(v) = self.lowest_virt_on(phys) {
+                if v < data.len() {
+                    data.flip(v);
+                    self.stats.memory_flips += 1;
+                }
+            }
+        }
+    }
+
+    /// [`Machine::apply_router_corruption`] for a packed boolean plural.
+    /// `bool::fault_xor` flips iff the mask is odd, but the event is
+    /// counted either way — mirrored exactly so packed and unpacked runs
+    /// report identical fault statistics.
+    pub(crate) fn apply_router_corruption_bits(&mut self, op: u64, data: &mut PluralBits) {
+        let hits: Vec<(usize, u64)> = match &self.faults {
+            Some(plan) => plan
+                .router_faults_at(op)
+                .filter(|&(phys, _)| !plan.is_dead(phys))
+                .collect(),
+            None => return,
+        };
+        for (phys, mask) in hits {
+            if let Some(v) = self.lowest_virt_on(phys) {
+                if v < data.len() {
+                    if mask & 1 == 1 {
+                        data.flip(v);
+                    }
+                    self.stats.router_corruptions += 1;
+                }
+            }
+        }
+    }
+
     /// Corrupt a scalar reduction result if a router fault fires on this
     /// instruction (the reduction's single payload travels to the ACU).
     fn corrupt_reduction<T: FaultWord>(&mut self, op: u64, value: T) -> T {
@@ -406,10 +479,14 @@ impl Machine {
     // Memory
     // ------------------------------------------------------------------
 
-    /// Allocate a plural value, one `T` per virtual PE, charged against the
-    /// 16 KB-per-PE budget (each physical PE holds `virt_factor` layers).
-    pub fn alloc<T: Clone + Send + Sync>(&mut self, init: T) -> Plural<T> {
-        let per_phys = std::mem::size_of::<T>() * self.virt_factor as usize;
+    /// Charge an allocation of `bytes_per_elem` simulated bytes per
+    /// virtual PE against the 16 KB-per-PE budget (each physical PE holds
+    /// `virt_factor` layers). Shared by [`Machine::alloc`] and
+    /// [`Machine::alloc_bits`] so both representations are charged — and
+    /// fail — identically: the simulated footprint is a property of the
+    /// program, not of the host representation.
+    fn charge_alloc(&mut self, bytes_per_elem: usize) {
+        let per_phys = bytes_per_elem * self.virt_factor as usize;
         self.pe_memory_used += per_phys;
         assert!(
             self.pe_memory_used <= self.config.pe_memory_bytes,
@@ -418,13 +495,37 @@ impl Machine {
             self.config.pe_memory_bytes
         );
         self.stats.peak_pe_memory_bytes = self.stats.peak_pe_memory_bytes.max(self.pe_memory_used);
+    }
+
+    fn release_alloc(&mut self, bytes_per_elem: usize) {
+        let per_phys = bytes_per_elem * self.virt_factor as usize;
+        self.pe_memory_used = self.pe_memory_used.saturating_sub(per_phys);
+    }
+
+    /// Allocate a plural value, one `T` per virtual PE, charged against the
+    /// 16 KB-per-PE budget (each physical PE holds `virt_factor` layers).
+    pub fn alloc<T: Clone + Send + Sync>(&mut self, init: T) -> Plural<T> {
+        self.charge_alloc(std::mem::size_of::<T>());
         Plural::from_vec(vec![init; self.n_virt])
     }
 
     /// Release a plural's memory (host keeps the data; the budget shrinks).
     pub fn free<T>(&mut self, plural: Plural<T>) {
-        let per_phys = std::mem::size_of::<T>() * self.virt_factor as usize;
-        self.pe_memory_used = self.pe_memory_used.saturating_sub(per_phys);
+        self.release_alloc(std::mem::size_of::<T>());
+        drop(plural);
+    }
+
+    /// Allocate a packed boolean plural, charged exactly like
+    /// `alloc::<bool>` — one simulated byte per PE — so packed and
+    /// unpacked programs hit the 16 KB budget at the same instruction.
+    pub fn alloc_bits(&mut self, init: bool) -> PluralBits {
+        self.charge_alloc(std::mem::size_of::<bool>());
+        PluralBits::filled(self.n_virt, init)
+    }
+
+    /// Release a packed boolean plural's memory.
+    pub fn free_bits(&mut self, plural: PluralBits) {
+        self.release_alloc(std::mem::size_of::<bool>());
         drop(plural);
     }
 
@@ -450,13 +551,13 @@ impl Machine {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         let op = self.charge_plural_op();
         self.count_dead_skips();
-        let enabled = &self.enabled;
-        let dead: &[bool] = &self.virt_dead;
+        let enabled: &[u64] = &self.enabled;
+        let dead: &[u64] = &self.virt_dead;
         p.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
+                if bits::live_at(enabled, dead, pe) {
                     f(pe, slot);
                 }
             });
@@ -475,14 +576,14 @@ impl Machine {
         assert_eq!(src.len(), self.n_virt, "plural size mismatch");
         let op = self.charge_plural_op();
         self.count_dead_skips();
-        let enabled = &self.enabled;
-        let dead: &[bool] = &self.virt_dead;
+        let enabled: &[u64] = &self.enabled;
+        let dead: &[u64] = &self.virt_dead;
         let src = src.as_slice();
         dst.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
+                if bits::live_at(enabled, dead, pe) {
                     f(pe, slot, &src[pe]);
                 }
             });
@@ -503,15 +604,15 @@ impl Machine {
         assert_eq!(b.len(), self.n_virt, "plural size mismatch");
         let op = self.charge_plural_op();
         self.count_dead_skips();
-        let enabled = &self.enabled;
-        let dead: &[bool] = &self.virt_dead;
+        let enabled: &[u64] = &self.enabled;
+        let dead: &[u64] = &self.virt_dead;
         let a = a.as_slice();
         let b = b.as_slice();
         dst.as_mut_slice()
             .par_iter_mut()
             .enumerate()
             .for_each(|(pe, slot)| {
-                if enabled[pe] && dead.get(pe).is_none_or(|&d| !d) {
+                if bits::live_at(enabled, dead, pe) {
                     f(pe, slot, &a[pe], &b[pe]);
                 }
             });
@@ -545,10 +646,36 @@ impl Machine {
         let saved = self.enabled.clone();
         self.activity_stack.push(saved);
         let mask = mask.as_slice();
-        for (pe, e) in self.enabled.iter_mut().enumerate() {
-            *e = *e && mask[pe];
+        for (w, e) in self.enabled.iter_mut().enumerate() {
+            let base = w * 64;
+            let mut mw = 0u64;
+            for (i, &b) in mask[base..(base + 64).min(mask.len())].iter().enumerate() {
+                if b {
+                    mw |= 1u64 << i;
+                }
+            }
+            *e &= mw;
         }
         // Narrowing activity is itself one broadcast test.
+        self.charge_plural_op();
+        let result = body(self);
+        self.enabled = self.activity_stack.pop().expect("activity stack underflow");
+        result
+    }
+
+    /// [`Machine::with_activity`] for a packed mask: the narrowing is one
+    /// bitwise AND per 64 PEs.
+    pub fn with_activity_bits<R>(
+        &mut self,
+        mask: &PluralBits,
+        body: impl FnOnce(&mut Machine) -> R,
+    ) -> R {
+        assert_eq!(mask.len(), self.n_virt, "mask size mismatch");
+        let saved = self.enabled.clone();
+        self.activity_stack.push(saved);
+        for (w, e) in self.enabled.iter_mut().enumerate() {
+            *e &= mask.words()[w];
+        }
         self.charge_plural_op();
         let result = body(self);
         self.enabled = self.activity_stack.pop().expect("activity stack underflow");
@@ -659,9 +786,7 @@ impl Machine {
         let slice = out.as_mut_slice();
         for (start, prefix) in results {
             for (offset, v) in prefix.into_iter().enumerate() {
-                if self.enabled[start + offset]
-                    && self.virt_dead.get(start + offset).is_none_or(|&d| !d)
-                {
+                if self.is_live(start + offset) {
                     slice[start + offset] = v;
                 }
             }
@@ -699,10 +824,10 @@ impl Machine {
         for (boundary, value) in results {
             // A dead boundary PE cannot receive the deposit: its slot
             // keeps the identity and the loss is counted.
-            if self.virt_dead.get(boundary).is_none_or(|&d| !d) {
-                out.as_mut_slice()[boundary] = value;
-            } else {
+            if self.virt_is_dead(boundary) {
                 dead_boundaries += 1;
+            } else {
+                out.as_mut_slice()[boundary] = value;
             }
         }
         self.stats.dead_pe_skips += dead_boundaries;
@@ -717,11 +842,16 @@ impl Machine {
         assert_eq!(p.len(), self.n_virt, "plural size mismatch");
         self.charge_scan();
         self.count_dead_skips();
-        p.as_slice()
-            .iter()
-            .enumerate()
-            .find(|&(pe, &v)| self.is_live(pe) && v)
-            .map(|(pe, _)| pe)
+        // Explicit early-exit loop: return at the first live hit, testing
+        // the cheap flag before the liveness bits. The packed variant
+        // ([`Machine::select_first_bits`]) goes further and skips 64 PEs
+        // per word via `trailing_zeros`.
+        for (pe, &v) in p.as_slice().iter().enumerate() {
+            if v && self.is_live(pe) {
+                return Some(pe);
+            }
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -811,7 +941,7 @@ impl Machine {
             let s = src.as_slice();
             let d = dst.as_mut_slice();
             for pe in (0..s.len()).rev() {
-                if self.enabled[pe] && self.virt_dead.get(pe).is_none_or(|&dd| !dd) {
+                if self.is_live(pe) {
                     let target = idx[pe];
                     if target >= d.len() {
                         assert!(armed, "router scatter out of range: PE {pe} -> {target}");
@@ -819,7 +949,7 @@ impl Machine {
                         continue;
                     }
                     // A dead receiving PE's memory cannot be written.
-                    if self.virt_dead.get(target).is_some_and(|&dd| dd) {
+                    if self.virt_is_dead(target) {
                         continue;
                     }
                     d[target] = s[pe];
@@ -828,6 +958,270 @@ impl Machine {
         }
         self.stats.oob_routes += oob;
         self.apply_router_corruption(op, dst.as_mut_slice());
+    }
+
+    // ------------------------------------------------------------------
+    // Packed (bit-sliced) boolean kernels: 64 PEs per host word-op
+    // ------------------------------------------------------------------
+    //
+    // Each kernel issues exactly the broadcast instructions its unpacked
+    // counterpart issues — same `charge_*` calls, same `count_dead_skips`,
+    // same fault application points — so a program ported from
+    // `Plural<bool>` to `PluralBits` produces bit-identical
+    // [`MachineStats`], instruction counts and cycle estimates. Only the
+    // host representation (and host wall time) changes.
+
+    /// One broadcast instruction: every live PE writes its slot of `dst`
+    /// from the per-PE `want` table. The packed counterpart of
+    /// `par_map(&mut p, |pe, v| *v = want[pe])`, executed as a masked
+    /// word merge per 64 PEs.
+    pub fn par_write_bits(&mut self, dst: &mut PluralBits, want: &[bool]) {
+        assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(want.len(), self.n_virt, "plural size mismatch");
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
+        for w in 0..dst.words().len() {
+            let live = self.live_word(w);
+            if live == 0 {
+                continue;
+            }
+            let base = w * 64;
+            let mut value = 0u64;
+            for (i, &b) in want[base..(base + 64).min(want.len())].iter().enumerate() {
+                if b {
+                    value |= 1u64 << i;
+                }
+            }
+            let word = &mut dst.words_mut()[w];
+            *word = (*word & !live) | (value & live);
+        }
+        self.apply_memory_flips_bits(op, dst);
+    }
+
+    /// One broadcast instruction: every live PE computes its bit of `dst`
+    /// from its word of `src` (the packed counterpart of a
+    /// `par_zip(&mut bool_dst, &u64_src, ...)`).
+    pub fn par_map_bits(
+        &mut self,
+        dst: &mut PluralBits,
+        src: &Plural<u64>,
+        f: impl Fn(usize, u64) -> bool,
+    ) {
+        assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(src.len(), self.n_virt, "plural size mismatch");
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
+        let s = src.as_slice();
+        for w in 0..dst.words().len() {
+            let mut m = self.live_word(w);
+            if m == 0 {
+                continue;
+            }
+            let mut word = dst.words()[w];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                let pe = w * 64 + b;
+                if f(pe, s[pe]) {
+                    word |= 1u64 << b;
+                } else {
+                    word &= !(1u64 << b);
+                }
+                m &= m - 1;
+            }
+            dst.words_mut()[w] = word;
+        }
+        self.apply_memory_flips_bits(op, dst);
+    }
+
+    /// One broadcast instruction: every live PE updates its word of `dst`
+    /// from its bit of `src` (the packed counterpart of a
+    /// `par_zip(&mut u64_dst, &bool_src, ...)`). `f` runs for *every*
+    /// live PE, matching the unpacked semantics.
+    pub fn par_zip_bits(
+        &mut self,
+        dst: &mut Plural<u64>,
+        src: &PluralBits,
+        f: impl Fn(usize, &mut u64, bool),
+    ) {
+        assert_eq!(dst.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(src.len(), self.n_virt, "plural size mismatch");
+        let op = self.charge_plural_op();
+        self.count_dead_skips();
+        let d = dst.as_mut_slice();
+        for w in 0..bits::word_count(self.n_virt) {
+            let mut m = self.live_word(w);
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                let pe = w * 64 + b;
+                f(pe, &mut d[pe], src.get(pe));
+                m &= m - 1;
+            }
+        }
+        self.apply_memory_flips(op, dst.as_mut_slice());
+    }
+
+    /// Build a fresh packed plural in one instruction (live PEs run `f`;
+    /// the rest hold `fill`) — the packed [`Machine::par_init`].
+    pub fn par_init_bits(&mut self, fill: bool, f: impl Fn(usize) -> bool) -> PluralBits {
+        let want: Vec<bool> = (0..self.n_virt).map(f).collect();
+        let mut p = self.alloc_bits(fill);
+        self.par_write_bits(&mut p, &want);
+        p
+    }
+
+    /// Global OR over active PEs of a packed plural: a word scan with
+    /// early exit — 64 PEs per iteration instead of one.
+    pub fn reduce_or_bits(&mut self, p: &PluralBits) -> bool {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        let op = self.charge_scan();
+        self.count_dead_skips();
+        let mut result = false;
+        for (w, &word) in p.words().iter().enumerate() {
+            if word & self.live_word(w) != 0 {
+                result = true;
+                break;
+            }
+        }
+        self.corrupt_reduction(op, result)
+    }
+
+    /// Global AND over active PEs of a packed plural (identity `true`
+    /// when none active): early-exits on the first live zero bit.
+    pub fn reduce_and_bits(&mut self, p: &PluralBits) -> bool {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        let op = self.charge_scan();
+        self.count_dead_skips();
+        let mut result = true;
+        for (w, &word) in p.words().iter().enumerate() {
+            if !word & self.live_word(w) != 0 {
+                result = false;
+                break;
+            }
+        }
+        self.corrupt_reduction(op, result)
+    }
+
+    /// `selectFirst` over a packed plural: the first nonzero live word
+    /// plus a `trailing_zeros` pinpoints the lowest flagged PE.
+    pub fn select_first_bits(&mut self, p: &PluralBits) -> Option<usize> {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        self.charge_scan();
+        self.count_dead_skips();
+        for (w, &word) in p.words().iter().enumerate() {
+            let hit = word & self.live_word(w);
+            if hit != 0 {
+                return Some(w * 64 + hit.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Segmented `scanOr` over a packed plural — word-at-a-time over each
+    /// segment's precomputed word span (see [`SegmentMap`]), with early
+    /// exit on the first live hit.
+    pub fn scan_or_bits(&mut self, p: &PluralBits, segs: &SegmentMap) -> PluralBits {
+        self.seg_reduce_bits(p, segs, false)
+    }
+
+    /// Segmented `scanAnd` over a packed plural (identity `true`).
+    pub fn scan_and_bits(&mut self, p: &PluralBits, segs: &SegmentMap) -> PluralBits {
+        self.seg_reduce_bits(p, segs, true)
+    }
+
+    fn seg_reduce_bits(&mut self, p: &PluralBits, segs: &SegmentMap, identity: bool) -> PluralBits {
+        assert_eq!(p.len(), self.n_virt, "plural size mismatch");
+        assert_eq!(segs.len(), self.n_virt, "segment map size mismatch");
+        let op_id = self.charge_scan();
+        self.count_dead_skips();
+        let mut out = self.alloc_bits(identity);
+        let mut dead_boundaries = 0u64;
+        for s in 0..segs.num_segments() {
+            let span = segs.span_of(s);
+            let value = if identity {
+                // AND: true unless some live active PE holds a zero bit.
+                (span.first_word..=span.last_word)
+                    .all(|w| !p.words()[w] & self.live_word(w) & span.mask_for(w) == 0)
+            } else {
+                // OR: true once any live active PE holds a set bit.
+                (span.first_word..=span.last_word)
+                    .any(|w| p.words()[w] & self.live_word(w) & span.mask_for(w) != 0)
+            };
+            let boundary = segs.start_of(s);
+            if self.virt_is_dead(boundary) {
+                dead_boundaries += 1;
+            } else {
+                out.set(boundary, value);
+            }
+        }
+        self.stats.dead_pe_skips += dead_boundaries;
+        self.apply_router_corruption_bits(op_id, &mut out);
+        out
+    }
+
+    /// Routed gather of a packed boolean plural (see [`Machine::gather`]):
+    /// senders and receivers are iterated via word masks, fetching one bit
+    /// per live PE.
+    pub fn gather_bits(&mut self, src: &PluralBits, index: &Plural<usize>, dst: &mut PluralBits) {
+        assert_eq!(src.len(), self.n_virt);
+        assert_eq!(index.len(), self.n_virt);
+        assert_eq!(dst.len(), self.n_virt);
+        let op = self.charge_router();
+        self.count_dead_skips();
+        let armed = self.faults.is_some();
+        let mut oob = 0u64;
+        let idx = index.as_slice();
+        for w in 0..bits::word_count(self.n_virt) {
+            let mut m = self.live_word(w);
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                let pe = w * 64 + b;
+                m &= m - 1;
+                let target = idx[pe];
+                if target >= src.len() {
+                    assert!(armed, "router gather out of range: PE {pe} -> {target}");
+                    oob += 1;
+                    continue;
+                }
+                dst.set(pe, src.get(target));
+            }
+        }
+        self.stats.oob_routes += oob;
+        self.apply_router_corruption_bits(op, dst);
+    }
+
+    /// Routed scatter of a packed boolean plural (see
+    /// [`Machine::scatter`]): applied in descending PE order so the
+    /// lowest-numbered sender wins write conflicts, exactly as unpacked.
+    pub fn scatter_bits(&mut self, src: &PluralBits, index: &Plural<usize>, dst: &mut PluralBits) {
+        assert_eq!(src.len(), self.n_virt);
+        assert_eq!(index.len(), self.n_virt);
+        assert_eq!(dst.len(), self.n_virt);
+        let op = self.charge_router();
+        self.count_dead_skips();
+        let armed = self.faults.is_some();
+        let mut oob = 0u64;
+        let idx = index.as_slice();
+        for w in (0..bits::word_count(self.n_virt)).rev() {
+            let mut m = self.live_word(w);
+            while m != 0 {
+                let b = 63 - m.leading_zeros() as usize;
+                let pe = w * 64 + b;
+                m &= !(1u64 << b);
+                let target = idx[pe];
+                if target >= dst.len() {
+                    assert!(armed, "router scatter out of range: PE {pe} -> {target}");
+                    oob += 1;
+                    continue;
+                }
+                // A dead receiving PE's memory cannot be written.
+                if self.virt_is_dead(target) {
+                    continue;
+                }
+                dst.set(target, src.get(pe));
+            }
+        }
+        self.stats.oob_routes += oob;
+        self.apply_router_corruption_bits(op, dst);
     }
 }
 
@@ -1190,5 +1584,286 @@ mod tests {
         m.par_map(&mut p, |_, v| *v = 1);
         let d = m.stats.delta_since(&before);
         assert_eq!(d.dead_pe_skips, 1);
+    }
+
+    // --------------------------------------------------------------
+    // Packed (bit-sliced) kernels
+    // --------------------------------------------------------------
+
+    /// Run the same broadcast program through the unpacked and the packed
+    /// boolean kernels and demand identical per-PE results *and* identical
+    /// [`MachineStats`] — the bit-identity bar every packed kernel must
+    /// clear, with and without an armed fault plan.
+    fn packed_differential(n: usize, plan: Option<FaultPlan>) {
+        let fresh = |plan: &Option<FaultPlan>| {
+            let mut m = Machine::new(
+                MachineConfig {
+                    phys_pes: 4,
+                    ..Default::default()
+                },
+                n,
+            );
+            if let Some(p) = plan.clone() {
+                m.arm_faults(p);
+            }
+            m
+        };
+        let mut sm = fresh(&plan);
+        let mut pm = fresh(&plan);
+        let want: Vec<bool> = (0..n).map(|pe| pe % 3 == 0).collect();
+        let idx: Vec<usize> = (0..n).map(|pe| (pe * 7 + 1) % n).collect();
+        let seg_len = (1..=n).rev().find(|l| n % l == 0 && *l <= 70).unwrap();
+        let segs = SegmentMap::uniform(n, seg_len);
+
+        // Scalar program.
+        let su = sm.par_init(0u64, |pe| pe as u64);
+        let mut sflags = sm.alloc(false);
+        sm.par_map(&mut sflags, |pe, v| *v = want[pe]);
+        let smask = sm.par_init(false, |pe| pe % 2 == 0);
+        let mut sderived = sm.alloc(false);
+        let mut sacc = sm.alloc(0u64);
+        let (s_or, s_and, s_first) = sm.with_activity(&smask, |m| {
+            m.par_zip(&mut sderived, &su, |_, d, &s| *d = s & 2 != 0);
+            m.par_zip(&mut sacc, &sflags, |pe, a, &f| {
+                if f {
+                    *a |= 1 << (pe % 60)
+                }
+            });
+            (
+                m.reduce_or(&sflags),
+                m.reduce_and(&sflags),
+                m.select_first(&sflags),
+            )
+        });
+        let s_scan_or = sm.scan_or(&sflags, &segs);
+        let s_scan_and = sm.scan_and(&sderived, &segs);
+        let sidx = sm.par_init(0usize, |pe| idx[pe]);
+        let mut s_gath = sm.alloc(false);
+        sm.gather(&sflags, &sidx, &mut s_gath);
+        let mut s_scat = sm.alloc(false);
+        sm.scatter(&sflags, &sidx, &mut s_scat);
+
+        // The same program through the packed kernels.
+        let pu = pm.par_init(0u64, |pe| pe as u64);
+        let mut pflags = pm.alloc_bits(false);
+        pm.par_write_bits(&mut pflags, &want);
+        let pmask = pm.par_init_bits(false, |pe| pe % 2 == 0);
+        let mut pderived = pm.alloc_bits(false);
+        let mut pacc = pm.alloc(0u64);
+        let (p_or, p_and, p_first) = pm.with_activity_bits(&pmask, |m| {
+            m.par_map_bits(&mut pderived, &pu, |_, s| s & 2 != 0);
+            m.par_zip_bits(&mut pacc, &pflags, |pe, a, f| {
+                if f {
+                    *a |= 1 << (pe % 60)
+                }
+            });
+            (
+                m.reduce_or_bits(&pflags),
+                m.reduce_and_bits(&pflags),
+                m.select_first_bits(&pflags),
+            )
+        });
+        let p_scan_or = pm.scan_or_bits(&pflags, &segs);
+        let p_scan_and = pm.scan_and_bits(&pderived, &segs);
+        let pidx = pm.par_init(0usize, |pe| idx[pe]);
+        let mut p_gath = pm.alloc_bits(false);
+        pm.gather_bits(&pflags, &pidx, &mut p_gath);
+        let mut p_scat = pm.alloc_bits(false);
+        pm.scatter_bits(&pflags, &pidx, &mut p_scat);
+
+        let ctx = format!("n={n} faults={}", plan.is_some());
+        assert_eq!(pflags.to_bools(), sflags.as_slice().to_vec(), "{ctx}");
+        assert_eq!(pderived.to_bools(), sderived.as_slice().to_vec(), "{ctx}");
+        assert_eq!(pacc.as_slice(), sacc.as_slice(), "{ctx}");
+        assert_eq!((p_or, p_and, p_first), (s_or, s_and, s_first), "{ctx}");
+        assert_eq!(p_scan_or.to_bools(), s_scan_or.as_slice().to_vec(), "{ctx}");
+        assert_eq!(
+            p_scan_and.to_bools(),
+            s_scan_and.as_slice().to_vec(),
+            "{ctx}"
+        );
+        assert_eq!(p_gath.to_bools(), s_gath.as_slice().to_vec(), "{ctx}");
+        assert_eq!(p_scat.to_bools(), s_scat.as_slice().to_vec(), "{ctx}");
+        assert_eq!(sm.stats, pm.stats, "{ctx}");
+        assert_eq!(sm.op_count(), pm.op_count(), "{ctx}");
+    }
+
+    #[test]
+    fn packed_kernels_match_scalar_fault_free() {
+        for n in [1usize, 5, 64, 65, 130] {
+            packed_differential(n, None);
+        }
+    }
+
+    #[test]
+    fn packed_kernels_match_scalar_under_faults() {
+        for n in [5usize, 64, 65, 130] {
+            for seed in [1u64, 7, 42, 1234] {
+                packed_differential(n, Some(FaultPlan::seeded(seed, 4, 40)));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_alloc_charges_the_same_budget() {
+        // A packed plural still occupies one simulated byte per PE: the
+        // 16 KB budget is a property of the MP-1 program, not of the host
+        // representation.
+        let mut unpacked = Machine::mp1(4);
+        let mut packed = Machine::mp1(4);
+        let a = unpacked.alloc(false);
+        let b = packed.alloc_bits(false);
+        assert_eq!(
+            unpacked.stats.peak_pe_memory_bytes,
+            packed.stats.peak_pe_memory_bytes
+        );
+        unpacked.free(a);
+        packed.free_bits(b);
+
+        // Fill the budget to one byte short with plain bytes, then both
+        // representations must fail identically on the next bool.
+        let budget = unpacked.config().pe_memory_bytes;
+        let _pad_u = unpacked.alloc([0u8; 16 * 1024 - 1]);
+        let _pad_p = packed.alloc([0u8; 16 * 1024 - 1]);
+        let _last_u = unpacked.alloc(false); // exactly fits
+        let _last_p = packed.alloc_bits(false);
+        assert_eq!(unpacked.stats.peak_pe_memory_bytes, budget);
+        assert_eq!(packed.stats.peak_pe_memory_bytes, budget);
+        let grab = |r: std::thread::Result<()>| {
+            let e = r.expect_err("allocation beyond 16 KB must fail");
+            e.downcast_ref::<String>().unwrap().clone()
+        };
+        let msg_u = grab(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || {
+                let _ = unpacked.alloc(false);
+            },
+        )));
+        let msg_p = grab(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || {
+                let _ = packed.alloc_bits(false);
+            },
+        )));
+        assert_eq!(msg_u, msg_p, "identical budget error for both layouts");
+        assert!(msg_u.contains("16 KB per PE"), "got: {msg_u}");
+    }
+
+    #[test]
+    fn select_first_stops_at_the_lowest_live_hit() {
+        let mut m = Machine::mp1(100);
+        let p = m.par_init(false, |pe| pe >= 37); // many hits after the first
+        assert_eq!(m.select_first(&p), Some(37));
+        let none = m.alloc(false);
+        assert_eq!(m.select_first(&none), None);
+        // Narrowed activity moves the first hit.
+        let mask = m.par_init(false, |pe| pe >= 50);
+        let inside = m.with_activity(&mask, |m| m.select_first(&p));
+        assert_eq!(inside, Some(50));
+        // A dead PE can't raise its flag.
+        let mut f = faulty(8, 4, FaultPlan::new().with_dead_pe(1));
+        let pf = f.par_init(false, |pe| pe == 1 || pe == 5 || pe == 6);
+        assert_eq!(f.select_first(&pf), Some(6), "virts 1 and 5 are dead");
+        let mut fp = faulty(8, 4, FaultPlan::new().with_dead_pe(1));
+        let pp = fp.par_init_bits(false, |pe| pe == 1 || pe == 5 || pe == 6);
+        assert_eq!(fp.select_first_bits(&pp), Some(6));
+        assert_eq!(f.stats, fp.stats);
+    }
+
+    #[test]
+    fn with_activity_bits_nests_like_unpacked() {
+        let mut m = Machine::mp1(6);
+        let even = m.par_init_bits(false, |pe| pe % 2 == 0);
+        let low = m.par_init_bits(false, |pe| pe < 4);
+        let mut hits = m.alloc(0u32);
+        m.with_activity_bits(&even, |m| {
+            m.with_activity_bits(&low, |m| {
+                m.par_map(&mut hits, |_, v| *v = 1);
+            });
+            assert_eq!(m.active_count(), 3); // 0, 2, 4
+        });
+        assert_eq!(m.active_count(), 6);
+        assert_eq!(hits.as_slice(), &[1, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn packed_dead_pe_freezes_its_bit() {
+        // 8 virtual PEs on 4 physical: phys 1 hosts virts 1 and 5.
+        let mut m = faulty(8, 4, FaultPlan::new().with_dead_pe(1));
+        let mut p = m.alloc_bits(false);
+        let want = vec![true; 8];
+        m.par_write_bits(&mut p, &want);
+        assert_eq!(
+            p.to_bools(),
+            [true, false, true, true, true, false, true, true]
+        );
+        assert_eq!(m.stats.dead_pe_skips, 2);
+        // ...and a dead boundary PE swallows its segment's scan deposit:
+        // segment 1 starts at virt 1, which lives on dead phys 1.
+        let segs = SegmentMap::from_lengths(&[1, 3, 4]);
+        let or = m.scan_or_bits(&p, &segs);
+        assert!(or.get(0), "segment 0's boundary (virt 0) is healthy");
+        assert!(!or.get(1), "segment 1 ORs to true but its boundary is dead");
+        assert!(or.get(4), "segment 2's boundary (virt 4) is healthy");
+    }
+
+    #[test]
+    fn packed_memory_flip_always_flips_the_bit() {
+        // Flip during op 2 on phys 2: a 1-bit simulated word always flips
+        // regardless of which bit index the plan drew.
+        for bit in [0u32, 3, 63] {
+            let mut m = faulty(4, 4, FaultPlan::new().with_memory_flip(2, 2, bit));
+            let mut p = m.alloc_bits(false);
+            let want = vec![true; 4];
+            m.par_write_bits(&mut p, &want); // op 1: untouched
+            assert_eq!(p.to_bools(), [true; 4]);
+            m.par_write_bits(&mut p, &want); // op 2: flip hits virt 2
+            assert_eq!(p.to_bools(), [true, true, false, true], "bit={bit}");
+            assert_eq!(m.stats.memory_flips, 1);
+            m.par_write_bits(&mut p, &want); // op 3: transient is spent
+            assert_eq!(p.to_bools(), [true; 4]);
+        }
+    }
+
+    #[test]
+    fn packed_router_corruption_flips_on_odd_masks_only() {
+        // A boolean payload XORs with the mask's low bit (FaultWord for
+        // bool), but the corruption event is counted either way.
+        for (mask, flipped) in [(0x01u64, true), (0xF0, false)] {
+            let mut m = faulty(4, 4, FaultPlan::new().with_router_corrupt(3, 1, mask));
+            let src = m.par_init_bits(false, |_| false);
+            let idx = m.par_init(0usize, |pe| pe);
+            let mut dst = m.alloc_bits(false);
+            m.gather_bits(&src, &idx, &mut dst); // op 3
+            assert_eq!(dst.get(1), flipped, "mask={mask:#x}");
+            assert_eq!(m.stats.router_corruptions, 1);
+        }
+    }
+
+    #[test]
+    fn packed_scatter_lowest_sender_wins_and_oob_drops() {
+        let mut m = faulty(4, 4, FaultPlan::new());
+        // PEs 0 and 2 both target slot 1: the lowest sender's value wins.
+        let src = m.par_init_bits(false, |pe| pe == 0);
+        let idx = m.par_init(0usize, |pe| if pe == 3 { 999 } else { 1 });
+        let mut dst = m.alloc_bits(false);
+        m.scatter_bits(&src, &idx, &mut dst);
+        assert!(dst.get(1), "PE 0's true beats PE 2's false");
+        assert_eq!(m.stats.oob_routes, 1, "PE 3's route dropped");
+        let mut out = m.alloc_bits(false);
+        let idx_oob = m.par_init(0usize, |_| 999);
+        m.gather_bits(&src, &idx_oob, &mut out);
+        assert_eq!(m.stats.oob_routes, 5);
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn packed_oob_routes_still_assert_without_faults() {
+        let mut m = Machine::mp1(4);
+        let src = m.par_init_bits(false, |_| true);
+        let idx = m.par_init(0usize, |_| 999);
+        let mut dst = m.alloc_bits(false);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.gather_bits(&src, &idx, &mut dst);
+        }));
+        assert!(r.is_err(), "fault-free OOB gather is a program bug");
     }
 }

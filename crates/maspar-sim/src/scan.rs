@@ -1,5 +1,47 @@
 //! Segment geometry for the scanOr/scanAnd primitives.
 
+/// A segment's extent over the packed 64-PE-per-word representation:
+/// the inclusive word range it touches plus the partial-word masks at
+/// either end. Precomputed once per [`SegmentMap`] so the word-at-a-time
+/// scans ([`crate::Machine::scan_or_bits`]) never re-derive bit geometry
+/// in their inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegSpan {
+    pub first_word: usize,
+    pub last_word: usize,
+    /// Valid bits of `first_word` belonging to this segment.
+    pub first_mask: u64,
+    /// Valid bits of `last_word` belonging to this segment.
+    pub last_mask: u64,
+}
+
+impl SegSpan {
+    /// The segment's bit mask within word `w` (callers only pass words in
+    /// `first_word..=last_word`).
+    #[inline]
+    pub(crate) fn mask_for(&self, w: usize) -> u64 {
+        let mut mask = !0u64;
+        if w == self.first_word {
+            mask &= self.first_mask;
+        }
+        if w == self.last_word {
+            mask &= self.last_mask;
+        }
+        mask
+    }
+}
+
+fn span_for(start: usize, end: usize) -> SegSpan {
+    debug_assert!(start < end);
+    let (first_word, last_word) = (start / 64, (end - 1) / 64);
+    SegSpan {
+        first_word,
+        last_word,
+        first_mask: !0u64 << (start % 64),
+        last_mask: !0u64 >> (63 - (end - 1) % 64),
+    }
+}
+
 /// A partition of the virtual PE array into contiguous segments.
 ///
 /// The MP-1's scan primitives operate within *segments*: runs of
@@ -13,9 +55,23 @@ pub struct SegmentMap {
     starts: Vec<usize>,
     /// Total PEs covered.
     len: usize,
+    /// Packed-word extent of each segment (same indexing as `starts`).
+    spans: Vec<SegSpan>,
 }
 
 impl SegmentMap {
+    fn with_starts(starts: Vec<usize>, len: usize) -> Self {
+        let spans = starts
+            .iter()
+            .enumerate()
+            .map(|(s, &start)| {
+                let end = starts.get(s + 1).copied().unwrap_or(len);
+                span_for(start, end)
+            })
+            .collect();
+        SegmentMap { starts, len, spans }
+    }
+
     /// Build from explicit segment lengths (must all be nonzero).
     pub fn from_lengths(lengths: &[usize]) -> Self {
         assert!(
@@ -29,7 +85,7 @@ impl SegmentMap {
             starts.push(at);
             at += l;
         }
-        SegmentMap { starts, len: at }
+        SegmentMap::with_starts(starts, at)
     }
 
     /// Uniform segments of `seg_len` covering `total` PEs exactly.
@@ -38,19 +94,18 @@ impl SegmentMap {
             seg_len > 0 && total % seg_len == 0,
             "uniform segments must tile exactly: {total} / {seg_len}"
         );
-        SegmentMap {
-            starts: (0..total / seg_len).map(|s| s * seg_len).collect(),
-            len: total,
-        }
+        SegmentMap::with_starts((0..total / seg_len).map(|s| s * seg_len).collect(), total)
     }
 
     /// One segment spanning everything (a global reduction).
     pub fn global(total: usize) -> Self {
         assert!(total > 0);
-        SegmentMap {
-            starts: vec![0],
-            len: total,
-        }
+        SegmentMap::with_starts(vec![0], total)
+    }
+
+    /// Packed-word extent of segment `s`.
+    pub(crate) fn span_of(&self, s: usize) -> SegSpan {
+        self.spans[s]
     }
 
     pub fn num_segments(&self) -> usize {
@@ -152,5 +207,36 @@ mod tests {
         assert_eq!(m.num_segments(), 1);
         assert_eq!(m.range_of(0), 0..7);
         assert_eq!(m.segment_of(6), 0);
+    }
+
+    #[test]
+    fn spans_mirror_pe_ranges() {
+        // Segments crossing word boundaries, within one word, and exactly
+        // word-aligned must all reproduce their PE range bit-for-bit.
+        for map in [
+            SegmentMap::from_lengths(&[3, 60, 5, 130]),
+            SegmentMap::uniform(192, 64),
+            SegmentMap::uniform(90, 10),
+            SegmentMap::global(7),
+            SegmentMap::global(200),
+        ] {
+            for s in 0..map.num_segments() {
+                let span = map.span_of(s);
+                let range = map.range_of(s);
+                assert_eq!(span.first_word, range.start / 64);
+                assert_eq!(span.last_word, (range.end - 1) / 64);
+                for w in span.first_word..=span.last_word {
+                    let mask = span.mask_for(w);
+                    for b in 0..64 {
+                        let pe = w * 64 + b;
+                        assert_eq!(
+                            mask >> b & 1 == 1,
+                            range.contains(&pe),
+                            "segment {s}, word {w}, bit {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

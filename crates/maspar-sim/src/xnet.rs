@@ -66,6 +66,39 @@ impl Machine {
         self.apply_router_corruption(op, dst.as_mut_slice());
     }
 
+    /// [`Machine::xnet_shift`] for packed boolean plurals: identical
+    /// charging and fault behaviour, but the payload travels as bits.
+    pub fn xnet_shift_bits(
+        &mut self,
+        src: &crate::bits::PluralBits,
+        offset: isize,
+        edge: Edge,
+        fill: bool,
+        dst: &mut crate::bits::PluralBits,
+    ) {
+        assert_eq!(src.len(), self.n_virt(), "plural size mismatch");
+        assert_eq!(dst.len(), self.n_virt(), "plural size mismatch");
+        let op = self.charge_xnet(offset.unsigned_abs());
+        self.count_dead_skips();
+        let n = self.n_virt() as isize;
+        for pe in 0..self.n_virt() {
+            if !self.is_live(pe) {
+                continue;
+            }
+            let from = pe as isize - offset;
+            let v = if (0..n).contains(&from) {
+                src.get(from as usize)
+            } else {
+                match edge {
+                    Edge::Wrap => src.get(from.rem_euclid(n) as usize),
+                    Edge::Fill => fill,
+                }
+            };
+            dst.set(pe, v);
+        }
+        self.apply_router_corruption_bits(op, dst);
+    }
+
     /// Global OR implemented as a shift-and-fold tree over the X-Net —
     /// ⌈log₂ n⌉ shift rounds, no router involvement. Semantically equal
     /// to [`Machine::reduce_or`] over fully active arrays (equivalence is
@@ -134,6 +167,34 @@ mod tests {
             let mut m = Machine::mp1(n);
             let p = m.alloc(false);
             assert!(!m.xnet_reduce_or(&p));
+        }
+    }
+
+    #[test]
+    fn packed_shift_matches_scalar() {
+        for n in [1usize, 5, 64, 65, 130] {
+            for (offset, edge) in [
+                (0isize, Edge::Fill),
+                (3, Edge::Fill),
+                (-2, Edge::Fill),
+                (3, Edge::Wrap),
+                (-7, Edge::Wrap),
+            ] {
+                let mut sm = Machine::mp1(n);
+                let mut pm = Machine::mp1(n);
+                let src_s = sm.par_init(false, |pe| pe % 3 == 0);
+                let mut dst_s = sm.alloc(true);
+                sm.xnet_shift(&src_s, offset, edge, false, &mut dst_s);
+                let src_p = pm.par_init_bits(false, |pe| pe % 3 == 0);
+                let mut dst_p = pm.alloc_bits(true);
+                pm.xnet_shift_bits(&src_p, offset, edge, false, &mut dst_p);
+                assert_eq!(
+                    dst_p.to_bools(),
+                    dst_s.as_slice().to_vec(),
+                    "n={n} offset={offset} edge={edge:?}"
+                );
+                assert_eq!(sm.stats, pm.stats);
+            }
         }
     }
 

@@ -31,7 +31,7 @@ use crate::layout::Layout;
 use cdg_core::error::{BudgetResource, EngineError, ParseBudget};
 use cdg_core::network::Network;
 use cdg_grammar::{Constraint, Grammar, Sentence};
-use maspar_sim::{FaultPlan, Machine, MachineConfig, MachineStats, Plural};
+use maspar_sim::{FaultPlan, Machine, MachineConfig, MachineStats, Plural, PluralBits, SegmentMap};
 
 /// Conservative peak working set per virtual-PE layer, bytes (all plurals
 /// the driver ever holds at once). Used to reject programs that would
@@ -63,6 +63,13 @@ pub struct MasparOptions {
     /// detected corruption before giving up with
     /// [`EngineError::Inconsistent`].
     pub max_recovery_retries: usize,
+    /// Run the boolean plurals bit-sliced ([`maspar_sim::PluralBits`],
+    /// 64 PEs per host word). `false` keeps the original unpacked
+    /// `Plural<bool>` path — the differential oracle, exactly like PR 3's
+    /// kernel-vs-naive split. Both issue identical broadcast instructions
+    /// and produce bit-identical outcomes and [`MachineStats`]; only host
+    /// wall time differs.
+    pub packed: bool,
 }
 
 impl Default for MasparOptions {
@@ -75,6 +82,7 @@ impl Default for MasparOptions {
             faults: None,
             budget: ParseBudget::UNLIMITED,
             max_recovery_retries: 4,
+            packed: true,
         }
     }
 }
@@ -329,6 +337,24 @@ pub fn parse_maspar_checked(
         }
     }
 
+    if opts.packed {
+        drive::<PluralBits>(machine, lay, grammar, sentence, opts, recovery)
+    } else {
+        drive::<Plural<bool>>(machine, lay, grammar, sentence, opts, recovery)
+    }
+}
+
+/// The engine body, generic over the boolean-plural representation `B`
+/// (packed bit-sliced or unpacked oracle). Everything from data layout to
+/// readback; both instantiations issue identical broadcast instructions.
+fn drive<B: BoolRepr>(
+    mut machine: Machine,
+    lay: Layout,
+    grammar: &Grammar,
+    sentence: &Sentence,
+    opts: &MasparOptions,
+    mut recovery: RecoveryReport,
+) -> Result<MasparOutcome, EngineError> {
     let over_time = |machine: &Machine| -> Option<EngineError> {
         let cap = opts.budget.max_wall_time?;
         let spent = machine.estimated_seconds();
@@ -364,7 +390,7 @@ pub fn parse_maspar_checked(
     let n_virt = lay.virt_pes();
     let expect = |f: &dyn Fn(usize) -> u64| -> Vec<u64> { (0..n_virt).map(f).collect() };
     let _init = obsv::span("arc_init");
-    let valid: Plural<bool> = init_exact(
+    let valid = B::init_exact(
         &mut machine,
         "valid",
         retries,
@@ -373,7 +399,7 @@ pub fn parse_maspar_checked(
             .map(|pe| !lay.is_diagonal(pe))
             .collect::<Vec<_>>(),
     )?;
-    let block_boundary: Plural<bool> = init_exact(
+    let block_boundary = B::init_exact(
         &mut machine,
         "block-boundary",
         retries,
@@ -438,7 +464,7 @@ pub fn parse_maspar_checked(
             &mut bits,
             &mut alive,
             |m, bits, alive| {
-                apply_unary(m, &lay, sentence, c, &valid, bits, alive);
+                B::apply_unary(m, &lay, sentence, c, &valid, bits, alive);
                 0
             },
         )?;
@@ -672,66 +698,304 @@ fn restore(machine: &mut Machine, p: &mut Plural<u64>, golden: &[u64]) {
     machine.par_map(p, |pe, v| *v = golden[pe]);
 }
 
-/// One unary constraint: every PE zeroes the submatrix columns/rows of its
-/// violating role values; boundary PEs update the alive masks. The
-/// violation test is pure PE-local computation from the PE id plus the
-/// ACU-broadcast constraint (design decision 2).
-fn apply_unary(
-    machine: &mut Machine,
-    lay: &Layout,
-    sentence: &Sentence,
-    c: &Constraint,
-    valid: &Plural<bool>,
-    bits: &mut Plural<u64>,
-    alive: &mut Plural<u64>,
-) {
-    let violates = |g: usize, li: usize| -> bool {
-        match lay.binding(g, li) {
-            Some(b) => !c.check_unary(sentence, b),
-            None => false,
-        }
-    };
-    machine.with_activity(valid, |m| {
-        m.par_map(bits, |pe, b| {
-            let (cg, rg) = lay.decode_pe(pe);
-            for i in 0..lay.l {
-                if violates(cg, i) {
-                    for j in 0..lay.l {
-                        *b &= !(1u64 << lay.bit(i, j));
-                    }
+/// The boolean-plural representation the engine runs on: bit-sliced
+/// [`PluralBits`] (64 PEs per host word) or the unpacked [`Plural<bool>`]
+/// scalar oracle. Every method issues exactly the same broadcast
+/// instructions in both implementations — the differential suite
+/// (`tests/packed_equivalence.rs`) holds the two to bit-identical
+/// outcomes, typed errors and [`MachineStats`].
+trait BoolRepr: Sized {
+    /// Allocate and write a host-verified boolean plural (the boolean
+    /// counterpart of [`init_exact`]): one alloc + one broadcast when
+    /// fault-free, re-issued until the readback matches otherwise.
+    fn init_exact(
+        machine: &mut Machine,
+        name: &str,
+        max_retries: usize,
+        recovery: &mut RecoveryReport,
+        expected: &[bool],
+    ) -> Result<Self, EngineError>;
+    fn alloc_false(machine: &mut Machine) -> Self;
+    fn free(self, machine: &mut Machine);
+    /// MPL's plural `if` over this mask.
+    fn with_activity<R>(&self, machine: &mut Machine, body: impl FnOnce(&mut Machine) -> R) -> R;
+    /// Maintenance phase A: each PE ORs its submatrix row for column
+    /// label `li` into `dst` (one broadcast).
+    fn row_or(machine: &mut Machine, dst: &mut Self, bits: &Plural<u64>, lay: &Layout, li: usize);
+    fn scan_or(&self, machine: &mut Machine, segs: &SegmentMap) -> Self;
+    fn scan_and(&self, machine: &mut Machine, segs: &SegmentMap) -> Self;
+    /// Maintenance phase D: boundary PEs record the supported bit `li`
+    /// into the accumulating `support` masks (one broadcast).
+    fn accumulate_support(
+        &self,
+        machine: &mut Machine,
+        support: &mut Plural<u64>,
+        groups: usize,
+        li: usize,
+    );
+    /// One unary constraint: every PE zeroes the submatrix columns/rows of
+    /// its violating role values; boundary PEs update the alive masks. The
+    /// violation test is pure PE-local computation from the PE id plus the
+    /// ACU-broadcast constraint (design decision 2). Three broadcasts.
+    fn apply_unary(
+        machine: &mut Machine,
+        lay: &Layout,
+        sentence: &Sentence,
+        c: &Constraint,
+        valid: &Self,
+        bits: &mut Plural<u64>,
+        alive: &mut Plural<u64>,
+    );
+}
+
+impl BoolRepr for Plural<bool> {
+    fn init_exact(
+        machine: &mut Machine,
+        name: &str,
+        max_retries: usize,
+        recovery: &mut RecoveryReport,
+        expected: &[bool],
+    ) -> Result<Self, EngineError> {
+        init_exact(machine, name, max_retries, recovery, expected)
+    }
+
+    fn alloc_false(machine: &mut Machine) -> Self {
+        machine.alloc(false)
+    }
+
+    fn free(self, machine: &mut Machine) {
+        machine.free(self);
+    }
+
+    fn with_activity<R>(&self, machine: &mut Machine, body: impl FnOnce(&mut Machine) -> R) -> R {
+        machine.with_activity(self, body)
+    }
+
+    fn row_or(machine: &mut Machine, dst: &mut Self, bits: &Plural<u64>, lay: &Layout, li: usize) {
+        machine.par_zip(dst, bits, |_, out, &b| {
+            let mut any = false;
+            for j in 0..lay.l {
+                if b >> lay.bit(li, j) & 1 == 1 {
+                    any = true;
+                    break;
                 }
             }
-            for j in 0..lay.l {
-                if violates(rg, j) {
-                    for i in 0..lay.l {
-                        *b &= !(1u64 << lay.bit(i, j));
+            *out = any;
+        });
+    }
+
+    fn scan_or(&self, machine: &mut Machine, segs: &SegmentMap) -> Self {
+        machine.scan_or(self, segs)
+    }
+
+    fn scan_and(&self, machine: &mut Machine, segs: &SegmentMap) -> Self {
+        machine.scan_and(self, segs)
+    }
+
+    fn accumulate_support(
+        &self,
+        machine: &mut Machine,
+        support: &mut Plural<u64>,
+        groups: usize,
+        li: usize,
+    ) {
+        machine.par_zip(support, self, move |pe, s, &ok| {
+            if pe % groups == 0 && ok {
+                *s |= 1u64 << li;
+            }
+        });
+    }
+
+    fn apply_unary(
+        machine: &mut Machine,
+        lay: &Layout,
+        sentence: &Sentence,
+        c: &Constraint,
+        valid: &Self,
+        bits: &mut Plural<u64>,
+        alive: &mut Plural<u64>,
+    ) {
+        // The oracle stays deliberately naive: every PE re-evaluates the
+        // constraint for its own labels, exactly as first written.
+        let violates = |g: usize, li: usize| -> bool {
+            match lay.binding(g, li) {
+                Some(b) => !c.check_unary(sentence, b),
+                None => false,
+            }
+        };
+        machine.with_activity(valid, |m| {
+            m.par_map(bits, |pe, b| {
+                let (cg, rg) = lay.decode_pe(pe);
+                for i in 0..lay.l {
+                    if violates(cg, i) {
+                        for j in 0..lay.l {
+                            *b &= !(1u64 << lay.bit(i, j));
+                        }
+                    }
+                }
+                for j in 0..lay.l {
+                    if violates(rg, j) {
+                        for i in 0..lay.l {
+                            *b &= !(1u64 << lay.bit(i, j));
+                        }
+                    }
+                }
+            });
+        });
+        machine.par_map(alive, |pe, a| {
+            if pe % lay.groups == 0 {
+                let g = pe / lay.groups;
+                for li in 0..lay.l {
+                    if violates(g, li) {
+                        *a &= !(1u64 << li);
                     }
                 }
             }
         });
-    });
-    machine.par_map(alive, |pe, a| {
-        if pe % lay.groups == 0 {
-            let g = pe / lay.groups;
-            for li in 0..lay.l {
-                if violates(g, li) {
-                    *a &= !(1u64 << li);
-                }
+    }
+}
+
+impl BoolRepr for PluralBits {
+    fn init_exact(
+        machine: &mut Machine,
+        name: &str,
+        max_retries: usize,
+        recovery: &mut RecoveryReport,
+        expected: &[bool],
+    ) -> Result<Self, EngineError> {
+        let mut p = machine.alloc_bits(false);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            machine.par_write_bits(&mut p, expected);
+            if !machine.faults_armed() || (0..expected.len()).all(|pe| p.get(pe) == expected[pe]) {
+                return Ok(p);
+            }
+            recovery.phase_retries += 1;
+            if attempts > max_retries {
+                return Err(EngineError::Inconsistent {
+                    phase: format!("init:{name}"),
+                    attempts,
+                });
             }
         }
-    });
+    }
+
+    fn alloc_false(machine: &mut Machine) -> Self {
+        machine.alloc_bits(false)
+    }
+
+    fn free(self, machine: &mut Machine) {
+        machine.free_bits(self);
+    }
+
+    fn with_activity<R>(&self, machine: &mut Machine, body: impl FnOnce(&mut Machine) -> R) -> R {
+        machine.with_activity_bits(self, body)
+    }
+
+    fn row_or(machine: &mut Machine, dst: &mut Self, bits: &Plural<u64>, lay: &Layout, li: usize) {
+        // One masked test replaces the per-label inner loop: the submatrix
+        // row for label li is a contiguous bit run (Layout::row_mask).
+        let row = lay.row_mask(li);
+        machine.par_map_bits(dst, bits, move |_, b| b & row != 0);
+    }
+
+    fn scan_or(&self, machine: &mut Machine, segs: &SegmentMap) -> Self {
+        machine.scan_or_bits(self, segs)
+    }
+
+    fn scan_and(&self, machine: &mut Machine, segs: &SegmentMap) -> Self {
+        machine.scan_and_bits(self, segs)
+    }
+
+    fn accumulate_support(
+        &self,
+        machine: &mut Machine,
+        support: &mut Plural<u64>,
+        groups: usize,
+        li: usize,
+    ) {
+        machine.par_zip_bits(support, self, move |pe, s, ok| {
+            if pe % groups == 0 && ok {
+                *s |= 1u64 << li;
+            }
+        });
+    }
+
+    fn apply_unary(
+        machine: &mut Machine,
+        lay: &Layout,
+        sentence: &Sentence,
+        c: &Constraint,
+        valid: &Self,
+        bits: &mut Plural<u64>,
+        alive: &mut Plural<u64>,
+    ) {
+        // The unary test depends only on (group, label), so the ACU can
+        // evaluate it once per group on the host and broadcast keep masks
+        // — the PEs apply two ANDs instead of re-evaluating the constraint
+        // l times each. Same three broadcasts, bit-identical results.
+        let viol: Vec<u64> = (0..lay.groups)
+            .map(|g| {
+                let mut v = 0u64;
+                for li in 0..lay.l {
+                    if let Some(b) = lay.binding(g, li) {
+                        if !c.check_unary(sentence, b) {
+                            v |= 1u64 << li;
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
+        let keep_cols: Vec<u64> = viol
+            .iter()
+            .map(|&v| {
+                let mut kill = 0u64;
+                for i in 0..lay.l {
+                    if v >> i & 1 == 1 {
+                        kill |= lay.row_mask(i);
+                    }
+                }
+                !kill
+            })
+            .collect();
+        let keep_rows: Vec<u64> = viol
+            .iter()
+            .map(|&v| {
+                let mut kill = 0u64;
+                for j in 0..lay.l {
+                    if v >> j & 1 == 1 {
+                        kill |= lay.col_mask(j);
+                    }
+                }
+                !kill
+            })
+            .collect();
+        machine.with_activity_bits(valid, |m| {
+            m.par_map(bits, |pe, b| {
+                let (cg, rg) = lay.decode_pe(pe);
+                *b &= keep_cols[cg] & keep_rows[rg];
+            });
+        });
+        machine.par_map(alive, |pe, a| {
+            if pe % lay.groups == 0 {
+                *a &= !viol[pe / lay.groups];
+            }
+        });
+    }
 }
 
 /// One binary constraint: every PE checks its l×l pairs (both orderings).
-fn apply_binary(
+fn apply_binary<B: BoolRepr>(
     machine: &mut Machine,
     lay: &Layout,
     sentence: &Sentence,
     c: &Constraint,
-    valid: &Plural<bool>,
+    valid: &B,
     bits: &mut Plural<u64>,
 ) {
-    machine.with_activity(valid, |m| {
+    valid.with_activity(machine, |m| {
         m.par_map(bits, |pe, b| {
             if *b == 0 {
                 return;
@@ -761,10 +1025,10 @@ fn apply_binary(
 /// Zero every submatrix column/row belonging to a dead role value: two
 /// router gathers fetch the column's and row's alive masks from the
 /// boundary PEs, then one broadcast instruction applies them.
-fn mask_dead(
+fn mask_dead<B: BoolRepr>(
     machine: &mut Machine,
     lay: &Layout,
-    valid: &Plural<bool>,
+    valid: &B,
     bits: &mut Plural<u64>,
     alive: &Plural<u64>,
     col_idx: &Plural<usize>,
@@ -774,7 +1038,7 @@ fn mask_dead(
     let mut row_alive = machine.alloc(0u64);
     machine.gather(alive, col_idx, &mut col_alive);
     machine.gather(alive, row_idx, &mut row_alive);
-    machine.with_activity(valid, |m| {
+    valid.with_activity(machine, |m| {
         m.par_zip(bits, &col_alive, |pe, b, &ca| {
             let _ = pe;
             let mut keep = 0u64;
@@ -809,11 +1073,11 @@ fn mask_dead(
 /// removed (counted on the machine: per-boundary popcount diff, then a
 /// global sum reduction).
 #[allow(clippy::too_many_arguments)]
-fn maintain(
+fn maintain<B: BoolRepr>(
     machine: &mut Machine,
     lay: &Layout,
-    valid: &Plural<bool>,
-    block_boundary: &Plural<bool>,
+    valid: &B,
+    block_boundary: &B,
     bits: &mut Plural<u64>,
     alive: &mut Plural<u64>,
     col_idx: &Plural<usize>,
@@ -825,36 +1089,20 @@ fn maintain(
 
     for li in 0..lay.l {
         // Phase A: each PE ORs its submatrix row for column label li.
-        let mut loc = machine.alloc(false);
-        machine.with_activity(valid, |m| {
-            m.par_zip(&mut loc, bits, |_, out, &b| {
-                let mut any = false;
-                for j in 0..lay.l {
-                    if b >> lay.bit(li, j) & 1 == 1 {
-                        any = true;
-                        break;
-                    }
-                }
-                *out = any;
-            });
-        });
+        let mut loc = B::alloc_false(machine);
+        valid.with_activity(machine, |m| B::row_or(m, &mut loc, bits, lay, li));
         // Phase B: scanOr within each (column, row word-role) block; the
         // block's OR lands on its boundary PE.
-        let block_or = machine.with_activity(valid, |m| m.scan_or(&loc, &blocks));
-        machine.free(loc);
+        let block_or = valid.with_activity(machine, |m| loc.scan_or(m, &blocks));
+        loc.free(machine);
         // Phase C: scanAnd across the block-boundary PEs of each column
         // (self-arc blocks are invalid, hence skipped — the figure's
         // "disabled only during the scanAnd").
-        let col_support =
-            machine.with_activity(block_boundary, |m| m.scan_and(&block_or, &columns));
-        machine.free(block_or);
+        let col_support = block_boundary.with_activity(machine, |m| block_or.scan_and(m, &columns));
+        block_or.free(machine);
         // Phase D (accumulate): boundary PEs record the supported bit.
-        machine.par_zip(&mut support, &col_support, move |pe, s, &ok| {
-            if pe % lay.groups == 0 && ok {
-                *s |= 1u64 << li;
-            }
-        });
-        machine.free(col_support);
+        col_support.accumulate_support(machine, &mut support, lay.groups, li);
+        col_support.free(machine);
     }
 
     // New alive = old ∧ supported; removal counting is PE-local (popcount
@@ -1053,6 +1301,62 @@ mod tests {
             phys_pes: 64,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn packed_engine_is_bit_identical_to_scalar_oracle() {
+        let (g, s) = example();
+        let packed = parse_maspar(&g, &s, &MasparOptions::default());
+        let scalar = parse_maspar(
+            &g,
+            &s,
+            &MasparOptions {
+                packed: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(packed.bits, scalar.bits);
+        assert_eq!(packed.alive, scalar.alive);
+        assert_eq!(
+            packed.stats, scalar.stats,
+            "both representations must issue identical instruction charges"
+        );
+        assert_eq!(packed.estimated_seconds, scalar.estimated_seconds);
+        assert_eq!(packed.removals_per_iteration, scalar.removals_per_iteration);
+        assert_eq!(packed.phases.len(), scalar.phases.len());
+        for (a, b) in packed.phases.iter().zip(&scalar.phases) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.stats, b.stats, "phase {} diverges", a.name);
+        }
+    }
+
+    #[test]
+    fn packed_engine_matches_oracle_under_faults() {
+        let (g, s) = example();
+        let plan = FaultPlan::new()
+            .with_dead_pe(3)
+            .with_memory_flip(20, 7, 3)
+            .with_router_corrupt(60, 11, 0xFF)
+            .with_memory_flip(150, 30, 60);
+        let run = |packed: bool| {
+            parse_maspar_checked(
+                &g,
+                &s,
+                &MasparOptions {
+                    machine: small_machine(),
+                    faults: Some(plan.clone()),
+                    packed,
+                    ..Default::default()
+                },
+            )
+            .expect("recoverable plan")
+        };
+        let p = run(true);
+        let o = run(false);
+        assert_eq!(p.bits, o.bits);
+        assert_eq!(p.alive, o.alive);
+        assert_eq!(p.stats, o.stats);
+        assert_eq!(p.recovery, o.recovery);
     }
 
     #[test]

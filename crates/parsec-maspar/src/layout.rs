@@ -170,6 +170,25 @@ impl Layout {
         (col_li * self.l + row_li) as u32
     }
 
+    /// Submatrix mask covering every bit of column label `li` (all row
+    /// labels `j`): `OR_j 1 << bit(li, j)`. Contiguous because `bit` packs
+    /// the submatrix column-major.
+    pub fn row_mask(&self, li: usize) -> u64 {
+        debug_assert!(li < self.l);
+        ((1u64 << self.l) - 1) << (li * self.l)
+    }
+
+    /// Submatrix mask covering every bit of row label `lj` (all column
+    /// labels `i`): `OR_i 1 << bit(i, lj)`.
+    pub fn col_mask(&self, lj: usize) -> u64 {
+        debug_assert!(lj < self.l);
+        let mut mask = 0u64;
+        for i in 0..self.l {
+            mask |= 1u64 << self.bit(i, lj);
+        }
+        mask
+    }
+
     /// Initial submatrix for a PE: all valid label pairs set, diagonal PEs
     /// empty (Figure 9: every role value present before unary
     /// propagation).
@@ -229,6 +248,18 @@ mod tests {
         let g = paper::grammar();
         let s = paper::example_sentence(&g);
         (g, s)
+    }
+
+    #[test]
+    fn row_and_col_masks_cover_their_label_lines() {
+        let (g, s) = example();
+        let lay = Layout::new(&g, &s);
+        for li in 0..lay.l {
+            let row: u64 = (0..lay.l).fold(0, |m, j| m | 1u64 << lay.bit(li, j));
+            let col: u64 = (0..lay.l).fold(0, |m, i| m | 1u64 << lay.bit(i, li));
+            assert_eq!(lay.row_mask(li), row, "row {li}");
+            assert_eq!(lay.col_mask(li), col, "col {li}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   --naive-eval                                 use the naive tree-walk evaluator (oracle)
 //!   --budget <spec>                              resource budget, e.g. ms=50,iters=3,cells=100000
 //!   --faults <spec>                              (maspar) fault plan: a seed, or seed=N,dead=N,...
+//!   --maspar-scalar                              (maspar) unpacked Plural<bool> oracle, no bit-slicing
 //!   --relax                                      retry rejected sentences with relaxed constraints
 //!   --threads <N>                                worker threads for parallel engines (0 = auto)
 //!   --batch <file|->                             parse one sentence per line of a file (or stdin)
@@ -87,6 +88,7 @@ struct Args {
     relax: bool,
     threads: Option<usize>,
     batch: Option<String>,
+    maspar_scalar: bool,
     words: Vec<String>,
 }
 
@@ -94,8 +96,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
-         [--trace[=json]] [--metrics] [--naive-eval] [--budget spec] [--faults spec] [--relax] \
-         [--threads N] [--batch file|-] [--version] <sentence...>"
+         [--trace[=json]] [--metrics] [--naive-eval] [--budget spec] [--faults spec] \
+         [--maspar-scalar] [--relax] [--threads N] [--batch file|-] [--version] <sentence...>"
     );
     std::process::exit(2);
 }
@@ -130,6 +132,7 @@ fn parse_args() -> Args {
         relax: false,
         threads: None,
         batch: None,
+        maspar_scalar: false,
         words: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -173,6 +176,7 @@ fn parse_args() -> Args {
                 args.threads = Some(n);
             }
             "--batch" => args.batch = Some(it.next().unwrap_or_else(|| usage())),
+            "--maspar-scalar" => args.maspar_scalar = true,
             "--version" => {
                 println!("parsec {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -190,6 +194,9 @@ fn parse_args() -> Args {
     }
     if args.faults.is_some() && args.engine != "maspar" {
         invalid("--faults injects faults into the simulated MasPar; pass --engine maspar".into());
+    }
+    if args.maspar_scalar && args.engine != "maspar" {
+        invalid("--maspar-scalar forces the unpacked MasPar oracle; pass --engine maspar".into());
     }
     args
 }
@@ -341,6 +348,19 @@ fn emit_stats(args: &Args, report: &ParseReport<'_>) {
                 counter("maspar.scan_calls"),
                 gauge("maspar.estimated_seconds"),
             );
+            let host_wall = report.wall.as_secs_f64();
+            if host_wall > 0.0 {
+                eprintln!(
+                    "maspar host: {:.4}s wall ({}, simulated/host {:.2}x)",
+                    host_wall,
+                    if args.maspar_scalar {
+                        "unpacked oracle"
+                    } else {
+                        "bit-sliced"
+                    },
+                    gauge("maspar.estimated_seconds") / host_wall,
+                );
+            }
             if report.fault_recovered || counter("maspar.fault_events") > 0 {
                 eprintln!(
                     "maspar recovery: {} probe round(s), {} PE(s) retired, {} phase(s) \
@@ -514,9 +534,17 @@ fn main() -> ExitCode {
     if let Some(n) = args.threads {
         rayon::set_num_threads(n);
     }
-    let Some(engine) = parsec::engine_by_name(&args.engine) else {
-        eprintln!("error: unknown engine `{}`", args.engine);
-        return ExitCode::from(2);
+    let engine: Box<dyn Engine> = if args.maspar_scalar {
+        // Validation already pinned the engine to "maspar"; swap in the
+        // unpacked differential oracle instead of the default bit-sliced
+        // configuration.
+        Box::new(parsec::prelude::Maspar::scalar_oracle())
+    } else {
+        let Some(engine) = parsec::engine_by_name(&args.engine) else {
+            eprintln!("error: unknown engine `{}`", args.engine);
+            return ExitCode::from(2);
+        };
+        engine
     };
     if args.batch.is_some() {
         return run_batch(&args, engine.as_ref());
