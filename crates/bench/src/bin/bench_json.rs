@@ -169,6 +169,73 @@ fn best_of(run: impl Fn() -> Measurement) -> Measurement {
     best
 }
 
+/// Run `requests` sequential round trips against an in-process serve
+/// instance over real loopback TCP and return the measured row plus the
+/// normalized response lines (timing fields stripped) for digesting.
+/// The request mix cycles accept/reject sentences with repeats, so the
+/// cache path is exercised deterministically.
+fn serve_loopback(requests: usize) -> (BenchRow, Vec<String>) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = parsec_serve::Server::start(parsec_serve::ServeConfig {
+        grammar: "english".into(),
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("serve scenario binds loopback");
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("loopback connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    // Two distinct accepts and one reject; the second lap onward is all
+    // cache hits for the repeated lines.
+    let mix = [
+        "PARSE the dog runs",
+        "PARSE dog the runs",
+        "PARSE the dog sees the cat in the park",
+        "PARSE the dog runs",
+    ];
+    let mut normalized = Vec::with_capacity(requests);
+    let mut all_ok = true;
+    let start = std::time::Instant::now();
+    for i in 0..requests {
+        writer
+            .write_all(format!("{}\n", mix[i % mix.len()]).as_bytes())
+            .expect("serve write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("serve read");
+        let line = line.trim_end();
+        all_ok &= line.starts_with("OK");
+        // wall_us varies run to run; everything else must be identical.
+        normalized.push(
+            line.split_ascii_whitespace()
+                .filter(|tok| !tok.starts_with("wall_us="))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.parse_responses(),
+        stats.requests,
+        "serve scenario accounting must balance: {stats:?}"
+    );
+    let row = BenchRow {
+        engine: "serve-loopback".into(),
+        grammar: "english".into(),
+        n: requests,
+        threads: 2,
+        wall_secs: wall,
+        ops: stats.requests,
+        steps: stats.cache_hits,
+        speedup_vs_1t: 1.0,
+        accepted: all_ok,
+        digest: 0, // filled by the caller from the normalized lines
+    };
+    (row, normalized)
+}
+
 /// Run one traced, metered parse through the unified [`Engine`] API and
 /// return the scenario's `parsec-trace-v1` document, validated before it
 /// is embedded in the report.
@@ -423,7 +490,23 @@ fn main() {
         );
     }
 
-    // --- 4. Per-scenario phase traces (the parsec-trace-v1 documents) -
+    // --- 4. Parse-as-a-service loopback --------------------------------
+    // One sequential client against an in-process `parsec-serve` server:
+    // the measured quantity is request-response round trips through the
+    // full service stack (protocol parse, admission, queue, worker,
+    // reply). The digest covers every response line with the timing
+    // fields stripped, so equal digests mean byte-identical service
+    // behavior — statuses, parse results, cache markers, field order.
+    let serve_requests = if args.quick { 32 } else { 128 };
+    eprintln!("serve: loopback, {serve_requests} requests");
+    let (serve_row, serve_digest_lines) = serve_loopback(serve_requests);
+    let serve_digest = fnv1a(serve_digest_lines.join("\n").as_bytes());
+    rows.push(BenchRow {
+        digest: serve_digest,
+        ..serve_row
+    });
+
+    // --- 5. Per-scenario phase traces (the parsec-trace-v1 documents) -
     // One traced, metered parse per engine on a mid-size corpus sentence,
     // through the same unified API the CLI's `--trace=json` uses.
     let trace_sentence = corpus::english_sentence(&g, &lex, 6, 11);

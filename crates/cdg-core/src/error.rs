@@ -7,6 +7,7 @@
 //! outcome (`degraded: Some(BudgetExceeded)`) instead of running
 //! open-ended.
 
+use cdg_grammar::sentence::LexiconError;
 use std::fmt;
 use std::time::Duration;
 
@@ -60,6 +61,45 @@ pub enum EngineError {
     /// lexical ambiguity on the MasPar layout, or a label set too wide
     /// for its bit-packing).
     GrammarError(String),
+    /// Caller-supplied text did not lex into a sentence (unknown word,
+    /// unknown category, or no words at all). Carries the original
+    /// [`LexiconError`] so batch/server front-ends can report exactly what
+    /// was wrong with *one* line without aborting the rest.
+    Lexicon(LexiconError),
+}
+
+impl EngineError {
+    /// Stable machine-readable error code, shared by the server wire
+    /// protocol and `--batch` output (see [`crate::wire`]). These strings
+    /// are a compatibility contract: never change one once shipped.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::PeFailure { .. } => "PE_FAILURE",
+            EngineError::BudgetExceeded { .. } => "BUDGET",
+            EngineError::Inconsistent { .. } => "INCONSISTENT",
+            EngineError::GrammarError(_) => "GRAMMAR",
+            EngineError::Lexicon(_) => "LEXICON",
+        }
+    }
+
+    /// Whether a retry of the same request could plausibly succeed.
+    /// Hardware trouble ([`EngineError::PeFailure`],
+    /// [`EngineError::Inconsistent`]) is transient-capable: the fault that
+    /// caused it may have cleared by the next attempt. Budget, grammar,
+    /// and lexicon errors are deterministic properties of the request and
+    /// retrying them only burns capacity.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EngineError::PeFailure { .. } | EngineError::Inconsistent { .. }
+        )
+    }
+}
+
+impl From<LexiconError> for EngineError {
+    fn from(e: LexiconError) -> Self {
+        EngineError::Lexicon(e)
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -81,6 +121,7 @@ impl fmt::Display for EngineError {
                 "inconsistent redundant execution in phase `{phase}` after {attempts} attempt(s)"
             ),
             EngineError::GrammarError(msg) => write!(f, "grammar error: {msg}"),
+            EngineError::Lexicon(e) => write!(f, "lexicon error: {e}"),
         }
     }
 }

@@ -43,9 +43,10 @@ pub mod propagate;
 pub mod relax;
 pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use api::{BatchReport, Engine, ParseReport, ParseRequest, Sequential};
-pub use batch::{parse_batch, parse_batch_with_pool, BatchOutcome};
+pub use batch::{parse_batch, parse_batch_text, parse_batch_with_pool, BatchOutcome, TextLine};
 pub use consistency::{filter_incremental, IncrementalFilter};
 pub use error::{BudgetResource, EngineError, ParseBudget};
 pub use extract::PrecedenceGraph;

@@ -1,0 +1,337 @@
+//! Stable machine-readable encoding of [`EngineError`].
+//!
+//! The parse service (`parsec-serve`) and the CLI's `--batch` output both
+//! need to put typed engine errors on one line of text that a program on
+//! the other end can parse back — not a `Display` string that changes
+//! whenever a message is reworded. This module is that contract:
+//!
+//! ```text
+//! <CODE> key=value key=value ...
+//! ```
+//!
+//! * `<CODE>` is [`EngineError::code`] — one of `PE_FAILURE`, `BUDGET`,
+//!   `INCONSISTENT`, `GRAMMAR`, `LEXICON`. Codes are append-only: new
+//!   variants may add codes, existing codes never change meaning.
+//! * Fields are space-separated `key=value` pairs in a fixed, documented
+//!   order per code (decoding accepts any order and ignores unknown keys,
+//!   so fields can be *added* compatibly).
+//! * Values are percent-escaped ([`escape`]): `%`, `=`, space, and all
+//!   control bytes become `%XX`, so any free-text detail survives a
+//!   line-oriented protocol unambiguously.
+//!
+//! Field vocabulary:
+//!
+//! | code           | fields                                         |
+//! |----------------|------------------------------------------------|
+//! | `PE_FAILURE`   | `dead` (colon-separated PE ids), `detail`      |
+//! | `BUDGET`       | `resource` (`wall_time` \| `filter_iterations` \| `arc_cells`), `limit`, `spent` |
+//! | `INCONSISTENT` | `phase`, `attempts`                            |
+//! | `GRAMMAR`      | `detail`                                       |
+//! | `LEXICON`      | `kind` (`unknown_word` \| `unknown_category` \| `empty_sentence`), `word` |
+//!
+//! [`encode`] and [`decode`] round-trip every variant exactly
+//! (property-tested below); the wire form is deliberately independent of
+//! the `Display` impl.
+
+use crate::error::{BudgetResource, EngineError};
+use cdg_grammar::sentence::LexiconError;
+
+/// Percent-escape `value` so it is one whitespace-free token: `%`, `=`,
+/// space, and control bytes (including newlines) become `%XX`.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        // The escapable set is pure ASCII; everything else (including
+        // multi-byte UTF-8) passes through as-is.
+        if ch == '%' || ch == '=' || ch == ' ' || (ch as u32) < 0x21 {
+            out.push('%');
+            out.push_str(&format!("{:02X}", ch as u32));
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Reverse [`escape`]. Errors on truncated or non-hex `%` sequences and on
+/// invalid UTF-8 after unescaping.
+pub fn unescape(token: &str) -> Result<String, String> {
+    let bytes = token.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in `{token}`"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| format!("bad escape in `{token}`"))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|_| format!("bad escape `%{hex}` in `{token}`"))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escaped token `{token}` is not UTF-8"))
+}
+
+fn resource_name(r: BudgetResource) -> &'static str {
+    match r {
+        BudgetResource::WallTime => "wall_time",
+        BudgetResource::FilterIterations => "filter_iterations",
+        BudgetResource::ArcCells => "arc_cells",
+    }
+}
+
+fn resource_from(name: &str) -> Result<BudgetResource, String> {
+    match name {
+        "wall_time" => Ok(BudgetResource::WallTime),
+        "filter_iterations" => Ok(BudgetResource::FilterIterations),
+        "arc_cells" => Ok(BudgetResource::ArcCells),
+        other => Err(format!("unknown budget resource `{other}`")),
+    }
+}
+
+/// Encode an [`EngineError`] as one stable wire line (no trailing newline).
+pub fn encode(err: &EngineError) -> String {
+    let mut out = String::from(err.code());
+    let mut field = |key: &str, value: &str| {
+        out.push(' ');
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&escape(value));
+    };
+    match err {
+        EngineError::PeFailure { dead, detail } => {
+            let ids: Vec<String> = dead.iter().map(|d| d.to_string()).collect();
+            field("dead", &ids.join(":"));
+            field("detail", detail);
+        }
+        EngineError::BudgetExceeded {
+            resource,
+            limit,
+            spent,
+        } => {
+            field("resource", resource_name(*resource));
+            field("limit", limit);
+            field("spent", spent);
+        }
+        EngineError::Inconsistent { phase, attempts } => {
+            field("phase", phase);
+            field("attempts", &attempts.to_string());
+        }
+        EngineError::GrammarError(detail) => field("detail", detail),
+        EngineError::Lexicon(e) => match e {
+            LexiconError::UnknownWord(w) => {
+                field("kind", "unknown_word");
+                field("word", w);
+            }
+            LexiconError::UnknownCategory(c) => {
+                field("kind", "unknown_category");
+                field("word", c);
+            }
+            LexiconError::EmptySentence => field("kind", "empty_sentence"),
+        },
+    }
+    out
+}
+
+/// Still-escaped `(key, value)` pairs of one wire line.
+pub type RawFields<'a> = Vec<(&'a str, &'a str)>;
+
+/// Split a wire line into its code and `key=value` fields (values still
+/// escaped). Shared with the serve protocol, which wraps engine errors in
+/// larger response lines.
+pub fn split_fields(line: &str) -> Result<(&str, RawFields<'_>), String> {
+    let mut parts = line.split_ascii_whitespace();
+    let code = parts.next().ok_or_else(|| "empty wire line".to_string())?;
+    let mut fields = Vec::new();
+    for part in parts {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("wire field `{part}` is not key=value"))?;
+        fields.push((k, v));
+    }
+    Ok((code, fields))
+}
+
+/// Decode one wire line back into the [`EngineError`] it encodes. Unknown
+/// keys are ignored (forward compatibility); unknown codes and missing
+/// required fields are errors.
+pub fn decode(line: &str) -> Result<EngineError, String> {
+    let (code, fields) = split_fields(line.trim())?;
+    let get =
+        |key: &str| -> Option<&str> { fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v) };
+    let want = |key: &str| -> Result<String, String> {
+        unescape(get(key).ok_or_else(|| format!("wire code {code} is missing field `{key}`"))?)
+    };
+    match code {
+        "PE_FAILURE" => {
+            let dead_raw = want("dead")?;
+            let dead = if dead_raw.is_empty() {
+                Vec::new()
+            } else {
+                dead_raw
+                    .split(':')
+                    .map(|d| {
+                        d.parse::<usize>()
+                            .map_err(|_| format!("bad PE id `{d}` in dead list"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(EngineError::PeFailure {
+                dead,
+                detail: want("detail")?,
+            })
+        }
+        "BUDGET" => Ok(EngineError::BudgetExceeded {
+            resource: resource_from(&want("resource")?)?,
+            limit: want("limit")?,
+            spent: want("spent")?,
+        }),
+        "INCONSISTENT" => Ok(EngineError::Inconsistent {
+            phase: want("phase")?,
+            attempts: want("attempts")?
+                .parse()
+                .map_err(|_| "bad attempts count".to_string())?,
+        }),
+        "GRAMMAR" => Ok(EngineError::GrammarError(want("detail")?)),
+        "LEXICON" => {
+            let kind = want("kind")?;
+            Ok(EngineError::Lexicon(match kind.as_str() {
+                "unknown_word" => LexiconError::UnknownWord(want("word")?),
+                "unknown_category" => LexiconError::UnknownCategory(want("word")?),
+                "empty_sentence" => LexiconError::EmptySentence,
+                other => return Err(format!("unknown lexicon kind `{other}`")),
+            }))
+        }
+        other => Err(format!("unknown wire error code `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseBudget;
+
+    fn samples() -> Vec<EngineError> {
+        vec![
+            EngineError::PeFailure {
+                dead: vec![3, 7, 4095],
+                detail: "probing kept finding dead PEs after 16 rounds".into(),
+            },
+            EngineError::PeFailure {
+                dead: Vec::new(),
+                detail: "weird = spaces %20 and\nnewlines\tok?".into(),
+            },
+            ParseBudget::exceeded(BudgetResource::WallTime, "50ms", "63.2ms"),
+            ParseBudget::exceeded(BudgetResource::FilterIterations, 3, 4),
+            ParseBudget::exceeded(BudgetResource::ArcCells, 100_000, 262_144),
+            EngineError::Inconsistent {
+                phase: "binary:subj-precedes-its-verb".into(),
+                attempts: 5,
+            },
+            EngineError::GrammarError("label set too wide: l*l > 64".into()),
+            EngineError::Lexicon(LexiconError::UnknownWord("zyzzyva".into())),
+            EngineError::Lexicon(LexiconError::UnknownCategory("=odd cat=".into())),
+            EngineError::Lexicon(LexiconError::EmptySentence),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for err in samples() {
+            let line = encode(&err);
+            assert!(
+                !line.contains('\n'),
+                "wire lines must be single-line: {line:?}"
+            );
+            let back = decode(&line).unwrap_or_else(|e| panic!("decode `{line}`: {e}"));
+            assert_eq!(back, err, "round trip changed the error (line `{line}`)");
+        }
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        let codes: Vec<&str> = samples().iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "PE_FAILURE",
+                "PE_FAILURE",
+                "BUDGET",
+                "BUDGET",
+                "BUDGET",
+                "INCONSISTENT",
+                "GRAMMAR",
+                "LEXICON",
+                "LEXICON",
+                "LEXICON"
+            ]
+        );
+        for err in samples() {
+            assert!(encode(&err).starts_with(err.code()));
+        }
+    }
+
+    #[test]
+    fn escaping_handles_hostile_text() {
+        for nasty in [
+            "",
+            " ",
+            "%",
+            "%%",
+            "a=b c=d",
+            "line\nbreak",
+            "tab\there",
+            "unicode: Ω≈ç√",
+            "%41 looks escaped already",
+        ] {
+            let esc = escape(nasty);
+            assert!(
+                !esc.contains(' ') && !esc.contains('=') && !esc.contains('\n'),
+                "escape left a delimiter in {esc:?}"
+            );
+            assert_eq!(unescape(&esc).unwrap(), nasty);
+        }
+        assert!(unescape("%").is_err());
+        assert!(unescape("%4").is_err());
+        assert!(unescape("%ZZ").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(decode("").is_err());
+        assert!(decode("NOT_A_CODE detail=x").is_err());
+        assert!(
+            decode("BUDGET resource=wall_time").is_err(),
+            "missing fields"
+        );
+        assert!(decode("BUDGET resource=fuel limit=1 spent=2").is_err());
+        assert!(decode("INCONSISTENT phase=p attempts=lots").is_err());
+        assert!(decode("LEXICON kind=wat").is_err());
+        assert!(decode("PE_FAILURE dead=1:x detail=d").is_err());
+        assert!(decode("GRAMMAR detail").is_err(), "field without =");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compat() {
+        let line = "GRAMMAR detail=oops future_field=1";
+        assert_eq!(
+            decode(line).unwrap(),
+            EngineError::GrammarError("oops".into())
+        );
+    }
+
+    #[test]
+    fn display_and_wire_are_independent() {
+        // The human string can change; the wire string cannot. Make sure
+        // the wire form contains no Display prose that might tempt anyone
+        // to couple them.
+        let err = ParseBudget::exceeded(BudgetResource::WallTime, "50ms", "63ms");
+        assert!(err.to_string().contains("parse budget exceeded"));
+        assert!(!encode(&err).contains("parse"));
+    }
+}

@@ -25,8 +25,8 @@ pub mod span;
 
 pub use export::{render_tree, trace_to_json, SCHEMA};
 pub use metrics::{
-    counter_add, gauge_set, histogram_record, metrics_enabled, reset_metrics, set_metrics,
-    snapshot, Histogram, MetricsSnapshot,
+    counter_add, gauge_max, gauge_set, histogram_record, metrics_enabled, reset_metrics,
+    set_metrics, snapshot, Histogram, MetricsSnapshot,
 };
 pub use span::{
     set_tracing, span, span_with, take_trace, tracing_enabled, SpanGuard, SpanNode, Trace,

@@ -71,6 +71,23 @@ pub fn gauge_set(name: &'static str, v: f64) {
     GAUGES.lock().unwrap().insert(name, v);
 }
 
+/// Raise the named gauge to `v` if `v` exceeds its current value (or the
+/// gauge is unset) — a high-water mark. The parse service uses this for
+/// peak queue depth and peak in-flight counts, where `gauge_set` from
+/// racing workers would record the *last* value, not the worst. No-op
+/// while disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, v: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut gauges = GAUGES.lock().unwrap();
+    let entry = gauges.entry(name).or_insert(f64::NEG_INFINITY);
+    if v > *entry {
+        *entry = v;
+    }
+}
+
 /// Record one observation into the named histogram. No-op while disabled.
 #[inline]
 pub fn histogram_record(name: &'static str, v: f64) {
@@ -194,6 +211,19 @@ mod tests {
         gauge_set("virt_pes", 256.0);
         histogram_record("filter.passes", 3.0);
         assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let _l = TEST_LOCK.lock().unwrap();
+        reset_metrics();
+        set_metrics(true);
+        gauge_max("serve.queue_depth_peak", 3.0);
+        gauge_max("serve.queue_depth_peak", 9.0);
+        gauge_max("serve.queue_depth_peak", 5.0);
+        set_metrics(false);
+        assert_eq!(snapshot().gauge("serve.queue_depth_peak"), Some(9.0));
+        reset_metrics();
     }
 
     #[test]

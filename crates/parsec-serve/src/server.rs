@@ -1,0 +1,599 @@
+//! The server proper: accept loop, connection handlers, worker pool, and
+//! the drain state machine.
+//!
+//! ```text
+//!            ┌────────────┐   bounded    ┌─────────────┐
+//! TCP ──────▶│ connection │──try_push───▶│ worker pool │──▶ Engine
+//!  accept    │  handlers  │◀──reply──────│ (N threads) │    (+ retry)
+//!            └────────────┘   channel    └─────────────┘
+//!                  │                            │
+//!             admission +                  deadline check,
+//!             cache lookup                 cache fill
+//! ```
+//!
+//! **Exactly one response per request** is owned by the connection
+//! handler: every `PARSE` line either produces an immediate typed
+//! rejection (cache hit, admission shed, queue full) or hands the job —
+//! with a single-use reply channel — to exactly one of: a worker (parse,
+//! timeout, fault, error) or the drain supervisor (drain-deadline shed).
+//! Nothing else writes to the connection.
+//!
+//! **Lifecycle**: `Running → Draining → Stopped`. Draining (via the
+//! `SHUTDOWN` verb, [`ServerHandle::begin_drain`], or the CLI's signal
+//! flag) stops the accept loop, sheds new requests with
+//! `reason=draining`, and lets the supervisor flush the queue: workers
+//! finish what they hold, queued jobs run until the drain deadline, and
+//! anything still queued at the deadline is shed — typed responses all
+//! the way down, never a silently dropped request.
+
+use crate::admission::{decide, Admit, SloClass};
+use crate::cache::{request_digest, ResponseCache};
+use crate::queue::{Bounded, PushError};
+use crate::wire::{self, cause_field, render_fields, Request, RequestOpts};
+use crate::{engine_for, ServeConfig, ServeStats, StatsSnapshot};
+use cdg_core::api::ParseRequest;
+use cdg_core::parser::ParseOptions;
+use cdg_core::EngineError;
+use cdg_grammar::grammars::{english, paper};
+use cdg_grammar::{Grammar, Lexicon};
+use parsec_maspar::parse_with_retry;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// One admitted parse job, owned by whoever answers it.
+struct Job {
+    text: String,
+    opts: RequestOpts,
+    class: SloClass,
+    engine_name: String,
+    enqueued: Instant,
+    deadline: Instant,
+    /// Cache slot to fill on success (`None` = uncacheable).
+    digest: Option<u64>,
+    /// Single-use reply channel back to the connection handler.
+    reply: mpsc::SyncSender<String>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    grammar: Grammar,
+    lexicon: Lexicon,
+    queue: Bounded<Job>,
+    cache: Mutex<ResponseCache>,
+    stats: ServeStats,
+    state: AtomicU8,
+    inflight: AtomicUsize,
+    conns: AtomicUsize,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.state.load(Ordering::SeqCst) != RUNNING
+    }
+}
+
+/// Constructor namespace: [`Server::start`] is the entry point.
+pub struct Server;
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] (drain + join) or [`ServerHandle::join`]
+/// after an external `SHUTDOWN`/signal triggers the drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn load_grammar(config: &ServeConfig) -> Result<(Grammar, Lexicon), String> {
+    match config.grammar.as_str() {
+        "paper" => {
+            let g = paper::grammar();
+            let lex = paper::lexicon(&g);
+            Ok((g, lex))
+        }
+        "english" => {
+            let g = english::grammar();
+            let lex = english::lexicon(&g);
+            Ok((g, lex))
+        }
+        path if path.ends_with(".cdg") => {
+            let (g, lex) = cdg_grammar::file::load_path(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            if lex.is_empty() {
+                return Err(format!("grammar file `{path}` has no lexicon"));
+            }
+            Ok((g, lex))
+        }
+        other => Err(format!(
+            "unknown grammar `{other}` (expected paper, english, or a .cdg path)"
+        )),
+    }
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return the handle.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, String> {
+        let (grammar, lexicon) = load_grammar(&config)?;
+        if engine_for(&config.engine, &config.machine).is_none() {
+            return Err(format!("unknown engine `{}`", config.engine));
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind `{}`: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            cache: Mutex::new(ResponseCache::new(config.cache_capacity)),
+            stats: ServeStats::default(),
+            state: AtomicU8::new(RUNNING),
+            inflight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
+            grammar,
+            lexicon,
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ground-truth counters, snapshotted now.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Current queue depth (for tests and the STATS verb).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Enter the drain state: stop accepting, shed new work, flush the
+    /// queue under the drain deadline. Idempotent.
+    pub fn begin_drain(&self) {
+        let _ = self.shared.state.compare_exchange(
+            RUNNING,
+            DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Whether drain has started (or finished).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Wait for the drain to complete and every worker to exit, then
+    /// return the final counters. Blocks until something triggers the
+    /// drain (`SHUTDOWN`, [`Self::begin_drain`], a signal via the CLI).
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    /// [`Self::begin_drain`] then [`Self::join`].
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.begin_drain();
+        self.join()
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    // Nonblocking so the loop can poll the drain flag between arrivals.
+    let _ = listener.set_nonblocking(true);
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One-line request/response traffic: Nagle + delayed ACK
+                // would add ~40ms to every round trip.
+                let _ = stream.set_nodelay(true);
+                let stats = &shared.stats;
+                if shared.conns.fetch_add(1, Ordering::SeqCst) >= shared.config.max_connections {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    stats.bump(&stats.shed_connections, "serve.shed.connections");
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.write_all(b"SHED reason=connections\n");
+                    continue;
+                }
+                stats.bump(&stats.connections, "serve.connections");
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    handle_connection(&shared, stream);
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Past this point no new connection is accepted; flush the queue.
+    drop(listener);
+    supervise_drain(shared);
+}
+
+/// The drain state machine's second half: wait for queue + in-flight to
+/// empty, shed whatever is still queued at the deadline, then close the
+/// queue so workers exit.
+fn supervise_drain(shared: &Arc<Shared>) {
+    let deadline = Instant::now() + shared.config.drain_deadline;
+    loop {
+        if shared.queue.depth() == 0 && shared.inflight.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            let stats = &shared.stats;
+            for job in shared.queue.drain_now() {
+                stats.bump(&stats.shed_drain_deadline, "serve.shed.drain_deadline");
+                let _ = job.reply.send(shed_line("drain_deadline", job.class));
+            }
+            // In-flight work is never abandoned: wait it out.
+            while shared.inflight.load(Ordering::SeqCst) > 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    shared.queue.close();
+    shared.state.store(STOPPED, Ordering::SeqCst);
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Idle connections self-expire rather than pinning a thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
+    let stats = &shared.stats;
+    match wire::parse_request(line, shared.config.machine.phys_pes) {
+        Ok(Request::Ping) => "PONG".into(),
+        Ok(Request::Stats) => stats_line(shared),
+        Ok(Request::Shutdown) => {
+            let _ = shared.state.compare_exchange(
+                RUNNING,
+                DRAINING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            "DRAINING".into()
+        }
+        Ok(Request::Parse { text, opts }) => handle_parse(shared, text, opts),
+        Err(detail) => {
+            stats.bump(&stats.proto_errors, "serve.proto_errors");
+            render_fields("ERR", &[("proto", detail)])
+        }
+    }
+}
+
+fn stats_line(shared: &Arc<Shared>) -> String {
+    let s = shared.stats.snapshot();
+    let n = |v: u64| v.to_string();
+    render_fields(
+        "STATS",
+        &[
+            ("requests", n(s.requests)),
+            ("ok", n(s.ok)),
+            ("degraded", n(s.degraded)),
+            ("shed", n(s.shed_total())),
+            ("timeouts", n(s.timeouts)),
+            ("faults", n(s.faults)),
+            ("errors", n(s.errors)),
+            ("proto_errors", n(s.proto_errors)),
+            ("retries", n(s.retries)),
+            ("cache_hits", n(s.cache_hits)),
+            ("cache_misses", n(s.cache_misses)),
+            ("depth", shared.queue.depth().to_string()),
+            (
+                "inflight",
+                shared.inflight.load(Ordering::SeqCst).to_string(),
+            ),
+            ("draining", shared.draining().to_string()),
+        ],
+    )
+}
+
+fn shed_line(reason: &str, class: SloClass) -> String {
+    render_fields(
+        "SHED",
+        &[
+            ("reason", reason.to_string()),
+            ("class", class.name().to_string()),
+        ],
+    )
+}
+
+fn bump_shed(stats: &ServeStats, reason: &'static str) {
+    match reason {
+        "queue_full" => stats.bump(&stats.shed_queue_full, "serve.shed.queue_full"),
+        "overload" => stats.bump(&stats.shed_overload, "serve.shed.overload"),
+        "soft_watermark" => stats.bump(&stats.shed_soft_watermark, "serve.shed.soft_watermark"),
+        "draining" => stats.bump(&stats.shed_draining, "serve.shed.draining"),
+        _ => unreachable!("unmapped shed reason `{reason}`"),
+    }
+}
+
+/// Admission: one typed response per `PARSE` line, produced here (cache
+/// hit / shed) or by whoever inherits the job's reply channel.
+fn handle_parse(shared: &Arc<Shared>, text: String, opts: RequestOpts) -> String {
+    let stats = &shared.stats;
+    stats.bump(&stats.requests, "serve.requests");
+    let class = opts
+        .class
+        .unwrap_or_else(|| SloClass::from_budget(&opts.budget));
+    // Fault plans only run on the maspar engine — it is the only backend
+    // with a fault model; the host engines reject plans outright.
+    let engine_name = if opts.faults.is_some() {
+        "maspar".to_string()
+    } else {
+        opts.engine
+            .clone()
+            .unwrap_or_else(|| shared.config.engine.clone())
+    };
+    if engine_for(&engine_name, &shared.config.machine).is_none() {
+        stats.bump(&stats.errors, "serve.errors");
+        return render_fields(
+            "ERR",
+            &[("proto", format!("unknown engine `{engine_name}`"))],
+        );
+    }
+    // Drain takes precedence over everything, cache included: a draining
+    // server owes nothing but typed rejections.
+    if shared.draining() {
+        bump_shed(stats, "draining");
+        return shed_line("draining", class);
+    }
+    // Cache lookup before the watermarks: a hit costs no queue slot, which
+    // is exactly what makes caching a load-shedding tool and not just a
+    // latency one. Faulted requests bypass the cache entirely.
+    let digest = if opts.faults.is_none() && shared.config.cache_capacity > 0 {
+        Some(request_digest(
+            &engine_name,
+            &text,
+            &opts.budget_spec,
+            opts.max_parses,
+        ))
+    } else {
+        None
+    };
+    if let Some(d) = digest {
+        let hit = shared.cache.lock().unwrap().get(d).map(ToString::to_string);
+        if let Some(core) = hit {
+            stats.bump(&stats.cache_hits, "serve.cache.hits");
+            return format!("{core} cached=true retries=0 wall_us=0");
+        }
+    }
+    let depth = shared.queue.depth();
+    obsv::gauge_max("serve.queue_depth_peak", depth as f64);
+    match decide(
+        depth,
+        shared.config.soft_watermark,
+        shared.config.hard_watermark,
+        shared.draining(),
+        class,
+    ) {
+        Admit::Shed(reason) => {
+            bump_shed(stats, reason);
+            return shed_line(reason, class);
+        }
+        Admit::Accept => {}
+    }
+    let (reply, receipt) = mpsc::sync_channel(1);
+    let now = Instant::now();
+    let job = Job {
+        text,
+        class,
+        engine_name,
+        enqueued: now,
+        deadline: now + class.queue_allowance(),
+        digest,
+        reply,
+        opts,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth_after) => obsv::gauge_max("serve.queue_depth_peak", depth_after as f64),
+        Err((job, PushError::Full)) => {
+            bump_shed(stats, "queue_full");
+            return shed_line("queue_full", job.class);
+        }
+        Err((job, PushError::Closed)) => {
+            bump_shed(stats, "draining");
+            return shed_line("draining", job.class);
+        }
+    }
+    // The job is queued: a worker or the drain supervisor now owns the
+    // response. Blocking here is what serializes one-request-one-response
+    // per connection.
+    receipt
+        .recv()
+        .unwrap_or_else(|_| render_fields("ERR", &[("proto", "reply channel dropped".to_string())]))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        obsv::gauge_max("serve.inflight_peak", inflight as f64);
+        let response = service_job(shared, &job);
+        // The connection may have hung up; the response is still fully
+        // accounted either way.
+        let _ = job.reply.send(response);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Run one admitted job to a response line. Deadline first: parsing for a
+/// caller that already gave up would deepen the overload that delayed it.
+fn service_job(shared: &Shared, job: &Job) -> String {
+    let stats = &shared.stats;
+    let start = Instant::now();
+    if start > job.deadline {
+        stats.bump(&stats.timeouts, "serve.timeout");
+        return render_fields(
+            "TIMEOUT",
+            &[
+                ("class", job.class.name().to_string()),
+                ("waited_ms", (start - job.enqueued).as_millis().to_string()),
+            ],
+        );
+    }
+    if !shared.config.service_delay.is_zero() {
+        thread::sleep(shared.config.service_delay);
+    }
+    let sentence = match shared.lexicon.sentence(&job.text) {
+        Ok(s) => s,
+        Err(e) => {
+            stats.bump(&stats.errors, "serve.errors");
+            return render_fields("ERR", &[cause_field(&EngineError::from(e))]);
+        }
+    };
+    let engine = engine_for(&job.engine_name, &shared.config.machine)
+        .expect("engine name validated at admission");
+    let options = ParseOptions {
+        budget: job.opts.budget,
+        ..Default::default()
+    };
+    let mut request = ParseRequest::new(&shared.grammar)
+        .sentence(sentence)
+        .options(options)
+        .max_parses(job.opts.max_parses);
+    if let Some(plan) = &job.opts.faults {
+        request = request.faults(plan.clone());
+    }
+    let (result, retry_stats) = parse_with_retry(
+        engine.as_ref(),
+        &request,
+        job.opts.transient,
+        &shared.config.retry,
+        thread::sleep,
+    );
+    if retry_stats.retries > 0 {
+        stats
+            .retries
+            .fetch_add(retry_stats.retries, Ordering::Relaxed);
+        obsv::counter_add("serve.retries", retry_stats.retries);
+    }
+    match result {
+        Ok(report) => {
+            let mut fields = vec![
+                ("accepted", report.accepted.to_string()),
+                ("ambiguous", report.ambiguous.to_string()),
+                ("parses", report.parses.len().to_string()),
+                ("passes", report.filter_passes.to_string()),
+                ("engine", job.engine_name.clone()),
+                ("class", job.class.name().to_string()),
+            ];
+            let status = match &report.degraded {
+                Some(cause) => {
+                    fields.push(cause_field(cause));
+                    stats.bump(&stats.degraded, "serve.degraded");
+                    "DEGRADED"
+                }
+                None => {
+                    stats.bump(&stats.ok, "serve.ok");
+                    "OK"
+                }
+            };
+            let core = render_fields(status, &fields);
+            if let Some(d) = job.digest {
+                stats.bump(&stats.cache_misses, "serve.cache.misses");
+                shared.cache.lock().unwrap().insert(d, core.clone());
+            }
+            format!(
+                "{core} cached=false retries={} wall_us={}",
+                retry_stats.retries,
+                start.elapsed().as_micros()
+            )
+        }
+        Err(e) if e.is_transient() => {
+            stats.bump(&stats.faults, "serve.fault");
+            let line = render_fields("FAULT", &[cause_field(&e)]);
+            format!("{line} retries={}", retry_stats.retries)
+        }
+        Err(e) => {
+            stats.bump(&stats.errors, "serve.errors");
+            render_fields("ERR", &[cause_field(&e)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_loader_knows_the_shipped_grammars() {
+        for name in ["paper", "english"] {
+            let config = ServeConfig {
+                grammar: name.into(),
+                ..Default::default()
+            };
+            let (_, lex) = load_grammar(&config).unwrap();
+            assert!(!lex.is_empty());
+        }
+        assert!(load_grammar(&ServeConfig {
+            grammar: "klingon".into(),
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn server_rejects_bad_config_before_binding() {
+        match Server::start(ServeConfig {
+            engine: "abacus".into(),
+            ..Default::default()
+        }) {
+            Err(err) => assert!(err.contains("unknown engine")),
+            Ok(_) => panic!("bad engine name must fail fast"),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal SIGTERM/SIGINT-to-flag plumbing, dependency-free.
+//!
+//! The CLI's serve loop needs one bit: "an operator asked us to stop".
+//! With no `signal-hook`/`ctrlc` crate available offline, we register a
+//! handler through libc's `signal(2)` via a direct FFI declaration. The
+//! handler only stores into a static [`AtomicBool`] — the one operation
+//! that is unambiguously async-signal-safe — and the serve loop polls the
+//! flag between accept attempts to begin a graceful drain.
+//!
+//! Non-unix builds compile to an always-false flag (the `SHUTDOWN` verb
+//! and [`crate::ServerHandle::begin_drain`] still work everywhere).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+/// Testing/CLI hook: behave as if a signal arrived.
+pub fn request_termination() {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATE;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2). The return value (previous handler) is unused.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to the termination flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal plumbing off unix; drain still works via the protocol.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches() {
+        install();
+        // `request_termination` is the portable stand-in for a delivered
+        // signal; actually raising one would race other tests.
+        request_termination();
+        assert!(termination_requested());
+    }
+}

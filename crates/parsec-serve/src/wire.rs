@@ -1,0 +1,270 @@
+//! The serve line protocol: requests in, exactly one status line out.
+//!
+//! Requests (one per line, `\n`-terminated):
+//!
+//! ```text
+//! PING
+//! STATS
+//! SHUTDOWN
+//! PARSE [key=value ...] -- <sentence text>
+//! ```
+//!
+//! `PARSE` options (all optional): `budget=<spec>` (the CLI's
+//! [`ParseBudget::parse_spec`] syntax, e.g. `budget=ms=50,iters=3`),
+//! `class=interactive|standard|batch` (overrides the budget-derived SLO
+//! class), `faults=<spec>` ([`FaultPlan::parse_spec`] — forces the maspar
+//! engine), `transient=<K>` (the fault plan clears after K attempts, so
+//! retries can succeed), `parses=<N>`, `engine=serial|pram|maspar`.
+//!
+//! Responses are `<STATUS> key=value ...` — the same shape as
+//! [`cdg_core::wire`] error lines, parsed by the same
+//! [`cdg_core::wire::split_fields`]:
+//!
+//! | status     | meaning                                                |
+//! |------------|--------------------------------------------------------|
+//! | `OK`       | parsed within budget                                   |
+//! | `DEGRADED` | budget cut the parse short; partial result, `cause=`   |
+//! | `SHED`     | rejected by admission control, `reason=`               |
+//! | `TIMEOUT`  | queue deadline expired before a worker got to it       |
+//! | `FAULT`    | transient fault survived every retry, `cause=`         |
+//! | `ERR`      | typed non-transient error (`cause=`) or protocol error (`proto=`) |
+//! | `PONG` / `STATS` / `DRAINING` | verb acknowledgements               |
+//!
+//! `cause=` values are a percent-escaped [`cdg_core::wire::encode`] line;
+//! [`decode_cause`] recovers the typed [`EngineError`]. One request, one
+//! response, in order — the connection handler owns that invariant.
+
+use crate::admission::SloClass;
+use cdg_core::wire::{escape, split_fields, unescape};
+use cdg_core::{EngineError, ParseBudget};
+use maspar_sim::FaultPlan;
+
+/// Instruction-count horizon handed to `faults=` specs that schedule
+/// transients (mirrors the CLI's constant).
+pub const FAULT_HORIZON_OPS: u64 = 2_000;
+
+/// Parsed `PARSE` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOpts {
+    /// The raw budget spec, kept verbatim for the cache digest.
+    pub budget_spec: String,
+    pub budget: ParseBudget,
+    /// Explicit SLO class override (`class=`); otherwise derived from the
+    /// budget at admission.
+    pub class: Option<SloClass>,
+    pub faults: Option<FaultPlan>,
+    /// Fault plan clears after this many attempts (`transient=`).
+    pub transient: Option<usize>,
+    pub max_parses: usize,
+    /// Per-request engine override (`engine=`).
+    pub engine: Option<String>,
+}
+
+impl Default for RequestOpts {
+    fn default() -> Self {
+        RequestOpts {
+            budget_spec: String::new(),
+            budget: ParseBudget::UNLIMITED,
+            class: None,
+            faults: None,
+            transient: None,
+            max_parses: 4,
+            engine: None,
+        }
+    }
+}
+
+/// One protocol verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Stats,
+    Shutdown,
+    Parse { text: String, opts: RequestOpts },
+}
+
+/// Parse one request line. `phys_pes` bounds fault-plan PE ids (the
+/// configured machine's array size).
+pub fn parse_request(line: &str, phys_pes: usize) -> Result<Request, String> {
+    let line = line.trim();
+    match line {
+        "PING" => return Ok(Request::Ping),
+        "STATS" => return Ok(Request::Stats),
+        "SHUTDOWN" => return Ok(Request::Shutdown),
+        _ => {}
+    }
+    let Some(rest) = line.strip_prefix("PARSE") else {
+        let verb = line.split_ascii_whitespace().next().unwrap_or("");
+        return Err(format!("unknown verb `{verb}`"));
+    };
+    let rest = rest.trim_start();
+    let (opt_part, text) = match rest.split_once("--") {
+        Some((opts, text)) => (opts.trim(), text.trim()),
+        // No separator: the whole remainder is the sentence.
+        None => ("", rest),
+    };
+    if text.is_empty() {
+        return Err("PARSE has no sentence text".into());
+    }
+    let mut opts = RequestOpts::default();
+    for part in opt_part.split_ascii_whitespace() {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("option `{part}` is not key=value"))?;
+        match key {
+            "budget" => {
+                opts.budget = ParseBudget::parse_spec(value)?;
+                opts.budget_spec = value.to_string();
+            }
+            "class" => opts.class = Some(SloClass::parse(value)?),
+            "faults" => {
+                opts.faults = Some(FaultPlan::parse_spec(value, phys_pes, FAULT_HORIZON_OPS)?)
+            }
+            "transient" => {
+                opts.transient = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("transient=`{value}` is not a count"))?,
+                )
+            }
+            "parses" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("parses=`{value}` is not a count"))?;
+                if n == 0 {
+                    return Err("parses=0 would report every sentence rejected".into());
+                }
+                opts.max_parses = n;
+            }
+            "engine" => opts.engine = Some(value.to_string()),
+            other => return Err(format!("unknown PARSE option `{other}`")),
+        }
+    }
+    Ok(Request::Parse {
+        text: text.to_string(),
+        opts,
+    })
+}
+
+/// Render a response line: `<STATUS> key=value ...`. Values are escaped.
+pub fn render_fields(status: &str, fields: &[(&str, String)]) -> String {
+    let mut out = String::from(status);
+    for (key, value) in fields {
+        out.push(' ');
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&escape(value));
+    }
+    out
+}
+
+/// Split a response line into status and unescaped `key=value` fields.
+pub fn split_response(line: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let (status, raw) = split_fields(line.trim())?;
+    let mut fields = Vec::with_capacity(raw.len());
+    for (k, v) in raw {
+        fields.push((k.to_string(), unescape(v)?));
+    }
+    Ok((status.to_string(), fields))
+}
+
+/// The `cause=` field for a typed engine error.
+pub fn cause_field(err: &EngineError) -> (&'static str, String) {
+    ("cause", cdg_core::wire::encode(err))
+}
+
+/// Recover the typed error from an unescaped `cause=` value.
+pub fn decode_cause(value: &str) -> Result<EngineError, String> {
+    cdg_core::wire::decode(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_core::error::BudgetResource;
+    use std::time::Duration;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request("PING", 16).unwrap(), Request::Ping);
+        assert_eq!(parse_request(" STATS \n", 16).unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN", 16).unwrap(), Request::Shutdown);
+        assert!(parse_request("EHLO example.com", 16).is_err());
+        assert!(parse_request("", 16).is_err());
+    }
+
+    #[test]
+    fn bare_parse_line() {
+        match parse_request("PARSE the dog runs", 16).unwrap() {
+            Request::Parse { text, opts } => {
+                assert_eq!(text, "the dog runs");
+                assert_eq!(opts, RequestOpts::default());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_option_set_parses() {
+        let line =
+            "PARSE budget=ms=50,iters=3 class=batch faults=7 transient=1 parses=2 engine=maspar \
+             -- the program runs";
+        match parse_request(line, 16).unwrap() {
+            Request::Parse { text, opts } => {
+                assert_eq!(text, "the program runs");
+                assert_eq!(opts.budget.max_wall_time, Some(Duration::from_millis(50)));
+                assert_eq!(opts.budget.max_filter_iterations, Some(3));
+                assert_eq!(opts.budget_spec, "ms=50,iters=3");
+                assert_eq!(opts.class, Some(SloClass::Batch));
+                assert!(opts.faults.is_some());
+                assert_eq!(opts.transient, Some(1));
+                assert_eq!(opts.max_parses, 2);
+                assert_eq!(opts.engine.as_deref(), Some("maspar"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_parse_lines_are_typed_errors() {
+        assert!(parse_request("PARSE --", 16).is_err(), "no text");
+        assert!(
+            parse_request("PARSE budget -- x", 16).is_err(),
+            "bare option"
+        );
+        assert!(parse_request("PARSE budget=ms=oops -- x", 16).is_err());
+        assert!(parse_request("PARSE class=gold -- x", 16).is_err());
+        assert!(parse_request("PARSE parses=0 -- x", 16).is_err());
+        assert!(parse_request("PARSE hats=3 -- x", 16).is_err());
+        // Fault PE ids are checked against the configured machine.
+        assert!(parse_request("PARSE faults=dead=99 -- x", 16).is_err());
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let line = render_fields(
+            "OK",
+            &[
+                ("accepted", "true".into()),
+                ("parses", "2".into()),
+                ("note", "has spaces = and %".into()),
+            ],
+        );
+        assert!(!line.contains('\n'));
+        let (status, fields) = split_response(&line).unwrap();
+        assert_eq!(status, "OK");
+        assert_eq!(fields[0], ("accepted".into(), "true".into()));
+        assert_eq!(fields[2], ("note".into(), "has spaces = and %".into()));
+    }
+
+    #[test]
+    fn cause_field_round_trips_typed_errors() {
+        let err = ParseBudget::exceeded(BudgetResource::WallTime, "50ms", "63ms");
+        let (key, value) = cause_field(&err);
+        let line = render_fields("FAULT", &[(key, value)]);
+        let (_, fields) = split_response(&line).unwrap();
+        let (k, v) = &fields[0];
+        assert_eq!(k, "cause");
+        assert_eq!(decode_cause(v).unwrap(), err);
+    }
+}

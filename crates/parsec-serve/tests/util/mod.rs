@@ -1,0 +1,61 @@
+//! Shared line-protocol client for the protocol and chaos suites.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use parsec_serve::split_response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One protocol connection: blocking writes, line-at-a-time reads with a
+/// generous timeout so a hung server fails the test instead of wedging it.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { reader, writer }
+    }
+
+    pub fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    /// Exactly one line; EOF mid-request is an invariant violation.
+    pub fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed the connection without responding");
+        line.trim_end().to_string()
+    }
+
+    pub fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.read_line()
+    }
+
+    /// Send one request and split the response into (status, fields).
+    pub fn roundtrip(&mut self, line: &str) -> (String, Vec<(String, String)>) {
+        let response = self.request(line);
+        split_response(&response)
+            .unwrap_or_else(|e| panic!("unparseable response `{response}`: {e}"))
+    }
+}
+
+/// Look up a response field, panicking with context when absent.
+pub fn field<'a>(fields: &'a [(String, String)], key: &str) -> &'a str {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("missing field `{key}` in {fields:?}"))
+}

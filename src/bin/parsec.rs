@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! parsec [OPTIONS] <sentence...>
+//! parsec serve [SERVE OPTIONS]
 //!
 //! OPTIONS:
 //!   --grammar <paper|english|anbn|brackets|ww|www>  grammar (default: english)
@@ -21,6 +22,18 @@
 //!   --threads <N>                                worker threads for parallel engines (0 = auto)
 //!   --batch <file|->                             parse one sentence per line of a file (or stdin)
 //!   --version                                    print the version and exit
+//!
+//! SERVE OPTIONS (parse-as-a-service; see DESIGN.md §13):
+//!   --addr <host:port>     bind address (default 127.0.0.1:0; the bound port is printed)
+//!   --grammar <name|path>  paper | english | a .cdg file (default english)
+//!   --engine <name>        default engine for requests (default serial)
+//!   --workers <N>          worker threads (default 4)
+//!   --queue <N>            bounded queue capacity (default 64)
+//!   --soft <N> / --hard <N>  shedding watermarks (defaults 48 / 60)
+//!   --cache <N>            response cache entries, 0 disables (default 256)
+//!   --drain-ms <N>         graceful-drain deadline (default 2000)
+//!   --max-conns <N>        simultaneous connection cap (default 64)
+//!   --metrics-out <path>   write the obsv metrics snapshot here on exit
 //!
 //! EXAMPLES:
 //!   parsec --grammar paper the program runs
@@ -42,13 +55,24 @@
 //! allocations across sentences; `--engine pram` fans the batch out across
 //! `--threads` workers with byte-identical results at any thread count;
 //! `--engine maspar` runs sentences one after another on the simulated
-//! array, degrading (not failing) lines the machine cannot take. Per line
-//! it prints `ACCEPT`/`REJECT`, then a throughput summary — plus per-phase
-//! time totals when `--trace` is on.
+//! array, degrading (not failing) lines the machine cannot take. A
+//! malformed line (unknown word) no longer aborts the batch: it is
+//! reported on stderr with its line number and the stable
+//! [`cdg_core::wire`] error encoding, the rest of the batch still runs,
+//! and the exit code is 2. Per well-formed line it prints
+//! `ACCEPT`/`REJECT`, then a throughput summary — plus per-phase time
+//! totals when `--trace` is on.
+//!
+//! Serve mode runs the long-lived parse service from the `parsec-serve`
+//! crate on this process: line protocol over TCP, bounded queue,
+//! admission control and load shedding, deterministic retry of transient
+//! faults, response cache, graceful drain on SIGTERM/SIGINT or the
+//! `SHUTDOWN` verb. The final `serve:` statistics line is printed on
+//! shutdown.
 //!
 //! Exit codes: 0 accept (batch: every line accepted), 1 reject or engine
-//! error (batch: some line rejected), 2 usage/input error, 3 budget-degraded
-//! partial outcome with no full parse.
+//! error (batch: some line rejected), 2 usage/input error (batch: any
+//! malformed line), 3 budget-degraded partial outcome with no full parse.
 
 use cdg_core::api::{Engine, ParseReport, ParseRequest};
 use cdg_core::parser::ParseOptions;
@@ -97,7 +121,8 @@ fn usage() -> ! {
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
          [--trace[=json]] [--metrics] [--naive-eval] [--budget spec] [--faults spec] \
-         [--maspar-scalar] [--relax] [--threads N] [--batch file|-] [--version] <sentence...>"
+         [--maspar-scalar] [--relax] [--threads N] [--batch file|-] [--version] <sentence...>\n\
+         \x20      parsec serve [SERVE OPTIONS]   (see `parsec serve --help`)"
     );
     std::process::exit(2);
 }
@@ -424,21 +449,39 @@ fn run_batch(args: &Args, engine: &dyn Engine) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A malformed line is reported (with the stable wire encoding, so
+    // scripts can parse the reason) and *skipped* — one bad line must not
+    // cost the rest of the corpus its results. Exit code 2 still signals
+    // that some input was malformed.
     let mut texts: Vec<&str> = Vec::new();
     let mut sentences: Vec<Sentence> = Vec::new();
+    let mut malformed = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match make_sentence(args, &grammar, &lexicon, line) {
+        let made = if let Some(lex) = &lexicon {
+            lex.sentence(line).map_err(|e| {
+                let source = args
+                    .grammar_file
+                    .as_deref()
+                    .unwrap_or(args.grammar.as_str());
+                let human = lexicon_error(e.clone(), source);
+                let wire = cdg_core::wire::encode(&cdg_core::EngineError::from(e));
+                format!("{human} [{wire}]")
+            })
+        } else {
+            make_sentence(args, &grammar, &lexicon, line)
+        };
+        match made {
             Ok(s) => {
                 texts.push(line);
                 sentences.push(s);
             }
             Err(message) => {
                 eprintln!("error: line {}: {message}", lineno + 1);
-                return ExitCode::from(2);
+                malformed += 1;
             }
         }
     }
@@ -476,9 +519,14 @@ fn run_batch(args: &Args, engine: &dyn Engine) -> ExitCode {
     let n = report.outcomes.len();
     let secs = report.wall.as_secs_f64();
     println!(
-        "batch: {n} sentence(s), {accepted} accepted, {} rejected in {:.3}s \
+        "batch: {n} sentence(s), {accepted} accepted, {} rejected{} in {:.3}s \
          ({:.1} sentences/s, engine {}, {} thread(s))",
         n - accepted,
+        if malformed > 0 {
+            format!(", {malformed} malformed line(s) skipped")
+        } else {
+            String::new()
+        },
         secs,
         if secs > 0.0 {
             n as f64 / secs
@@ -522,14 +570,90 @@ fn run_batch(args: &Args, engine: &dyn Engine) -> ExitCode {
             eprint!("{}", snapshot.render());
         }
     }
-    if accepted == n {
+    if malformed > 0 {
+        ExitCode::from(2)
+    } else if accepted == n {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
 }
 
+/// `parsec serve`: run the parse service until a signal or `SHUTDOWN`
+/// triggers the graceful drain, then print the final statistics line.
+fn run_serve(argv: &[String]) -> ExitCode {
+    let mut config = parsec_serve::ServeConfig::default();
+    let mut metrics_out: Option<String> = None;
+    let serve_usage = || -> ! {
+        eprintln!(
+            "usage: parsec serve [--addr host:port] [--grammar paper|english|file.cdg] \
+             [--engine serial|pram|maspar] [--workers N] [--queue N] [--soft N] [--hard N] \
+             [--cache N] [--drain-ms N] [--max-conns N] [--metrics-out path]"
+        );
+        std::process::exit(2);
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| serve_usage());
+        let number = |v: String| v.parse::<usize>().unwrap_or_else(|_| serve_usage());
+        match arg.as_str() {
+            "--addr" => config.addr = value(),
+            "--grammar" => config.grammar = value(),
+            "--engine" => config.engine = value(),
+            "--workers" => config.workers = number(value()).max(1),
+            "--queue" => config.queue_capacity = number(value()).max(1),
+            "--soft" => config.soft_watermark = number(value()),
+            "--hard" => config.hard_watermark = number(value()),
+            "--cache" => config.cache_capacity = number(value()),
+            "--drain-ms" => {
+                config.drain_deadline = std::time::Duration::from_millis(number(value()) as u64)
+            }
+            "--max-conns" => config.max_connections = number(value()).max(1),
+            "--metrics-out" => metrics_out = Some(value()),
+            "--help" | "-h" => serve_usage(),
+            _ => serve_usage(),
+        }
+    }
+    // The serve counters live in the obsv registry; arm it for the whole
+    // server lifetime (span tracing stays off — its buffer would grow
+    // without bound in a long-running process).
+    obsv::reset_metrics();
+    obsv::set_metrics(true);
+    parsec_serve::signal::install();
+    let handle = match parsec_serve::Server::start(config) {
+        Ok(h) => h,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("parsec serve: listening on {}", handle.addr());
+    while !handle.is_draining() {
+        if parsec_serve::signal::termination_requested() {
+            handle.begin_drain();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let final_stats = handle.join();
+    println!("{}", final_stats.render_final());
+    obsv::set_metrics(false);
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, obsv::snapshot().render()) {
+            eprintln!("error: writing `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    // The serve subcommand has its own flag set; dispatch before the
+    // one-shot argument parser.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve(&argv[1..]);
+    }
     let args = parse_args();
     if let Some(n) = args.threads {
         rayon::set_num_threads(n);
