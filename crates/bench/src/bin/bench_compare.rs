@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <current.json> [--max-regress 0.25]
-//!               [--min-wall-secs 0.002] [--no-normalize]
+//!               [--min-wall-secs 0.002] [--no-normalize] [--mega-floor 2.0]
 //! ```
 //!
-//! Three checks, in order of severity:
+//! Five checks, in order of severity:
 //!
 //! 1. **Determinism** — rows present in both reports must carry equal
 //!    output digests (parse results are machine- and thread-independent);
@@ -23,6 +23,18 @@
 //!    twin at the same grammar/n: the bit-sliced path and the unpacked
 //!    oracle produce byte-identical simulated runs, even in reports this
 //!    gate did not generate itself.
+//! 5. **Mega-batch floor** — inside the *current* report, the
+//!    `batch-maspar-mega` rows on short-sentence batches (grammar suffix
+//!    `-short`) must clear a geomean speedup of `--mega-floor` (default
+//!    2x) over their per-sentence oracle twins — the joined-SoA sweep has
+//!    to keep earning its complexity, run after run. (The `-mixed` rows
+//!    carry digests and wall gates but no floor: long sentences
+//!    intentionally route to the per-sentence program.)
+//!
+//! On failure the gate prints a **row-by-row table** of every compared
+//! row — key, baseline/current digests, normalized walls, ratio, and a
+//! per-row verdict — so a CI log shows the whole comparison, not just
+//! the first mismatch.
 //!
 //! Exit codes: 0 pass, 1 regression/mismatch, 2 usage or unreadable input.
 
@@ -34,12 +46,14 @@ struct Args {
     max_regress: f64,
     min_wall_secs: f64,
     normalize: bool,
+    mega_floor: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_compare <baseline.json> <current.json> \
-         [--max-regress FRACTION] [--min-wall-secs SECS] [--no-normalize]"
+         [--max-regress FRACTION] [--min-wall-secs SECS] [--no-normalize] \
+         [--mega-floor RATIO]"
     );
     std::process::exit(2);
 }
@@ -52,6 +66,7 @@ fn parse_args() -> Args {
         max_regress: 0.25,
         min_wall_secs: 0.002,
         normalize: true,
+        mega_floor: 2.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +79,12 @@ fn parse_args() -> Args {
             }
             "--min-wall-secs" => {
                 args.min_wall_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--mega-floor" => {
+                args.mega_floor = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -115,44 +136,76 @@ fn main() {
     let mut failures = Vec::new();
     let mut compared = 0usize;
     let mut skipped_noise = 0usize;
+    // One record per baseline row, kept regardless of verdict: on failure
+    // the whole comparison is printed as a table, not just the first
+    // divergent row.
+    struct RowCheck {
+        key: String,
+        base_digest: u64,
+        cur_digest: Option<u64>,
+        base_norm: f64,
+        cur_norm: Option<f64>,
+        verdict: &'static str,
+    }
+    let mut table: Vec<RowCheck> = Vec::new();
 
     for base_row in &baseline.rows {
         let key = base_row.key();
-        let Some(cur_row) = current.rows.iter().find(|r| r.key() == key) else {
-            failures.push(format!("MISSING  {key}: row absent from {}", args.current));
-            continue;
-        };
-        if base_row.digest != cur_row.digest {
-            failures.push(format!(
-                "DIGEST   {key}: output changed ({:016x} -> {:016x}) — parses are no \
-                 longer byte-identical to the baseline",
-                base_row.digest, cur_row.digest
-            ));
-            continue;
-        }
-        if cur_row.accepted != base_row.accepted {
-            failures.push(format!(
-                "ACCEPT   {key}: accepted flipped {} -> {}",
-                base_row.accepted, cur_row.accepted
-            ));
-            continue;
-        }
-        if base_row.wall_secs < args.min_wall_secs {
-            skipped_noise += 1;
-            continue;
-        }
         let base_norm = base_row.wall_secs / base_cal;
-        let cur_norm = cur_row.wall_secs / cur_cal;
-        let ratio = cur_norm / base_norm;
-        compared += 1;
-        if ratio > 1.0 + args.max_regress {
-            failures.push(format!(
-                "REGRESS  {key}: {:.1}% slower than baseline \
-                 (normalized {cur_norm:.6} vs {base_norm:.6}, gate {:.0}%)",
-                (ratio - 1.0) * 100.0,
-                args.max_regress * 100.0
-            ));
-        }
+        let cur_row = current.rows.iter().find(|r| r.key() == key);
+        let (cur_digest, cur_norm) = (
+            cur_row.map(|r| r.digest),
+            cur_row.map(|r| r.wall_secs / cur_cal),
+        );
+        let verdict = match cur_row {
+            None => {
+                failures.push(format!("MISSING  {key}: row absent from {}", args.current));
+                "MISSING"
+            }
+            Some(cur) if base_row.digest != cur.digest => {
+                failures.push(format!(
+                    "DIGEST   {key}: output changed ({:016x} -> {:016x}) — parses are no \
+                     longer byte-identical to the baseline",
+                    base_row.digest, cur.digest
+                ));
+                "DIGEST"
+            }
+            Some(cur) if cur.accepted != base_row.accepted => {
+                failures.push(format!(
+                    "ACCEPT   {key}: accepted flipped {} -> {}",
+                    base_row.accepted, cur.accepted
+                ));
+                "ACCEPT"
+            }
+            Some(_) if base_row.wall_secs < args.min_wall_secs => {
+                skipped_noise += 1;
+                "noise"
+            }
+            Some(_) => {
+                let ratio = cur_norm.unwrap() / base_norm;
+                compared += 1;
+                if ratio > 1.0 + args.max_regress {
+                    failures.push(format!(
+                        "REGRESS  {key}: {:.1}% slower than baseline \
+                         (normalized {:.6} vs {base_norm:.6}, gate {:.0}%)",
+                        (ratio - 1.0) * 100.0,
+                        cur_norm.unwrap(),
+                        args.max_regress * 100.0
+                    ));
+                    "REGRESS"
+                } else {
+                    "ok"
+                }
+            }
+        };
+        table.push(RowCheck {
+            key,
+            base_digest: base_row.digest,
+            cur_digest,
+            base_norm,
+            cur_norm,
+            verdict,
+        });
     }
 
     // Representation parity: the packed engine's digest must equal its
@@ -185,6 +238,41 @@ fn main() {
         }
     }
 
+    // Mega-batch speedup floor: short-sentence `batch-maspar-mega` rows
+    // carry their measured speedup over the per-sentence oracle in
+    // `speedup_vs_1t`; the geomean must clear the floor.
+    let mega_speedups: Vec<(String, f64)> = current
+        .rows
+        .iter()
+        .filter(|r| r.engine == "batch-maspar-mega" && r.grammar.ends_with("-short"))
+        .map(|r| (r.key(), r.speedup_vs_1t))
+        .collect();
+    if args.mega_floor > 0.0 && !mega_speedups.is_empty() {
+        let geo = (mega_speedups
+            .iter()
+            .map(|(_, s)| s.max(1e-9).ln())
+            .sum::<f64>()
+            / mega_speedups.len() as f64)
+            .exp();
+        let detail = mega_speedups
+            .iter()
+            .map(|(k, s)| format!("{k}={s:.2}x"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if geo < args.mega_floor {
+            failures.push(format!(
+                "FLOOR    mega-batch short-sentence geomean speedup {geo:.2}x is under the \
+                 {:.2}x floor ({detail})",
+                args.mega_floor
+            ));
+        } else {
+            println!(
+                "mega-batch floor: geomean {geo:.2}x over per-sentence (floor {:.2}x; {detail})",
+                args.mega_floor
+            );
+        }
+    }
+
     println!(
         "bench_compare: {} baseline row(s): {compared} wall-compared, \
          {skipped_noise} below noise floor, {parity_pairs} maspar parity pair(s), \
@@ -195,6 +283,37 @@ fn main() {
     if !failures.is_empty() {
         for f in &failures {
             println!("  {f}");
+        }
+        // The full comparison, row by row, so the CI log answers "what
+        // else changed?" without a re-run.
+        println!();
+        println!(
+            "{:<44} {:>16} {:>16} {:>11} {:>11} {:>7}  verdict",
+            "row", "base digest", "cur digest", "base norm", "cur norm", "ratio"
+        );
+        for r in &table {
+            let cur_digest = r
+                .cur_digest
+                .map(|d| format!("{d:016x}"))
+                .unwrap_or_else(|| "-".into());
+            let cur_norm = r
+                .cur_norm
+                .map(|w| format!("{w:.6}"))
+                .unwrap_or_else(|| "-".into());
+            let ratio = r
+                .cur_norm
+                .map(|w| format!("{:.2}", w / r.base_norm))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<44} {:>16} {:>16} {:>11.6} {:>11} {:>7}  {}",
+                r.key,
+                format!("{:016x}", r.base_digest),
+                cur_digest,
+                r.base_norm,
+                cur_norm,
+                ratio,
+                r.verdict
+            );
         }
         std::process::exit(1);
     }

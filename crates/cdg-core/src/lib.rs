@@ -36,6 +36,7 @@ pub mod dot;
 pub mod error;
 pub mod extract;
 pub mod kernel;
+pub mod megabatch;
 pub mod network;
 pub mod parser;
 pub mod pool;
@@ -50,6 +51,7 @@ pub use batch::{parse_batch, parse_batch_text, parse_batch_with_pool, BatchOutco
 pub use consistency::{filter_incremental, IncrementalFilter};
 pub use error::{BudgetResource, EngineError, ParseBudget};
 pub use extract::PrecedenceGraph;
+pub use megabatch::{parse_batch_mega, parse_batch_mega_with_pool, BatchStrategy, MegaBatch};
 pub use network::{EvalStrategy, NetParts, Network, SlotId};
 pub use parser::{parse, parse_with_pool, FilterMode, ParseOptions, ParseOutcome};
 pub use pool::{ArcPool, PoolStats};

@@ -45,6 +45,7 @@
 pub mod api;
 pub mod engine;
 pub mod layout;
+pub mod mega;
 pub mod retry;
 
 pub use api::Maspar;
@@ -52,4 +53,5 @@ pub use engine::{
     parse_maspar, parse_maspar_checked, MasparOptions, MasparOutcome, PhaseStats, RecoveryReport,
 };
 pub use layout::Layout;
+pub use mega::parse_maspar_mega;
 pub use retry::{faults_for_attempt, parse_with_retry, request_key, RetryPolicy, RetryStats};

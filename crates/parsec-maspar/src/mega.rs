@@ -1,0 +1,603 @@
+//! Cross-sentence mega-batching on the simulated MP-1.
+//!
+//! A short sentence leaves most of the 16K PE array idle: the paper's
+//! example uses 324 virtual PEs of 16,384. [`parse_maspar_mega`] packs a
+//! whole batch onto the array at once — every sentence's virtual PEs are
+//! concatenated into one joined array (a [`MegaBatch`] offset table gives
+//! each sentence its `base`/`len` extent, papagpu's `stack_base` layout),
+//! and each broadcast instruction of the parsing program runs **once**
+//! over the joined extent instead of once per sentence. Bit-sliced
+//! plurals pack 64 PEs per host word, so PEs from *different sentences*
+//! share u64 words; segmented scans are joined with per-sentence segment
+//! lengths, so no scan ever crosses a sentence boundary.
+//!
+//! Two things must stay per-sentence: the readback (partitioned by the
+//! offset table) and the *accounting* — [`MachineStats`], phase
+//! attribution, estimated MP-1 seconds, and budget degradation are all
+//! defined per sentence, and a joint machine's counters are meaningless
+//! for any one of them. The driver therefore replays each sentence's
+//! program on a **ghost machine** ([`Machine::new_ghost`]): same
+//! broadcasts, same charges, no data work. The one data-dependent scalar
+//! in the program — the per-iteration removal count that steers the
+//! maintenance loop — is recorded per sentence during the joint run
+//! (summed host-side over the sentence's extent of the joined `lost`
+//! plural) and fed to the ghost's `reduce_sum`, so the replayed control
+//! flow (early exit, iteration caps, conditional re-masking) is exactly
+//! the per-sentence engine's. The result: outcomes, stats, and phase
+//! tables bit-identical to [`parse_maspar_checked`] sentence by sentence
+//! (held to that by `tests/megabatch_equivalence.rs`), at a fraction of
+//! the host wall time for short-sentence batches.
+//!
+//! A joint iteration keeps running until *every* sentence's maintenance
+//! has settled; a settled sentence's extra iterations are data-idempotent
+//! (its alive masks no longer change, so its removal count stays zero and
+//! re-masking rewrites the same zeros), which is what makes the shared
+//! loop safe.
+//!
+//! Requests the joint sweep cannot account per-sentence fall back to the
+//! per-sentence engine: fault injection (fault horizons are keyed to
+//! per-sentence instruction counters), machine traces, wall-time budgets,
+//! and the unpacked scalar oracle.
+
+use crate::engine::{
+    drive, mask_dead, parse_maspar_checked, precheck, MasparOptions, MasparOutcome, RecoveryReport,
+    WORKING_SET_BYTES,
+};
+use crate::layout::Layout;
+use cdg_core::megabatch::MegaBatch;
+use cdg_core::EngineError;
+use cdg_grammar::{Grammar, Sentence};
+use maspar_sim::{Machine, Plural, PluralBits, SegmentMap};
+
+/// Parse a batch in joined mega-chunks. Per-sentence results (including
+/// typed errors for sentences the machine cannot take) in input order,
+/// bit-identical to calling [`parse_maspar_checked`] per sentence.
+pub fn parse_maspar_mega(
+    grammar: &Grammar,
+    sentences: &[Sentence],
+    opts: &MasparOptions,
+) -> Vec<Result<MasparOutcome, EngineError>> {
+    if opts.faults.is_some() || opts.trace || opts.budget.max_wall_time.is_some() || !opts.packed {
+        return sentences
+            .iter()
+            .map(|s| parse_maspar_checked(grammar, s, opts))
+            .collect();
+    }
+
+    let mut results: Vec<Option<Result<MasparOutcome, EngineError>>> =
+        (0..sentences.len()).map(|_| None).collect();
+    let mut lays: Vec<Option<Layout>> = (0..sentences.len()).map(|_| None).collect();
+    for (i, sentence) in sentences.iter().enumerate() {
+        match precheck(grammar, sentence, opts) {
+            Ok(lay) => lays[i] = Some(lay),
+            Err(e) => results[i] = Some(Err(e)),
+        }
+    }
+
+    // Length-banded greedy chunking. Two concerns pick the chunk
+    // boundaries:
+    //
+    // 1. *Memory*: keep admitting sentences while the joined working set
+    //    still fits the per-PE memory at the joined virtualization
+    //    factor. A single sentence always fits — its own precheck passed.
+    // 2. *Iteration homogeneity*: a joint chunk sweeps its whole extent
+    //    until the slowest-converging member settles, so a long sentence
+    //    chunked with short ones makes every settled short sentence pay
+    //    (idempotent) sweep cost for the long tail's iterations. Banding
+    //    by power-of-two virtual-PE count keeps chunk members within 2x
+    //    of each other, bounding that waste; iteration counts track
+    //    sentence length closely enough that this recovers nearly all of
+    //    it. Results are written by original index, so the banded
+    //    execution order never reorders the returned batch.
+    let phys = opts.machine.phys_pes.max(1);
+    let fits =
+        |total: usize| total.div_ceil(phys) * WORKING_SET_BYTES <= opts.machine.pe_memory_bytes;
+    let mut order: Vec<usize> = (0..sentences.len())
+        .filter(|&i| lays[i].is_some())
+        .collect();
+    let band = |i: usize| lays[i].as_ref().unwrap().virt_pes().next_power_of_two();
+    // Stable sort: within a band, original batch order is preserved.
+    order.sort_by_key(|&i| band(i));
+    let mut chunk: Vec<usize> = Vec::new();
+    let mut chunk_virt = 0usize;
+    let flush = |chunk: &mut Vec<usize>, results: &mut Vec<_>| {
+        // A joint sweep of one sentence is the per-sentence program with
+        // extra indirection; route singletons straight to the oracle.
+        match chunk.as_slice() {
+            [] => {}
+            &[i] => results[i] = Some(parse_maspar_checked(grammar, &sentences[i], opts)),
+            _ => run_chunk(grammar, sentences, chunk, &lays, opts, results),
+        }
+        chunk.clear();
+    };
+    for i in order {
+        let v = lays[i].as_ref().unwrap().virt_pes();
+        // The joint sweep amortizes per-broadcast fixed cost and packs
+        // word-sharing plurals, but pays per-PE geometry indirection. On
+        // the host simulation that trade crosses over around 2K virtual
+        // PEs (measured: 324-PE sentences join at ~2x, 2.5K-PE sentences
+        // lose ~10%); larger sentences already keep the sweep busy on
+        // their own, so they run the per-sentence program. The ceiling is
+        // a host-cost constant, deliberately not scaled by the simulated
+        // array size.
+        const JOINT_CEILING_VIRT_PES: usize = 2048;
+        if v > JOINT_CEILING_VIRT_PES {
+            results[i] = Some(parse_maspar_checked(grammar, &sentences[i], opts));
+            continue;
+        }
+        let splits_band = chunk.first().is_some_and(|&f| band(f) != band(i));
+        if !chunk.is_empty() && (splits_band || !fits(chunk_virt + v)) {
+            flush(&mut chunk, &mut results);
+            chunk_virt = 0;
+        }
+        chunk.push(i);
+        chunk_virt += v;
+    }
+    flush(&mut chunk, &mut results);
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every sentence resolved by precheck or a chunk"))
+        .collect()
+}
+
+/// Run one joined chunk: joint data pass over the concatenated virtual PE
+/// array, then a ghost replay per sentence to reconstruct per-sentence
+/// stats, phases, and degradation.
+fn run_chunk(
+    grammar: &Grammar,
+    sentences: &[Sentence],
+    idxs: &[usize],
+    lays: &[Option<Layout>],
+    opts: &MasparOptions,
+    results: &mut [Option<Result<MasparOutcome, EngineError>>],
+) {
+    let lay_of: Vec<&Layout> = idxs.iter().map(|&i| lays[i].as_ref().unwrap()).collect();
+    let sent_refs: Vec<&Sentence> = idxs.iter().map(|&i| &sentences[i]).collect();
+    let virt_lens: Vec<usize> = lay_of.iter().map(|l| l.virt_pes()).collect();
+    let group_lens: Vec<usize> = lay_of.iter().map(|l| l.groups).collect();
+    let mega = MegaBatch::from_lengths(&virt_lens);
+    let gmega = MegaBatch::from_lengths(&group_lens);
+    let sent_of = mega.sentence_table();
+    // l (labels per role) is grammar-level geometry — identical for every
+    // sentence of the batch — so submatrix bit positions and row/column
+    // masks are shared across the joined array.
+    let lay0: &Layout = lay_of[0];
+    let l = lay0.l;
+
+    // Joined unit → (sentence index within chunk, PE-local id).
+    let geo = |pe: usize| -> (usize, usize) {
+        let s = sent_of[pe] as usize;
+        (s, pe - mega.base(s))
+    };
+
+    let mut machine = Machine::new(opts.machine.clone(), mega.total());
+
+    // --- Joint init: every plural is a pure function of the joined PE id.
+    let valid = machine.par_init_bits(false, |pe| {
+        let (s, local) = geo(pe);
+        !lay_of[s].is_diagonal(local)
+    });
+    let mut bits: Plural<u64> = machine.par_init(0u64, |pe| {
+        let (s, local) = geo(pe);
+        lay_of[s].init_bits(local)
+    });
+    let mut alive: Plural<u64> = machine.par_init(0u64, |pe| {
+        let (s, local) = geo(pe);
+        lay_of[s].init_alive(local)
+    });
+    // Gather targets carry the sentence base, so the alive-mask routing
+    // in `mask_dead` never crosses a sentence boundary.
+    let col_idx: Plural<usize> = machine.par_init(0usize, |pe| {
+        let (s, local) = geo(pe);
+        mega.base(s) + lay_of[s].decode_pe(local).0 * lay_of[s].groups
+    });
+    let row_idx: Plural<usize> = machine.par_init(0usize, |pe| {
+        let (s, local) = geo(pe);
+        mega.base(s) + lay_of[s].decode_pe(local).1 * lay_of[s].groups
+    });
+
+    // --- Joint unary propagation: host-computed keep tables per group,
+    // concatenated across sentences (the bit-sliced engine's ACU tables,
+    // joined end to end).
+    for c in grammar.unary_constraints() {
+        let mut viol = vec![0u64; gmega.total()];
+        for (ci, lay) in lay_of.iter().enumerate() {
+            for g in 0..lay.groups {
+                let mut v = 0u64;
+                for li in 0..l {
+                    if let Some(b) = lay.binding(g, li) {
+                        if !c.check_unary(sent_refs[ci], b) {
+                            v |= 1u64 << li;
+                        }
+                    }
+                }
+                viol[gmega.base(ci) + g] = v;
+            }
+        }
+        let keep_cols: Vec<u64> = viol
+            .iter()
+            .map(|&v| {
+                let mut kill = 0u64;
+                for i in 0..l {
+                    if v >> i & 1 == 1 {
+                        kill |= lay0.row_mask(i);
+                    }
+                }
+                !kill
+            })
+            .collect();
+        let keep_rows: Vec<u64> = viol
+            .iter()
+            .map(|&v| {
+                let mut kill = 0u64;
+                for j in 0..l {
+                    if v >> j & 1 == 1 {
+                        kill |= lay0.col_mask(j);
+                    }
+                }
+                !kill
+            })
+            .collect();
+        machine.with_activity_bits(&valid, |m| {
+            m.par_map(&mut bits, |pe, b| {
+                let (s, local) = geo(pe);
+                let (cg, rg) = lay_of[s].decode_pe(local);
+                *b &= keep_cols[gmega.base(s) + cg] & keep_rows[gmega.base(s) + rg];
+            });
+        });
+        machine.par_map(&mut alive, |pe, a| {
+            let (s, local) = geo(pe);
+            let groups = lay_of[s].groups;
+            if local % groups == 0 {
+                *a &= !viol[gmega.base(s) + local / groups];
+            }
+        });
+    }
+    // Re-mask after the unary kills, exactly like the per-sentence driver.
+    mask_dead::<PluralBits>(
+        &mut machine,
+        lay0,
+        &valid,
+        &mut bits,
+        &alive,
+        &col_idx,
+        &row_idx,
+    );
+
+    // --- Joint binary propagation: each PE resolves its own sentence.
+    for c in grammar.binary_constraints() {
+        machine.with_activity_bits(&valid, |m| {
+            m.par_map(&mut bits, |pe, b| {
+                if *b == 0 {
+                    return;
+                }
+                let (s, local) = geo(pe);
+                let lay = lay_of[s];
+                let (cg, rg) = lay.decode_pe(local);
+                for i in 0..l {
+                    let Some(bx) = lay.binding(cg, i) else {
+                        continue;
+                    };
+                    for j in 0..l {
+                        let mask = 1u64 << lay.bit(i, j);
+                        if *b & mask == 0 {
+                            continue;
+                        }
+                        let Some(by) = lay.binding(rg, j) else {
+                            continue;
+                        };
+                        if !c.check_pair(sent_refs[s], bx, by) {
+                            *b &= !mask;
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    // --- Joint consistency maintenance. Segments are joined with
+    // per-sentence lengths, so no scan crosses a sentence boundary.
+    let blocks = SegmentMap::from_lengths(&mega.segment_lengths(|ci| lay_of[ci].m));
+    let columns = SegmentMap::from_lengths(&mega.segment_lengths(|ci| lay_of[ci].groups));
+    let cap = opts.budget.max_filter_iterations.unwrap_or(usize::MAX);
+    let max_iters = opts.filter_iterations.min(cap);
+    let mut removals: Vec<Vec<u64>> = vec![Vec::new(); idxs.len()];
+    let mut recording: Vec<bool> = vec![true; idxs.len()];
+    // Live-sentence activity masks. The joint loop keeps sweeping until
+    // the *slowest* sentence settles; a settled sentence's passes are
+    // data-idempotent but not free on the host, so every pass below is
+    // activity-narrowed to the sentences still converging (`recording`).
+    // The group-boundary mask also replaces the per-PE `boundary(pe)`
+    // predicate — one precomputed word-test instead of two table lookups
+    // per PE per pass. Masks are rebuilt only when a sentence settles.
+    let build_live = |machine: &mut Machine, recording: &[bool]| {
+        let live_valid = machine.par_init_bits(false, |pe| {
+            let (s, local) = geo(pe);
+            recording[s] && !lay_of[s].is_diagonal(local)
+        });
+        let live_block = machine.par_init_bits(false, |pe| {
+            let (s, local) = geo(pe);
+            recording[s] && !lay_of[s].is_diagonal(local) && local % lay_of[s].m == 0
+        });
+        let live_group = machine.par_init_bits(false, |pe| {
+            let (s, local) = geo(pe);
+            recording[s] && local % lay_of[s].groups == 0
+        });
+        (live_valid, live_block, live_group)
+    };
+    let (mut live_valid, mut live_block, mut live_group) = build_live(&mut machine, &recording);
+    let mut live_stale = false;
+    for _ in 0..max_iters {
+        if live_stale {
+            machine.free_bits(live_group);
+            machine.free_bits(live_block);
+            machine.free_bits(live_valid);
+            (live_valid, live_block, live_group) = build_live(&mut machine, &recording);
+            live_stale = false;
+        }
+        let mut support = machine.alloc(0u64);
+        for li in 0..l {
+            let mut loc = machine.alloc_bits(false);
+            let row = lay0.row_mask(li);
+            machine.with_activity_bits(&live_valid, |m| {
+                m.par_map_bits(&mut loc, &bits, |_, b| b & row != 0)
+            });
+            let block_or =
+                machine.with_activity_bits(&live_valid, |m| m.scan_or_bits(&loc, &blocks));
+            machine.free_bits(loc);
+            let col_support =
+                machine.with_activity_bits(&live_block, |m| m.scan_and_bits(&block_or, &columns));
+            machine.free_bits(block_or);
+            machine.with_activity_bits(&live_group, |m| {
+                m.par_zip_bits(&mut support, &col_support, |_, sp, ok| {
+                    if ok {
+                        *sp |= 1u64 << li;
+                    }
+                })
+            });
+            machine.free_bits(col_support);
+        }
+        let mut lost = machine.alloc(0u64);
+        machine.with_activity_bits(&live_group, |m| {
+            m.par_zip2(&mut lost, &alive, &support, |_, out, &a, &s| {
+                *out = (a & !s).count_ones() as u64;
+            })
+        });
+        // Per-sentence removal counts: host-side segmented sums over each
+        // sentence's extent of the joined `lost` plural. These are the
+        // values the ghost replay's `reduce_sum` will observe. A settled
+        // sentence's extent was skipped above and `lost` is freshly
+        // zeroed, so its count is 0 by construction.
+        let lost_slice = lost.as_slice();
+        let removed: Vec<u64> = (0..idxs.len())
+            .map(|ci| lost_slice[mega.range(ci)].iter().sum())
+            .collect();
+        machine.free(lost);
+        machine.with_activity_bits(&live_group, |m| {
+            m.par_zip(&mut alive, &support, |_, a, &s| {
+                *a &= s;
+            })
+        });
+        machine.free(support);
+        if removed.iter().any(|&r| r > 0) {
+            // Gate the O(l^2)-per-PE re-mask to the sentences that
+            // actually removed a value this iteration. The per-sentence
+            // driver only re-masks after its own removals; for everyone
+            // else the re-mask is the identity (alive unchanged since the
+            // last mask), so restricting the activity set keeps the bits
+            // identical while skipping the chunk's most expensive op for
+            // already-quiescent sentences.
+            let mut active = machine.alloc_bits(false);
+            machine.with_activity_bits(&valid, |m| {
+                m.par_map_bits(&mut active, &alive, |pe, _| {
+                    removed[sent_of[pe] as usize] > 0
+                })
+            });
+            mask_dead::<PluralBits>(
+                &mut machine,
+                lay0,
+                &active,
+                &mut bits,
+                &alive,
+                &col_idx,
+                &row_idx,
+            );
+            machine.free_bits(active);
+        }
+        // Record each sentence's removal sequence with the per-sentence
+        // stop semantics: a sentence's tape ends at its own first zero.
+        let mut all_zero = true;
+        for (ci, &r) in removed.iter().enumerate() {
+            if r > 0 {
+                all_zero = false;
+            }
+            if recording[ci] {
+                removals[ci].push(r);
+                if opts.early_exit && r == 0 {
+                    recording[ci] = false;
+                    live_stale = true;
+                }
+            }
+        }
+        if opts.early_exit && all_zero {
+            break;
+        }
+    }
+    machine.free_bits(live_group);
+    machine.free_bits(live_block);
+    machine.free_bits(live_valid);
+
+    // --- Ghost replay per sentence: re-run the per-sentence program on a
+    // charge-only machine to reconstruct exact per-sentence stats, phase
+    // tables, and degradation, then patch in the joint readback.
+    let alive_slice = alive.as_slice();
+    let bits_slice = bits.as_slice();
+    for (ci, &i) in idxs.iter().enumerate() {
+        let lay = lays[i].clone().unwrap();
+        let groups = lay.groups;
+        let mut ghost = Machine::new_ghost(opts.machine.clone(), lay.virt_pes());
+        ghost.push_ghost_reductions(&removals[ci]);
+        let replay = drive::<PluralBits>(
+            ghost,
+            lay,
+            grammar,
+            &sentences[i],
+            opts,
+            RecoveryReport::default(),
+        );
+        results[i] = Some(replay.map(|mut out| {
+            out.alive = alive_slice[mega.range(ci)]
+                .iter()
+                .step_by(groups)
+                .copied()
+                .collect();
+            out.bits = bits_slice[mega.range(ci)].to_vec();
+            out
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdg_core::ParseBudget;
+    use cdg_grammar::grammars::{english, paper};
+    use maspar_sim::MachineConfig;
+
+    fn assert_outcomes_identical(a: &MasparOutcome, b: &MasparOutcome, ctx: &str) {
+        assert_eq!(a.alive, b.alive, "{ctx}: alive");
+        assert_eq!(a.bits, b.bits, "{ctx}: bits");
+        assert_eq!(a.stats, b.stats, "{ctx}: MachineStats");
+        assert_eq!(a.estimated_seconds, b.estimated_seconds, "{ctx}: seconds");
+        assert_eq!(
+            a.filter_iterations_run, b.filter_iterations_run,
+            "{ctx}: iterations"
+        );
+        assert_eq!(
+            a.removals_per_iteration, b.removals_per_iteration,
+            "{ctx}: removals"
+        );
+        assert_eq!(a.virt_factor, b.virt_factor, "{ctx}: virt factor");
+        assert_eq!(
+            a.degraded.is_some(),
+            b.degraded.is_some(),
+            "{ctx}: degraded"
+        );
+        assert_eq!(a.phases.len(), b.phases.len(), "{ctx}: phase count");
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.name, pb.name, "{ctx}: phase name");
+            assert_eq!(pa.stats, pb.stats, "{ctx}: phase {} stats", pa.name);
+        }
+    }
+
+    fn check_batch(grammar: &Grammar, sentences: &[Sentence], opts: &MasparOptions) {
+        let mega = parse_maspar_mega(grammar, sentences, opts);
+        assert_eq!(mega.len(), sentences.len());
+        for (i, (s, m)) in sentences.iter().zip(&mega).enumerate() {
+            let per = parse_maspar_checked(grammar, s, opts);
+            match (m, per) {
+                (Ok(a), Ok(b)) => assert_outcomes_identical(a, &b, &format!("sentence {i}")),
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea.to_string(), eb.to_string(), "sentence {i} error")
+                }
+                (m, per) => panic!("sentence {i}: mega {m:?} vs per-sentence {per:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mega_matches_per_sentence_on_the_paper_batch() {
+        let g = paper::grammar();
+        let lex = paper::lexicon(&g);
+        let sentences = vec![
+            paper::example_sentence(&g),
+            lex.sentence("program the runs").unwrap(),
+            paper::cost_sweep_sentence(&g, 2),
+            paper::example_sentence(&g),
+            paper::cost_sweep_sentence(&g, 5),
+        ];
+        check_batch(&g, &sentences, &MasparOptions::default());
+    }
+
+    #[test]
+    fn mega_matches_without_early_exit_and_under_iteration_budgets() {
+        let g = english::grammar();
+        let lex = english::lexicon(&g);
+        let sentences = vec![
+            lex.sentence("the dog runs").unwrap(),
+            lex.sentence("she sleeps").unwrap(),
+            lex.sentence("dog the runs").unwrap(),
+        ];
+        check_batch(
+            &g,
+            &sentences,
+            &MasparOptions {
+                early_exit: false,
+                filter_iterations: 3,
+                ..Default::default()
+            },
+        );
+        check_batch(
+            &g,
+            &sentences,
+            &MasparOptions {
+                budget: ParseBudget {
+                    max_filter_iterations: Some(1),
+                    ..Default::default()
+                },
+                early_exit: false,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn chunking_splits_when_the_joined_working_set_overflows() {
+        // A small array forces multi-chunk execution: each 3-word paper
+        // sentence needs 324 virtual PEs; with 64 physical PEs and the
+        // default 16 KB, at most ~10,900 joined virtual PEs fit, so a
+        // batch of many sentences still parses — in several chunks.
+        let g = paper::grammar();
+        let sentences: Vec<Sentence> = (0..40).map(|_| paper::example_sentence(&g)).collect();
+        let opts = MasparOptions {
+            machine: MachineConfig {
+                phys_pes: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        check_batch(&g, &sentences, &opts);
+    }
+
+    #[test]
+    fn mid_batch_rejections_stay_typed_and_positional() {
+        let g = paper::grammar();
+        let s_ok = paper::example_sentence(&g);
+        let s_big = paper::cost_sweep_sentence(&g, 40); // blows PE memory
+        let out = parse_maspar_mega(&g, &[s_ok.clone(), s_big, s_ok], &MasparOptions::default());
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(EngineError::GrammarError(_))));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn fallback_paths_still_answer() {
+        // Unpacked / traced / wall-budgeted requests fall back to the
+        // per-sentence engine and must behave exactly like it.
+        let g = paper::grammar();
+        let s = paper::example_sentence(&g);
+        for opts in [
+            MasparOptions {
+                packed: false,
+                ..Default::default()
+            },
+            MasparOptions {
+                trace: true,
+                ..Default::default()
+            },
+        ] {
+            check_batch(&g, &[s.clone(), s.clone()], &opts);
+        }
+    }
+}

@@ -94,6 +94,35 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Like [`Self::pop`], but after blocking for the first item it also
+    /// takes — without blocking — up to `max - 1` items queued directly
+    /// behind it for which `coalesce(&first, &next)` holds, stopping at
+    /// the first incompatible item so FIFO order is preserved. The worker
+    /// pool uses this to fuse bursts of compatible parse requests into
+    /// one mega-batch; `None` still means closed-and-empty.
+    pub fn pop_group(&self, max: usize, coalesce: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(first) = st.items.pop_front() {
+                let mut group = vec![first];
+                while group.len() < max.max(1) {
+                    match st.items.front() {
+                        Some(next) if coalesce(&group[0], next) => {
+                            let next = st.items.pop_front().expect("front exists");
+                            group.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+                return Some(group);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st).unwrap();
+        }
+    }
+
     /// Take everything queued right now, in FIFO order.
     pub fn drain_now(&self) -> Vec<T> {
         let mut st = self.state.lock().unwrap();
@@ -149,6 +178,22 @@ mod tests {
         let q2 = Arc::clone(&q);
         let t = thread::spawn(move || q2.pop());
         assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_group_fuses_compatible_runs_and_stops_at_the_first_mismatch() {
+        let q = Bounded::new(8);
+        for v in [2, 4, 6, 7, 8] {
+            q.try_push(v).unwrap();
+        }
+        // Evens coalesce with evens; 7 breaks the run and stays queued.
+        let even = |a: &i32, b: &i32| a % 2 == 0 && b % 2 == 0;
+        assert_eq!(q.pop_group(10, even), Some(vec![2, 4, 6]));
+        assert_eq!(q.pop_group(10, even), Some(vec![7]));
+        // The cap bounds the group even when everything matches.
+        assert_eq!(q.pop_group(1, even), Some(vec![8]));
+        q.close();
+        assert_eq!(q.pop_group(10, even), None);
     }
 
     #[test]

@@ -458,15 +458,132 @@ fn handle_parse(shared: &Arc<Shared>, text: String, opts: RequestOpts) -> String
         .unwrap_or_else(|_| render_fields("ERR", &[("proto", "reply channel dropped".to_string())]))
 }
 
+/// May these two queued jobs be serviced as one mega-batch? Coalescing is
+/// restricted to jobs whose answers cannot depend on batching: no budget
+/// (a wall-time budget is accounted per request), no fault plan (fault
+/// horizons are per-request instruction counts), same engine and parse
+/// cap. Class may differ — it only shapes admission and the response's
+/// `class=` field, both of which stay per-job.
+fn coalescable(a: &Job, b: &Job) -> bool {
+    let plain = |j: &Job| {
+        j.opts.budget_spec.is_empty() && j.opts.faults.is_none() && j.opts.transient.is_none()
+    };
+    plain(a) && plain(b) && a.engine_name == b.engine_name && a.opts.max_parses == b.opts.max_parses
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    let max_group = shared.config.coalesce.max(1);
+    loop {
+        let jobs = if max_group > 1 {
+            shared.queue.pop_group(max_group, coalescable)
+        } else {
+            shared.queue.pop().map(|job| vec![job])
+        };
+        let Some(jobs) = jobs else { break };
+        let taken = jobs.len();
+        let inflight = shared.inflight.fetch_add(taken, Ordering::SeqCst) + taken;
         obsv::gauge_max("serve.inflight_peak", inflight as f64);
-        let response = service_job(shared, &job);
-        // The connection may have hung up; the response is still fully
-        // accounted either way.
-        let _ = job.reply.send(response);
-        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if taken == 1 {
+            let job = &jobs[0];
+            let response = service_job(shared, job);
+            // The connection may have hung up; the response is still fully
+            // accounted either way.
+            let _ = job.reply.send(response);
+        } else {
+            obsv::counter_add("serve.coalesced", taken as u64);
+            service_group(shared, jobs);
+        }
+        shared.inflight.fetch_sub(taken, Ordering::SeqCst);
+    }
+}
+
+/// Service a coalesced group as one flattened mega-batch. Per-job concerns
+/// stay per-job: deadlines are checked first (a coalesced neighbour never
+/// turns a live request into a timeout victim — the whole group was
+/// dequeued at once), lexicon errors answer individually, and any outcome
+/// the mega sweep reports as degraded is replayed on the per-request path
+/// so its typed response is byte-compatible with the uncoalesced server.
+fn service_group(shared: &Shared, jobs: Vec<Job>) {
+    let stats = &shared.stats;
+    let start = Instant::now();
+    if !shared.config.service_delay.is_zero() {
+        thread::sleep(shared.config.service_delay);
+    }
+    let mut batch: Vec<(Job, cdg_grammar::Sentence)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if start > job.deadline {
+            stats.bump(&stats.timeouts, "serve.timeout");
+            let _ = job.reply.send(render_fields(
+                "TIMEOUT",
+                &[
+                    ("class", job.class.name().to_string()),
+                    ("waited_ms", (start - job.enqueued).as_millis().to_string()),
+                ],
+            ));
+            continue;
+        }
+        match shared.lexicon.sentence(&job.text) {
+            Ok(s) => batch.push((job, s)),
+            Err(e) => {
+                stats.bump(&stats.errors, "serve.errors");
+                let _ = job
+                    .reply
+                    .send(render_fields("ERR", &[cause_field(&EngineError::from(e))]));
+            }
+        }
+    }
+    let Some((first, _)) = batch.first() else {
+        return;
+    };
+    let engine = engine_for(&first.engine_name, &shared.config.machine)
+        .expect("engine name validated at admission");
+    let sentences: Vec<cdg_grammar::Sentence> = batch.iter().map(|(_, s)| s.clone()).collect();
+    let request = ParseRequest::new(&shared.grammar)
+        .max_parses(first.opts.max_parses)
+        .batch_strategy(cdg_core::BatchStrategy::Mega);
+    let report = match engine.parse_batch(&sentences, &request) {
+        Ok(report) => report,
+        Err(_) => {
+            // A whole-batch refusal (no coalescable engine should produce
+            // one) falls back to the per-request path: every job still
+            // gets its one typed response.
+            for (job, _) in &batch {
+                let response = service_job(shared, job);
+                let _ = job.reply.send(response);
+            }
+            return;
+        }
+    };
+    for ((job, _), outcome) in batch.iter().zip(&report.outcomes) {
+        if outcome.degraded {
+            // Coalesced jobs carry no budget, so degradation means the
+            // engine rejected the sentence itself (e.g. a layout the
+            // simulated array cannot take). Replay individually for the
+            // exact typed error.
+            let response = service_job(shared, job);
+            let _ = job.reply.send(response);
+            continue;
+        }
+        stats.bump(&stats.ok, "serve.ok");
+        let core = render_fields(
+            "OK",
+            &[
+                ("accepted", outcome.accepted.to_string()),
+                ("ambiguous", outcome.ambiguous.to_string()),
+                ("parses", outcome.parses.len().to_string()),
+                ("passes", outcome.filter_passes.to_string()),
+                ("engine", job.engine_name.clone()),
+                ("class", job.class.name().to_string()),
+            ],
+        );
+        if let Some(d) = job.digest {
+            stats.bump(&stats.cache_misses, "serve.cache.misses");
+            shared.cache.lock().unwrap().insert(d, core.clone());
+        }
+        let _ = job.reply.send(format!(
+            "{core} cached=false retries=0 wall_us={}",
+            start.elapsed().as_micros()
+        ));
     }
 }
 

@@ -103,9 +103,10 @@ pub fn parse_request(line: &str, phys_pes: usize) -> Result<Request, String> {
         // No separator: the whole remainder is the sentence.
         None => ("", rest),
     };
-    if text.is_empty() {
-        return Err("PARSE has no sentence text".into());
-    }
+    // Empty sentence text is NOT a protocol error: it parses as a Parse
+    // request so the worker's lexicon answers with the typed
+    // `ERR cause=` EmptySentence encoding — the same vocabulary the CLI's
+    // empty `--batch` uses, instead of an untyped `proto=` line.
     let mut opts = RequestOpts::default();
     for part in opt_part.split_ascii_whitespace() {
         let (key, value) = part
@@ -226,8 +227,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_sentence_text_is_a_parse_request_not_a_proto_error() {
+        // The worker turns it into the typed EmptySentence lexicon error;
+        // rejecting it here would leave "no input" without a `cause=`.
+        for line in ["PARSE --", "PARSE", "PARSE parses=2 --"] {
+            match parse_request(line, 16).unwrap() {
+                Request::Parse { text, .. } => assert!(text.is_empty(), "line: {line}"),
+                other => panic!("{line}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn malformed_parse_lines_are_typed_errors() {
-        assert!(parse_request("PARSE --", 16).is_err(), "no text");
         assert!(
             parse_request("PARSE budget -- x", 16).is_err(),
             "bare option"

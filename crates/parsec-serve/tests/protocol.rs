@@ -138,6 +138,78 @@ fn lexicon_and_protocol_errors_are_typed() {
 }
 
 #[test]
+fn empty_sentence_is_a_typed_lexicon_error_not_a_proto_error() {
+    // `PARSE --` used to be rejected at the protocol layer with an
+    // untyped proto= line, while the CLI's empty --batch exited silently:
+    // "no input" took inconsistent paths. Both now speak the same typed
+    // vocabulary — the wire-encoded EmptySentence lexicon error.
+    let handle = Server::start(english_config()).unwrap();
+    let mut client = Client::connect(handle.addr());
+    for line in ["PARSE --", "PARSE", "PARSE parses=2 --"] {
+        let (status, fields) = client.roundtrip(line);
+        assert_eq!(status, "ERR", "line `{line}`");
+        let cause = decode_cause(field(&fields, "cause")).unwrap();
+        assert_eq!(cause.code(), "LEXICON", "line `{line}`");
+        assert!(
+            cause.to_string().contains("at least one word"),
+            "line `{line}`: {cause}"
+        );
+    }
+    let stats = handle.shutdown();
+    // All three were admitted requests that errored — none were protocol
+    // errors, and each got exactly one response.
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.errors, 3);
+    assert_eq!(stats.proto_errors, 0);
+    assert_eq!(stats.parse_responses(), stats.requests);
+}
+
+#[test]
+fn coalesced_bursts_answer_every_request_identically() {
+    // One slow worker + a concurrent burst: the worker's first pop leaves
+    // the rest of the burst queued, so the next pop_group fuses them into
+    // one mega-batch. Every request must still get its own correct,
+    // fully-accounted response.
+    let handle = Server::start(ServeConfig {
+        workers: 1,
+        coalesce: 8,
+        cache_capacity: 0,
+        service_delay: Duration::from_millis(25),
+        ..english_config()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let texts = [
+        "the dog runs",
+        "dog the runs",
+        "she sleeps",
+        "the dog runs in the park",
+        "runs sees",
+        "the watch runs",
+    ];
+    let threads: Vec<_> = texts
+        .iter()
+        .map(|&text| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let (status, fields) = client.roundtrip(&format!("PARSE {text}"));
+                (text, status, field(&fields, "accepted").to_string())
+            })
+        })
+        .collect();
+    for t in threads {
+        let (text, status, accepted) = t.join().unwrap();
+        assert_eq!(status, "OK", "`{text}`");
+        let expect = !matches!(text, "dog the runs" | "runs sees");
+        assert_eq!(accepted, expect.to_string(), "`{text}`");
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.ok, 6);
+    assert_eq!(stats.parse_responses(), stats.requests);
+}
+
+#[test]
 fn budget_exhaustion_degrades_with_cause() {
     let handle = Server::start(english_config()).unwrap();
     let mut client = Client::connect(handle.addr());

@@ -21,6 +21,8 @@
 //!   --relax                                      retry rejected sentences with relaxed constraints
 //!   --threads <N>                                worker threads for parallel engines (0 = auto)
 //!   --batch <file|->                             parse one sentence per line of a file (or stdin)
+//!   --batch-strategy <per-sentence|mega>         batch scheduling (default per-sentence); `mega`
+//!                                                flattens the whole batch into one joined sweep
 //!   --version                                    print the version and exit
 //!
 //! SERVE OPTIONS (parse-as-a-service; see DESIGN.md §13):
@@ -31,6 +33,8 @@
 //!   --queue <N>            bounded queue capacity (default 64)
 //!   --soft <N> / --hard <N>  shedding watermarks (defaults 48 / 60)
 //!   --cache <N>            response cache entries, 0 disables (default 256)
+//!   --coalesce <N>         fuse up to N queued compatible requests into one
+//!                          mega-batch (default 8; 0/1 disables)
 //!   --drain-ms <N>         graceful-drain deadline (default 2000)
 //!   --max-conns <N>        simultaneous connection cap (default 64)
 //!   --metrics-out <path>   write the obsv metrics snapshot here on exit
@@ -112,6 +116,7 @@ struct Args {
     relax: bool,
     threads: Option<usize>,
     batch: Option<String>,
+    batch_strategy: cdg_core::BatchStrategy,
     maspar_scalar: bool,
     words: Vec<String>,
 }
@@ -121,7 +126,8 @@ fn usage() -> ! {
         "usage: parsec [--grammar paper|english|anbn|brackets|ww|www] [--grammar-file path] \
          [--engine serial|pram|maspar] [--parses N] [--network] [--dot] [--stats] \
          [--trace[=json]] [--metrics] [--naive-eval] [--budget spec] [--faults spec] \
-         [--maspar-scalar] [--relax] [--threads N] [--batch file|-] [--version] <sentence...>\n\
+         [--maspar-scalar] [--relax] [--threads N] [--batch file|-] \
+         [--batch-strategy per-sentence|mega] [--version] <sentence...>\n\
          \x20      parsec serve [SERVE OPTIONS]   (see `parsec serve --help`)"
     );
     std::process::exit(2);
@@ -157,6 +163,7 @@ fn parse_args() -> Args {
         relax: false,
         threads: None,
         batch: None,
+        batch_strategy: cdg_core::BatchStrategy::default(),
         maspar_scalar: false,
         words: Vec::new(),
     };
@@ -201,6 +208,11 @@ fn parse_args() -> Args {
                 args.threads = Some(n);
             }
             "--batch" => args.batch = Some(it.next().unwrap_or_else(|| usage())),
+            "--batch-strategy" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.batch_strategy = cdg_core::BatchStrategy::parse(&v)
+                    .unwrap_or_else(|e| invalid(format!("bad --batch-strategy: {e}")));
+            }
             "--maspar-scalar" => args.maspar_scalar = true,
             "--version" => {
                 println!("parsec {}", env!("CARGO_PKG_VERSION"));
@@ -216,6 +228,9 @@ fn parse_args() -> Args {
     }
     if args.batch.is_some() && !args.words.is_empty() {
         invalid("--batch reads sentences from the file; drop the positional words".into());
+    }
+    if args.batch.is_none() && args.batch_strategy != cdg_core::BatchStrategy::default() {
+        invalid("--batch-strategy schedules a batch; pass --batch too".into());
     }
     if args.faults.is_some() && args.engine != "maspar" {
         invalid("--faults injects faults into the simulated MasPar; pass --engine maspar".into());
@@ -306,6 +321,7 @@ fn build_request<'g>(args: &Args, grammar: &'g Grammar) -> ParseRequest<'g> {
     let mut request = ParseRequest::new(grammar)
         .options(options)
         .max_parses(args.parses)
+        .batch_strategy(args.batch_strategy)
         .trace(args.trace.is_some())
         .metrics(args.metrics || args.stats);
     if let Some(n) = args.threads {
@@ -486,6 +502,19 @@ fn run_batch(args: &Args, engine: &dyn Engine) -> ExitCode {
         }
     }
 
+    // An empty batch (no parseable lines at all) gets the same typed
+    // answer the serve protocol gives an empty sentence — a wire-encoded
+    // `EmptySentence` lexicon error — instead of a silent zero-row
+    // summary that exits 0. Malformed-only batches keep their per-line
+    // diagnostics; this adds the typed verdict for the batch itself.
+    if sentences.is_empty() {
+        let wire =
+            cdg_core::wire::encode(&cdg_core::EngineError::from(LexiconError::EmptySentence));
+        eprintln!("error: batch `{source}` has no sentences [{wire}]");
+        println!("batch: 0 sentence(s), 0 accepted, 0 rejected (empty batch)");
+        return ExitCode::from(2);
+    }
+
     let request = build_request(args, &grammar);
     let report = match engine.parse_batch(&sentences, &request) {
         Ok(r) => r,
@@ -588,7 +617,7 @@ fn run_serve(argv: &[String]) -> ExitCode {
         eprintln!(
             "usage: parsec serve [--addr host:port] [--grammar paper|english|file.cdg] \
              [--engine serial|pram|maspar] [--workers N] [--queue N] [--soft N] [--hard N] \
-             [--cache N] [--drain-ms N] [--max-conns N] [--metrics-out path]"
+             [--cache N] [--coalesce N] [--drain-ms N] [--max-conns N] [--metrics-out path]"
         );
         std::process::exit(2);
     };
@@ -605,6 +634,7 @@ fn run_serve(argv: &[String]) -> ExitCode {
             "--soft" => config.soft_watermark = number(value()),
             "--hard" => config.hard_watermark = number(value()),
             "--cache" => config.cache_capacity = number(value()),
+            "--coalesce" => config.coalesce = number(value()),
             "--drain-ms" => {
                 config.drain_deadline = std::time::Duration::from_millis(number(value()) as u64)
             }

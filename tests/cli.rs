@@ -315,6 +315,70 @@ fn batch_runs_on_the_maspar_engine() {
 }
 
 #[test]
+fn batch_mega_strategy_matches_per_sentence_on_every_engine() {
+    let corpus = "the dog runs\ndog the runs\nshe sleeps\nthe dog runs in the park\n";
+    let path = write_temp("mega", corpus);
+    let p = path.to_str().unwrap();
+    for engine in ["serial", "pram", "maspar"] {
+        let mut per = vec!["--engine", engine, "--batch", p];
+        let mut mega = vec!["--engine", engine, "--batch", p, "--batch-strategy", "mega"];
+        if engine == "maspar" {
+            // The MasPar engine needs lexically unambiguous sentences;
+            // rejected lines degrade rather than fail, so the verdict
+            // lines still line up between the strategies.
+            per.extend_from_slice(&["--grammar", "english"]);
+            mega.extend_from_slice(&["--grammar", "english"]);
+        }
+        let a = stdout(&run(&per));
+        let b = stdout(&run(&mega));
+        let verdicts = |t: &str| {
+            t.lines()
+                .filter(|l| l.starts_with("ACCEPT") || l.starts_with("REJECT"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            verdicts(&a),
+            verdicts(&b),
+            "engine {engine}: mega diverged from per-sentence"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn batch_strategy_requires_batch_mode() {
+    let out = run(&["--batch-strategy", "mega", "the", "dog", "runs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("pass --batch too"));
+
+    let out = run(&["--batch-strategy", "sideways", "--batch", "whatever.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("bad --batch-strategy"));
+}
+
+#[test]
+fn empty_batch_is_a_typed_report_not_a_silent_success() {
+    // Zero parseable lines — comments and blanks only — must exit 2 with
+    // the wire-encoded EmptySentence error, matching what the serve
+    // protocol answers for an empty PARSE (one typed vocabulary for "no
+    // input", whichever door it comes through).
+    for contents in ["", "# nothing but a comment\n\n   \n"] {
+        let path = write_temp("empty", contents);
+        let out = run(&["--batch", path.to_str().unwrap()]);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(out.status.code(), Some(2), "contents: {contents:?}");
+        let err = stderr(&out);
+        assert!(err.contains("has no sentences"), "stderr: {err}");
+        assert!(
+            err.contains("LEXICON"),
+            "typed wire encoding missing: {err}"
+        );
+        assert!(stdout(&out).contains("0 sentence(s)"));
+    }
+}
+
+#[test]
 fn trace_prints_a_phase_tree_on_every_engine() {
     for engine in ["serial", "pram", "maspar"] {
         let out = run(&[
